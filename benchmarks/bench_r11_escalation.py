@@ -1,0 +1,71 @@
+"""R11 (table, ablation): lock escalation — lock-table size vs concurrency.
+
+Large scans over the sales table with escalation thresholds from "never"
+down to "almost immediately". Escalation caps the number of locks a scan
+holds (lock-manager memory) but a scan escalated to table-S blocks every
+concurrent writer of the table, not just the scanned keys.
+
+Expected shape: lock request volume drops as the threshold falls;
+writer waits rise once scans escalate.
+"""
+
+from repro.sim import Scheduler
+
+from harness import build_store, emit
+
+
+def run_threshold(threshold):
+    db, workload = build_store(
+        strategy="escrow",
+        n_products=30,
+        zipf_theta=0.0,
+        escalation_threshold=threshold,
+    )
+    workload.preload_sales(60)
+    scheduler = Scheduler(db, cleanup_interval=1000)
+    for _ in range(4):
+        scheduler.add_session(workload.new_sale_program(items=1), txns=12)
+    for _ in range(4):
+        scheduler.add_session(workload.range_reader_program(), txns=8)
+    result = scheduler.run()
+    assert db.check_all_views() == []
+    return {
+        "lock_requests": result.lock_stats["requests"],
+        "waits": result.lock_stats["waits"],
+        "escalations": db.escalation.escalations,
+        "throughput": result.throughput(),
+    }
+
+
+def scenario():
+    outcomes = {}
+    rows = []
+    for label, threshold in (("off", None), ("100", 100), ("20", 20), ("5", 5)):
+        out = run_threshold(threshold)
+        outcomes[label] = out
+        rows.append(
+            [
+                label,
+                out["lock_requests"],
+                out["escalations"],
+                out["waits"],
+                round(out["throughput"], 1),
+            ]
+        )
+    emit(
+        "r11_escalation",
+        ["threshold", "lock requests", "escalations", "waits", "tput/ktick"],
+        rows,
+        "R11 (ablation): lock escalation threshold sweep",
+    )
+    return outcomes
+
+
+def test_r11_escalation_trades_locks_for_concurrency(benchmark):
+    outcomes = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    # escalation reduces lock-manager traffic...
+    assert outcomes["5"]["lock_requests"] < outcomes["off"]["lock_requests"]
+    assert outcomes["5"]["escalations"] > 0
+    assert outcomes["off"]["escalations"] == 0
+    # ...but costs concurrency: table-S scans block writers
+    assert outcomes["5"]["waits"] >= outcomes["off"]["waits"]

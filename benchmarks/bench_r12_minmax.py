@@ -1,0 +1,97 @@
+"""R12 (table, ablation): why indexed views exclude MIN/MAX.
+
+The same hot insert workload against three view shapes on one table:
+
+* COUNT/SUM only (escrow-maintained — the paper's design point);
+* COUNT/SUM + MIN/MAX (extreme columns force X locks on every group row);
+* COUNT/SUM + MIN/MAX with delete churn (deletes of the current extreme
+  rescan the group).
+
+Expected shape: adding a MIN/MAX column to a view re-serializes writers
+exactly like the xlock baseline — quantifying why SQL Server's indexed
+views (and this engine's default) restrict aggregates to COUNT/SUM.
+"""
+
+from repro import Database, EngineConfig
+from repro.query import AggregateSpec
+from repro.sim import Scheduler
+from repro.workload import OrderEntryWorkload
+
+from harness import emit
+
+
+def build(with_extremes):
+    db = Database(EngineConfig(aggregate_strategy="escrow"))
+    workload = OrderEntryWorkload(db, n_products=10, zipf_theta=1.2, seed=9)
+    db.create_table("sales", ("id", "product", "customer", "amount"), ("id",))
+    db.create_table("products", ("product", "name", "category"), ("product",))
+    workload.db = db
+    aggregates = [
+        AggregateSpec.count("n_sales"),
+        AggregateSpec.sum_of("revenue", "amount"),
+    ]
+    if with_extremes:
+        aggregates.append(AggregateSpec.min_of("cheapest", "amount"))
+        aggregates.append(AggregateSpec.max_of("priciest", "amount"))
+    db.create_aggregate_view(
+        "sales_by_product", "sales", group_by=("product",), aggregates=aggregates
+    )
+    return db, workload
+
+
+def run_config(with_extremes, with_deletes):
+    db, workload = build(with_extremes)
+    workload.seed_groups()
+    scheduler = Scheduler(db, cleanup_interval=1000)
+    for _ in range(8):
+        scheduler.add_session(workload.new_sale_program(items=2), txns=10)
+    if with_deletes:
+        for _ in range(4):
+            scheduler.add_session(workload.cancel_program(), txns=10)
+    result = scheduler.run()
+    db.run_ghost_cleanup()
+    assert db.check_all_views() == []
+    return {
+        "throughput": result.throughput(),
+        "waits": result.lock_stats["waits"],
+        "deadlocks": result.lock_stats["deadlocks"],
+        "rescans": db.stats.get("agg.extreme_rescans"),
+    }
+
+
+def scenario():
+    outcomes = {
+        "count/sum only": run_config(False, False),
+        "+min/max": run_config(True, False),
+        "+min/max +deletes": run_config(True, True),
+    }
+    rows = [
+        [
+            label,
+            round(out["throughput"], 1),
+            out["waits"],
+            out["deadlocks"],
+            out["rescans"],
+        ]
+        for label, out in outcomes.items()
+    ]
+    emit(
+        "r12_minmax",
+        ["view shape", "tput/ktick", "waits", "deadlocks", "extreme rescans"],
+        rows,
+        "R12 (ablation): the concurrency cost of MIN/MAX view columns",
+    )
+    return outcomes
+
+
+def test_r12_extremes_forfeit_escrow_concurrency(benchmark):
+    outcomes = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    pure = outcomes["count/sum only"]
+    extreme = outcomes["+min/max"]
+    churn = outcomes["+min/max +deletes"]
+    # MIN/MAX columns re-serialize the hot groups
+    assert extreme["waits"] > 3 * max(pure["waits"], 1)
+    assert extreme["throughput"] < pure["throughput"]
+    # delete churn adds group rescans on top
+    assert churn["rescans"] > 0
+    assert pure["rescans"] == 0

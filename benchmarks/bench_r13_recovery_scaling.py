@@ -1,0 +1,92 @@
+"""R13 (table, ablation): recovery time vs log length, and what
+checkpoints buy.
+
+Grow the committed history, crash, recover — with and without a sharp
+checkpoint taken at 90% of the history. Expected shape: recovery work
+(records analyzed/redone, wall time) grows linearly with log length;
+a checkpoint caps it at the post-checkpoint tail regardless of history
+size.
+"""
+
+import time
+
+from repro import Database, EngineConfig
+from repro.query import AggregateSpec
+from repro.workload import OrderEntryWorkload
+
+from harness import emit
+
+HISTORY_SIZES = (100, 400, 1600)
+
+
+def build_history(n_txns, with_checkpoint):
+    db = Database(EngineConfig(aggregate_strategy="escrow"))
+    workload = OrderEntryWorkload(db, n_products=20, zipf_theta=0.5, seed=4)
+    db.create_table("sales", ("id", "product", "customer", "amount"), ("id",))
+    db.create_table("products", ("product", "name", "category"), ("product",))
+    workload.db = db
+    db.create_aggregate_view(
+        "sales_by_product",
+        "sales",
+        group_by=("product",),
+        aggregates=[
+            AggregateSpec.count("n_sales"),
+            AggregateSpec.sum_of("revenue", "amount"),
+        ],
+    )
+    checkpoint_at = int(n_txns * 0.9)
+    for i in range(n_txns):
+        txn = db.begin()
+        db.insert(txn, "sales", workload.next_sale_values())
+        db.commit(txn)
+        if with_checkpoint and i == checkpoint_at:
+            db.take_checkpoint()
+    db.log.flush()
+    return db
+
+
+def recover_timed(db):
+    start = time.perf_counter()
+    report = db.simulate_crash_and_recover()
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    assert db.check_all_views() == []
+    return report, elapsed_ms
+
+
+def scenario():
+    rows = []
+    outcomes = {}
+    for n in HISTORY_SIZES:
+        for with_cp in (False, True):
+            db = build_history(n, with_cp)
+            report, elapsed_ms = recover_timed(db)
+            label = f"{n} txns {'(+checkpoint)' if with_cp else '(no ckpt)  '}"
+            outcomes[(n, with_cp)] = (report, elapsed_ms)
+            rows.append(
+                [
+                    label,
+                    len(db.log),
+                    report.analyzed_records,
+                    report.redo_count,
+                    round(elapsed_ms, 2),
+                ]
+            )
+    emit(
+        "r13_recovery_scaling",
+        ["history", "log records", "analyzed", "redone", "recovery ms"],
+        rows,
+        "R13 (ablation): recovery cost vs history length, with/without checkpoints",
+    )
+    return outcomes
+
+
+def test_r13_checkpoints_cap_recovery_work(benchmark):
+    outcomes = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    small_plain = outcomes[(HISTORY_SIZES[0], False)][0]
+    large_plain = outcomes[(HISTORY_SIZES[-1], False)][0]
+    large_ckpt = outcomes[(HISTORY_SIZES[-1], True)][0]
+    # without checkpoints, redo work grows with history
+    assert large_plain.redo_count > 8 * small_plain.redo_count
+    # a checkpoint caps analysis+redo at the tail
+    assert large_ckpt.analyzed_records < 0.25 * large_plain.analyzed_records
+    assert large_ckpt.redo_count < 0.25 * large_plain.redo_count

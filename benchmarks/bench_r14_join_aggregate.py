@@ -1,0 +1,112 @@
+"""R14 (table): escrow concurrency composes through joins.
+
+``revenue_by_category = sales ⋈ products GROUP BY category`` has 10×
+fewer groups than ``sales_by_product`` — categories are even hotter than
+products. The bench runs the hot insert workload against (a) the product
+aggregate alone, (b) the category join-aggregate alone, (c) both, under
+escrow and xlock.
+
+Expected shape: under escrow, adding the join-aggregate view costs only
+its maintenance work (throughput dips modestly, conflicts stay ≈ 0);
+under xlock the category view is a *worse* bottleneck than the product
+view (fewer, hotter rows), and with both views every transaction crosses
+two exclusive hot locks — throughput craters and deadlocks multiply.
+"""
+
+from repro import Database, EngineConfig
+from repro.query import AggregateSpec
+from repro.sim import Scheduler
+from repro.workload import OrderEntryWorkload
+
+from harness import emit
+
+
+def build(strategy, with_product_view, with_category_view):
+    db = Database(EngineConfig(aggregate_strategy=strategy))
+    workload = OrderEntryWorkload(
+        db, n_products=20, zipf_theta=1.0, seed=13,
+        with_category_view=False,
+    )
+    db.create_table("sales", ("id", "product", "customer", "amount"), ("id",))
+    db.create_table("products", ("product", "name", "category"), ("product",))
+    txn = db.begin_system()
+    for p in range(20):
+        db.insert(
+            txn, "products", {"product": p, "name": f"p{p}", "category": p % 2}
+        )
+    db.commit(txn)
+    workload.db = db
+    if with_product_view:
+        db.create_aggregate_view(
+            "sales_by_product", "sales", group_by=("product",),
+            aggregates=[
+                AggregateSpec.count("n_sales"),
+                AggregateSpec.sum_of("revenue", "amount"),
+            ],
+        )
+    if with_category_view:
+        db.create_join_aggregate_view(
+            "revenue_by_category", "sales", "products",
+            on=[("product", "product")],
+            group_by=("category",),
+            aggregates=[
+                AggregateSpec.count("n_sales"),
+                AggregateSpec.sum_of("revenue", "amount"),
+            ],
+        )
+    return db, workload
+
+
+def run(strategy, with_product_view, with_category_view):
+    db, workload = build(strategy, with_product_view, with_category_view)
+    workload.seed_groups()
+    scheduler = Scheduler(db, cleanup_interval=1000)
+    for _ in range(8):
+        scheduler.add_session(workload.new_sale_program(items=2), txns=10)
+    result = scheduler.run()
+    assert db.check_all_views() == []
+    return result
+
+
+def scenario():
+    outcomes = {}
+    rows = []
+    for strategy in ("escrow", "xlock"):
+        for label, product, category in (
+            ("product view", True, False),
+            ("category join-agg", False, True),
+            ("both views", True, True),
+        ):
+            result = run(strategy, product, category)
+            outcomes[(strategy, label)] = result
+            rows.append(
+                [
+                    strategy,
+                    label,
+                    round(result.throughput(), 1),
+                    result.lock_stats["waits"],
+                    result.lock_stats["deadlocks"],
+                ]
+            )
+    emit(
+        "r14_join_aggregate",
+        ["strategy", "views", "tput/ktick", "waits", "deadlocks"],
+        rows,
+        "R14: a join-aggregate view (2 hot categories) under escrow vs xlock",
+    )
+    return outcomes
+
+
+def test_r14_escrow_composes_through_joins(benchmark):
+    outcomes = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    # escrow keeps the hot category view nearly free of conflicts
+    assert outcomes[("escrow", "both views")].lock_stats["deadlocks"] == 0
+    assert (
+        outcomes[("escrow", "both views")].throughput()
+        > 3 * outcomes[("xlock", "both views")].throughput()
+    )
+    # under xlock, 2 categories are a worse bottleneck than 20 products
+    assert (
+        outcomes[("xlock", "category join-agg")].throughput()
+        <= outcomes[("xlock", "product view")].throughput()
+    )

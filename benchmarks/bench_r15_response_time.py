@@ -1,0 +1,72 @@
+"""R15 (figure): response time vs offered load (open system).
+
+Transactions arrive as a Poisson stream instead of a fixed session pool.
+At low load both strategies respond equally fast; as the arrival rate
+approaches the X-locked view's serialized capacity, xlock response times
+blow up queueing-theory style while escrow stays flat far longer.
+"""
+
+from repro.sim import Scheduler
+
+from harness import build_store, emit, seed_all_groups
+
+ARRIVAL_RATES = (0.05, 0.15, 0.25)  # transactions per tick
+DURATION = 3000
+
+
+def run_open(strategy, rate):
+    db, workload = build_store(strategy=strategy, zipf_theta=1.2, n_products=10)
+    seed_all_groups(db, workload)
+    scheduler = Scheduler(db, cleanup_interval=1000)
+    result = scheduler.run_open(
+        workload.new_sale_program(items=2), arrival_rate=rate,
+        duration=DURATION, seed=21,
+    )
+    assert db.check_all_views() == []
+    return result
+
+
+def scenario():
+    outcomes = {}
+    rows = []
+    for rate in ARRIVAL_RATES:
+        for strategy in ("escrow", "xlock"):
+            result = run_open(strategy, rate)
+            outcomes[(rate, strategy)] = result
+            rows.append(
+                [
+                    rate,
+                    strategy,
+                    result.committed,
+                    round(result.response_time.mean(), 1),
+                    result.response_time.percentile(95),
+                    result.lock_stats["deadlocks"],
+                ]
+            )
+    emit(
+        "r15_response_time",
+        ["arrival rate", "strategy", "completed", "mean resp", "p95 resp",
+         "deadlocks"],
+        rows,
+        "R15: response time vs offered load (open system, Poisson arrivals)",
+    )
+    return outcomes
+
+
+def test_r15_xlock_queues_escrow_does_not(benchmark):
+    outcomes = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    low = ARRIVAL_RATES[0]
+    high = ARRIVAL_RATES[-1]
+    # at low load the strategies are comparable
+    assert outcomes[(low, "xlock")].response_time.mean() < 4 * max(
+        outcomes[(low, "escrow")].response_time.mean(), 1.0
+    )
+    # at high load xlock's queueing delay dominates
+    assert (
+        outcomes[(high, "xlock")].response_time.mean()
+        > 2 * outcomes[(high, "escrow")].response_time.mean()
+    )
+    # escrow response time stays roughly flat across the sweep
+    assert outcomes[(high, "escrow")].response_time.mean() < 3 * max(
+        outcomes[(low, "escrow")].response_time.mean(), 1.0
+    )

@@ -1,0 +1,46 @@
+"""R1 (table): lock-conflict rate on hot aggregate rows, X vs escrow.
+
+N writers insert Zipf-distributed sales; every insert updates one view
+group row. The table reports lock waits and deadlocks per 100 committed
+transactions at three skew levels. Expected shape: escrow conflict rates
+stay near zero at every skew; exclusive locking degrades sharply as skew
+concentrates writes on few groups.
+"""
+
+from harness import build_store, emit, run_writers
+
+THETAS = (0.0, 0.8, 1.2)
+MPL = 8
+TXNS = 15
+
+
+def sweep():
+    rows = []
+    outcomes = {}
+    for theta in THETAS:
+        for strategy in ("xlock", "escrow"):
+            db, workload = build_store(strategy=strategy, zipf_theta=theta)
+            result = run_writers(db, workload, mpl=MPL, txns=TXNS)
+            waits = 100.0 * result.lock_stats["waits"] / result.committed
+            deadlocks = 100.0 * result.lock_stats["deadlocks"] / result.committed
+            rows.append([theta, strategy, result.committed, waits, deadlocks])
+            outcomes[(theta, strategy)] = (waits, deadlocks)
+    emit(
+        "r1_conflicts",
+        ["zipf_theta", "strategy", "commits", "waits/100txn", "deadlocks/100txn"],
+        rows,
+        "R1: lock conflicts on hot aggregate view rows",
+    )
+    return outcomes
+
+
+def test_r1_escrow_eliminates_hot_row_conflicts(benchmark):
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for theta in THETAS:
+        x_waits, x_deadlocks = outcomes[(theta, "xlock")]
+        e_waits, e_deadlocks = outcomes[(theta, "escrow")]
+        assert e_waits <= x_waits
+        assert e_deadlocks <= x_deadlocks
+    # at high skew the gap is dramatic
+    assert outcomes[(1.2, "xlock")][0] > 5 * max(outcomes[(1.2, "escrow")][0], 1.0)
+    assert outcomes[(1.2, "escrow")][1] == 0.0

@@ -1,0 +1,73 @@
+"""R2 (figure): throughput vs multiprogramming level.
+
+Three configurations over the same hot workload: no indexed view at all
+(maintenance-free upper bound for writers), view with exclusive locking,
+view with escrow locking. Expected shape: without a view throughput
+scales with MPL; the X-locked view flattens almost immediately (every
+writer funnels through the hot group row); escrow tracks the no-view
+curve closely, paying only the maintenance work itself.
+"""
+
+from repro import Database, EngineConfig
+from repro.sim import Scheduler
+from repro.workload import OrderEntryWorkload
+
+from harness import build_store, emit
+
+MPLS = (1, 2, 4, 8, 16)
+TXNS = 12
+
+
+def run_no_view(mpl):
+    db = Database(EngineConfig())
+    workload = OrderEntryWorkload(db, n_products=20, zipf_theta=1.2, seed=7)
+    # tables only: skip the view by building the schema by hand
+    db.create_table("sales", ("id", "product", "customer", "amount"), ("id",))
+    db.create_table("products", ("product", "name", "category"), ("product",))
+    workload.db = db
+    scheduler = Scheduler(db)
+    for _ in range(mpl):
+        scheduler.add_session(workload.new_sale_program(items=2), txns=TXNS)
+    return scheduler.run()
+
+
+def run_with_view(strategy, mpl):
+    db, workload = build_store(strategy=strategy, zipf_theta=1.2)
+    scheduler = Scheduler(db, cleanup_interval=500)
+    for _ in range(mpl):
+        scheduler.add_session(workload.new_sale_program(items=2), txns=TXNS)
+    result = scheduler.run()
+    assert db.check_all_views() == []
+    return result
+
+
+def sweep():
+    rows = []
+    series = {"none": {}, "xlock": {}, "escrow": {}}
+    for mpl in MPLS:
+        tput_none = run_no_view(mpl).throughput()
+        tput_x = run_with_view("xlock", mpl).throughput()
+        tput_e = run_with_view("escrow", mpl).throughput()
+        series["none"][mpl] = tput_none
+        series["xlock"][mpl] = tput_x
+        series["escrow"][mpl] = tput_e
+        rows.append([mpl, tput_none, tput_x, tput_e])
+    emit(
+        "r2_throughput",
+        ["MPL", "no view", "view+xlock", "view+escrow"],
+        rows,
+        "R2: throughput (commits/kilotick) vs multiprogramming level",
+    )
+    return series
+
+
+def test_r2_escrow_scales_xlock_flattens(benchmark):
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # escrow scales with MPL (at least 4x from MPL=1 to MPL=16)
+    assert series["escrow"][16] > 4 * series["escrow"][1]
+    # the X-locked view is far below escrow at high MPL
+    assert series["escrow"][16] > 3 * series["xlock"][16]
+    # escrow stays within a modest factor of the no-view upper bound
+    assert series["escrow"][16] > 0.4 * series["none"][16]
+    # at MPL=1 the strategies are close: no concurrency, no conflicts
+    assert series["xlock"][1] > 0.6 * series["escrow"][1]

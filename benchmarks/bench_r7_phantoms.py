@@ -1,0 +1,123 @@
+"""R7 (figure): key-range locking vs phantoms on the view B-tree.
+
+Serializable scanners repeatedly read the whole aggregate view while
+writers create *new groups* (new view keys — phantoms for the scan). Two
+configurations: key-range locking on (the engine's serializable mode) and
+off (plain key locks only). Each scanner reads the view twice in one
+transaction and counts rows; a difference between the two reads inside
+one transaction is a serializability violation.
+
+Expected shape: with key-range locks, violations = 0 and inserters wait
+behind scanners; without them, violations > 0 and nobody waits — the
+classic isolation/concurrency trade made visible.
+"""
+
+from repro.sim import Scheduler
+from repro.workload import BY_PRODUCT, SALES
+
+from harness import build_store, emit
+
+
+def run_config(serializable):
+    db, workload = build_store(
+        strategy="escrow",
+        n_products=200,
+        zipf_theta=0.0,
+        serializable=serializable,
+    )
+    def scanning_program():
+        def program():
+            yield ("scan", BY_PRODUCT)
+            yield ("think", 8)
+            yield ("scan", BY_PRODUCT)
+
+        return program
+
+    # Contention phase: concurrent writers + repeated-scan readers, for
+    # the wait/throughput numbers. The scheduler does not send results
+    # back into programs, so the phantom count itself is measured after
+    # the run with explicit paired scans through the database API.
+    scheduler = Scheduler(db)
+    for _ in range(4):
+        scheduler.add_session(workload.new_sale_program(items=1), txns=15)
+    for _ in range(2):
+        scheduler.add_session(scanning_program(), txns=10)
+    result = scheduler.run()
+    # Phantom accounting: replay the question at the engine level with a
+    # fresh pair of transactions under the same config.
+    phantom_runs = 0
+    observed_phantoms = 0
+    for round_no in range(10):
+        reader = db.begin()
+        try:
+            first = db.scan(reader, BY_PRODUCT)
+        except Exception:
+            db.abort(reader)
+            continue
+        writer = db.begin()
+        wrote = False
+        try:
+            db.insert(
+                writer,
+                SALES,
+                {
+                    "id": 100000 + round_no,
+                    "product": 1000 + round_no,  # a brand-new group
+                    "customer": 1,
+                    "amount": 1,
+                },
+            )
+            db.commit(writer)
+            wrote = True
+        except Exception:
+            db.abort(writer)
+        second = db.scan(reader, BY_PRODUCT)
+        db.commit(reader)
+        phantom_runs += 1
+        if len(second) != len(first):
+            observed_phantoms += 1
+        if not wrote:
+            # serializable config: the writer was correctly blocked
+            pass
+    return {
+        "sim_waits": result.lock_stats["waits"],
+        "throughput": result.throughput(),
+        "phantom_runs": phantom_runs,
+        "phantoms": observed_phantoms,
+    }
+
+
+def scenario():
+    outcomes = {
+        "key-range on": run_config(True),
+        "key-range off": run_config(False),
+    }
+    rows = [
+        [
+            label,
+            out["phantoms"],
+            out["phantom_runs"],
+            out["sim_waits"],
+            round(out["throughput"], 1),
+        ]
+        for label, out in outcomes.items()
+    ]
+    emit(
+        "r7_phantoms",
+        ["config", "phantoms observed", "probe rounds", "lock waits",
+         "writer tput/ktick"],
+        rows,
+        "R7: phantom protection via key-range locking on the view",
+    )
+    return outcomes
+
+
+def test_r7_keyrange_prevents_phantoms(benchmark):
+    outcomes = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert outcomes["key-range on"]["phantoms"] == 0
+    assert outcomes["key-range off"]["phantoms"] > 0
+    # protection has a price: the serializable config waits more
+    assert (
+        outcomes["key-range on"]["sim_waits"]
+        >= outcomes["key-range off"]["sim_waits"]
+    )

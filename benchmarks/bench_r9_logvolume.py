@@ -1,0 +1,108 @@
+"""R9 (table): log volume and maintenance cost per update transaction.
+
+The same 100-sale insert stream against four schemas: base table only,
+plus an aggregate view, plus a join view, plus both. Reported: log bytes
+per transaction, log records per transaction, and maintenance actions.
+
+Expected shape: each indexed view adds log volume proportional to its
+delta — the aggregate view adds one small logical record per statement,
+the join view adds full-row inserts into two view indexes plus the
+auto-created left-fk index entry, so it costs noticeably more per update
+than the aggregate view.
+"""
+
+from repro import Database, EngineConfig
+from repro.query import AggregateSpec
+from repro.workload import OrderEntryWorkload
+
+from harness import emit
+
+N_TXNS = 100
+
+
+def run_schema(with_agg, with_join):
+    db = Database(EngineConfig(aggregate_strategy="escrow"))
+    workload = OrderEntryWorkload(db, n_products=20, zipf_theta=0.8, seed=3)
+    db.create_table("sales", ("id", "product", "customer", "amount"), ("id",))
+    db.create_table("products", ("product", "name", "category"), ("product",))
+    txn = db.begin_system()
+    for p in range(20):
+        db.insert(txn, "products", {"product": p, "name": f"p{p}", "category": 0})
+    db.commit(txn)
+    workload.db = db
+    if with_agg:
+        db.create_aggregate_view(
+            "sales_by_product",
+            "sales",
+            group_by=("product",),
+            aggregates=[
+                AggregateSpec.count("n_sales"),
+                AggregateSpec.sum_of("revenue", "amount"),
+            ],
+        )
+    if with_join:
+        db.create_join_view(
+            "sales_named",
+            "sales",
+            "products",
+            on=[("product", "product")],
+            columns=("id", "product", "customer", "amount", "name"),
+        )
+    bytes_before = db.log.bytes_estimate
+    records_before = len(db.log)
+    for _ in range(N_TXNS):
+        txn = db.begin()
+        db.insert(txn, "sales", workload.next_sale_values())
+        db.commit(txn)
+    assert db.check_all_views() == []
+    return {
+        "bytes_per_txn": (db.log.bytes_estimate - bytes_before) / N_TXNS,
+        "records_per_txn": (len(db.log) - records_before) / N_TXNS,
+        "maintenances": db.stats.get("agg.escrow_applied")
+        + db.stats.get("join.row_inserted"),
+    }
+
+
+def scenario():
+    configs = [
+        ("base only", False, False),
+        ("+aggregate view", True, False),
+        ("+join view", False, True),
+        ("+both views", True, True),
+    ]
+    outcomes = {}
+    rows = []
+    for label, agg, join in configs:
+        out = run_schema(agg, join)
+        outcomes[label] = out
+        rows.append(
+            [
+                label,
+                round(out["bytes_per_txn"], 1),
+                round(out["records_per_txn"], 2),
+                out["maintenances"],
+            ]
+        )
+    emit(
+        "r9_logvolume",
+        ["schema", "log bytes/txn", "log records/txn", "view maintenances"],
+        rows,
+        f"R9: log volume per update transaction ({N_TXNS} single-insert txns)",
+    )
+    return outcomes
+
+
+def test_r9_views_cost_proportional_log_volume(benchmark):
+    outcomes = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    base = outcomes["base only"]["bytes_per_txn"]
+    agg = outcomes["+aggregate view"]["bytes_per_txn"]
+    join = outcomes["+join view"]["bytes_per_txn"]
+    both = outcomes["+both views"]["bytes_per_txn"]
+    assert base < agg < both
+    assert base < join
+    # the aggregate view's logical delta is cheaper than the join view's
+    # multi-index row inserts
+    assert (agg - base) < (join - base)
+    # costs compose roughly additively
+    assert both == benchmark.extra_info.setdefault("both", both)
+    assert abs((both - base) - ((agg - base) + (join - base))) < 0.25 * (both - base)

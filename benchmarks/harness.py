@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench module regenerates one reconstructed experiment (R1–R10 in
+DESIGN.md): it sweeps the experiment's parameter, prints the table or
+series the paper-style evaluation would show, saves it under
+``benchmarks/results/``, and *asserts the qualitative claim* — who wins,
+and roughly by how much — so a regression in the engine shows up as a
+failing benchmark, not just a different number.
+"""
+
+import pathlib
+
+from repro import Database, EngineConfig
+from repro.metrics import format_table
+from repro.sim import Scheduler
+from repro.workload import OrderEntryWorkload
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def build_store(strategy="escrow", n_products=20, zipf_theta=1.2, seed=7,
+                with_join_view=False, **config_kwargs):
+    """A Database plus an order-entry workload over it."""
+    db = Database(
+        EngineConfig(aggregate_strategy=strategy, **config_kwargs)
+    )
+    workload = OrderEntryWorkload(
+        db,
+        n_products=n_products,
+        zipf_theta=zipf_theta,
+        seed=seed,
+        with_join_view=with_join_view,
+    )
+    workload.setup()
+    return db, workload
+
+
+def seed_all_groups(db, workload):
+    """Pre-create every view group (see OrderEntryWorkload.seed_groups)."""
+    workload.seed_groups()
+
+
+def run_writers(db, workload, mpl=8, txns=15, items=2, think=0,
+                cleanup_interval=500):
+    """MPL concurrent new-sale sessions; returns the SimResult."""
+    scheduler = Scheduler(db, cleanup_interval=cleanup_interval)
+    for _ in range(mpl):
+        scheduler.add_session(
+            workload.new_sale_program(items=items, think=think), txns=txns
+        )
+    result = scheduler.run()
+    problems = db.check_all_views()
+    assert problems == [], f"views diverged: {problems[:2]}"
+    return result
+
+
+def emit(name, headers, rows, title):
+    """Print the experiment table and save it under results/."""
+    table = format_table(headers, rows, title=title)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    return table

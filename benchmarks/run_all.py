@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Regenerate the full R1–R15 evaluation and print every table.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` but prints the
+experiment tables directly (pytest captures them) and finishes with a
+one-screen summary. Tables are also written to ``benchmarks/results/``.
+
+Run:  python benchmarks/run_all.py
+"""
+
+import importlib
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+BENCHES = [
+    ("bench_r1_conflicts", "sweep"),
+    ("bench_r2_throughput", "sweep"),
+    ("bench_r3_aborts", "sweep"),
+    ("bench_r4_recovery", "scenario"),
+    ("bench_r5_ghosts", "scenario"),
+    ("bench_r6_deferred", "scenario"),
+    ("bench_r7_phantoms", "scenario"),
+    ("bench_r8_snapshot", "scenario"),
+    ("bench_r9_logvolume", "scenario"),
+    ("bench_r10_holdtime", "scenario"),
+    ("bench_r11_escalation", "scenario"),
+    ("bench_r12_minmax", "scenario"),
+    ("bench_r13_recovery_scaling", "scenario"),
+    ("bench_r14_join_aggregate", "scenario"),
+    ("bench_r15_response_time", "scenario"),
+]
+
+
+def main():
+    total_start = time.perf_counter()
+    timings = []
+    for module_name, entry in BENCHES:
+        module = importlib.import_module(module_name)
+        start = time.perf_counter()
+        getattr(module, entry)()
+        timings.append((module_name, time.perf_counter() - start))
+    print("\n" + "=" * 60)
+    print("evaluation complete — per-experiment wall time:")
+    for name, seconds in timings:
+        print(f"  {name:<32} {seconds:6.2f}s")
+    print(f"  {'total':<32} {time.perf_counter() - total_start:6.2f}s")
+    print("tables saved under benchmarks/results/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The motivating scenario: a live revenue dashboard over a hot store.
+
+Sixteen concurrent checkout transactions hammer a handful of hot products
+while a dashboard repeatedly reads the per-product revenue view. Run once
+with exclusive view-row locking (the pre-paper state of the art) and once
+with escrow locking (the paper's contribution), and compare:
+
+* throughput — writers serialize on the hot view row under X locks;
+* deadlocks — X-locked view maintenance creates lock cycles; escrow can't;
+* reader behaviour — snapshot readers never wait under either strategy.
+
+Run:  python examples/hot_dashboard.py
+"""
+
+from repro import Database, EngineConfig
+from repro.metrics import format_table
+from repro.sim import Scheduler
+from repro.workload import BY_PRODUCT, OrderEntryWorkload
+
+
+def run_store(strategy, writers=16, sales_per_writer=25, **_unused):
+    db = Database(EngineConfig(aggregate_strategy=strategy))
+    workload = OrderEntryWorkload(db, n_products=20, zipf_theta=1.2, seed=7)
+    workload.setup()
+    scheduler = Scheduler(db, cleanup_interval=500)
+    for _ in range(writers):
+        scheduler.add_session(
+            workload.new_sale_program(items=3), txns=sales_per_writer
+        )
+    # the dashboard: a snapshot reader polling the hottest products
+    scheduler.add_session(
+        workload.hot_reader_program(top_k=5), txns=40, isolation="snapshot"
+    )
+    result = scheduler.run()
+    assert db.check_all_views() == [], "view diverged from base tables!"
+    return db, result
+
+
+def main():
+    rows = []
+    for strategy in ("xlock", "escrow"):
+        db, result = run_store(strategy)
+        rows.append(
+            [
+                strategy,
+                result.committed,
+                result.ticks,
+                round(result.throughput(), 1),
+                result.lock_stats["waits"],
+                result.lock_stats["deadlocks"],
+                round(result.wait_time.mean(), 1),
+            ]
+        )
+        hottest = db.read_committed(BY_PRODUCT, (0,))
+        print(f"[{strategy}] hottest product row: {hottest}")
+    print()
+    print(
+        format_table(
+            ["strategy", "commits", "ticks", "tput/ktick", "waits", "deadlocks",
+             "mean wait"],
+            rows,
+            title="Hot-aggregate dashboard: exclusive vs escrow view locking",
+        )
+    )
+    xlock, escrow = rows[0], rows[1]
+    speedup = escrow[3] / xlock[3] if xlock[3] else float("inf")
+    print(f"\nescrow locking speedup at this contention level: {speedup:.1f}x")
+
+    # Where did the xlock run burn its time? The hot-spot report shows
+    # the lock waits concentrated on a handful of view rows.
+    from repro.core.inspect import render_hot_resources
+
+    db, _ = run_store("xlock", writers=8, sales_per_writer=10)
+    print("\n" + render_hot_resources(db, top_n=5))
+
+
+if __name__ == "__main__":
+    main()

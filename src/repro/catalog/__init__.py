@@ -1,0 +1,5 @@
+"""Schema objects: tables, the catalog registry."""
+
+from repro.catalog.schema import Catalog, TableSchema
+
+__all__ = ["Catalog", "TableSchema"]

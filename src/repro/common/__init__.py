@@ -1,0 +1,44 @@
+"""Shared primitives used by every subsystem.
+
+This package holds the small vocabulary of the engine: error types, the
+row/key model, a deterministic simulated clock, and random-distribution
+helpers for workload generation. Nothing here depends on any other
+``repro`` package.
+"""
+
+from repro.common.clock import LogicalClock
+from repro.common.errors import (
+    CatalogError,
+    DeadlockError,
+    EscrowViolationError,
+    LockTimeoutError,
+    ReproError,
+    SerializationError,
+    StorageError,
+    TransactionAborted,
+    TransactionStateError,
+    WalError,
+)
+from repro.common.keys import KeyBound, KeyRange, composite_key
+from repro.common.rng import DeterministicRng, ZipfGenerator
+from repro.common.rows import Row
+
+__all__ = [
+    "CatalogError",
+    "DeadlockError",
+    "DeterministicRng",
+    "EscrowViolationError",
+    "KeyBound",
+    "KeyRange",
+    "LockTimeoutError",
+    "LogicalClock",
+    "ReproError",
+    "Row",
+    "SerializationError",
+    "StorageError",
+    "TransactionAborted",
+    "TransactionStateError",
+    "WalError",
+    "ZipfGenerator",
+    "composite_key",
+]

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the engine.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers
+can catch engine failures without catching unrelated bugs. The hierarchy
+mirrors the subsystems: storage, WAL, locking, transactions, catalog.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad key, missing record...)."""
+
+
+class WalError(ReproError):
+    """The write-ahead log was used incorrectly or is corrupt."""
+
+
+class CatalogError(ReproError):
+    """A schema object is missing, duplicated, or ill-formed."""
+
+
+class TransactionStateError(ReproError):
+    """An operation was attempted in an illegal transaction state.
+
+    For example: writing through an already-committed transaction, or
+    committing twice.
+    """
+
+
+class TransactionAborted(ReproError):
+    """The transaction was aborted and must be rolled back by the caller.
+
+    Carries a ``reason`` string (e.g. ``"deadlock"``, ``"user"``,
+    ``"serialization"``) so harnesses can classify aborts.
+    """
+
+    def __init__(self, txn_id, reason="user"):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+    def __init__(self, txn_id, cycle=()):
+        super().__init__(txn_id, reason="deadlock")
+        self.cycle = tuple(cycle)
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock request waited longer than the configured timeout."""
+
+    def __init__(self, txn_id, resource=None):
+        super().__init__(txn_id, reason="lock timeout")
+        self.resource = resource
+
+
+class SerializationError(TransactionAborted):
+    """The transaction could not be serialized (e.g. write-write conflict
+    under snapshot isolation, or an escrow limit would be violated)."""
+
+    def __init__(self, txn_id, detail=""):
+        super().__init__(txn_id, reason=f"serialization failure {detail}".strip())
+        self.detail = detail
+
+
+class EscrowViolationError(SerializationError):
+    """An escrow update would take a counter outside its permitted bounds
+    under some serial order of the in-flight transactions."""
+
+    def __init__(self, txn_id, resource=None, detail=""):
+        super().__init__(txn_id, detail or "escrow bound violation")
+        self.resource = resource

@@ -1,0 +1,228 @@
+"""Key and key-range utilities for B-tree indexes.
+
+Index keys are tuples so that composite keys compare lexicographically with
+Python's native tuple ordering. :class:`KeyRange` models half-open,
+closed, and open intervals over keys, including unbounded ends; it is the
+vocabulary shared by index scans and key-range locking.
+"""
+
+import functools
+
+
+def composite_key(*parts):
+    """Build an index key from column values.
+
+    Keys are always tuples, even for single columns, so that composite and
+    simple keys flow through the same code paths.
+    """
+    return tuple(parts)
+
+
+@functools.total_ordering
+class _NegativeInfinity:
+    """Sorts before every key; used for unbounded lower ends."""
+
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, _NegativeInfinity)
+
+    def __lt__(self, other):
+        return not isinstance(other, _NegativeInfinity)
+
+    def __hash__(self):
+        return hash("-inf-key")
+
+    def __repr__(self):
+        return "-inf"
+
+
+@functools.total_ordering
+class _PositiveInfinity:
+    """Sorts after every key; used for unbounded upper ends."""
+
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, _PositiveInfinity)
+
+    def __lt__(self, other):
+        return False
+
+    def __gt__(self, other):
+        return not isinstance(other, _PositiveInfinity)
+
+    def __hash__(self):
+        return hash("+inf-key")
+
+    def __repr__(self):
+        return "+inf"
+
+
+NEG_INF = _NegativeInfinity()
+POS_INF = _PositiveInfinity()
+
+
+class KeyBound:
+    """One end of a key range: a key plus whether the end is inclusive."""
+
+    __slots__ = ("key", "inclusive")
+
+    def __init__(self, key, inclusive=True):
+        self.key = key
+        self.inclusive = inclusive
+
+    def __repr__(self):
+        flag = "incl" if self.inclusive else "excl"
+        return f"KeyBound({self.key!r}, {flag})"
+
+    def __eq__(self, other):
+        if not isinstance(other, KeyBound):
+            return NotImplemented
+        return self.key == other.key and self.inclusive == other.inclusive
+
+    def __hash__(self):
+        return hash((self.key, self.inclusive))
+
+    @classmethod
+    def unbounded_low(cls):
+        return cls(NEG_INF, inclusive=False)
+
+    @classmethod
+    def unbounded_high(cls):
+        return cls(POS_INF, inclusive=False)
+
+
+class KeyRange:
+    """An interval of index keys, possibly unbounded on either end.
+
+    >>> r = KeyRange.between((1,), (5,))
+    >>> r.contains((3,))
+    True
+    >>> r.contains((5,))
+    True
+    >>> KeyRange.between((1,), (5,), high_inclusive=False).contains((5,))
+    False
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low, high):
+        self.low = low
+        self.high = high
+
+    def __repr__(self):
+        lo = "[" if self.low.inclusive else "("
+        hi = "]" if self.high.inclusive else ")"
+        return f"KeyRange{lo}{self.low.key!r}, {self.high.key!r}{hi}"
+
+    def __eq__(self, other):
+        if not isinstance(other, KeyRange):
+            return NotImplemented
+        return self.low == other.low and self.high == other.high
+
+    def __hash__(self):
+        return hash((self.low, self.high))
+
+    @classmethod
+    def all(cls):
+        """The range covering every key."""
+        return cls(KeyBound.unbounded_low(), KeyBound.unbounded_high())
+
+    @classmethod
+    def between(cls, low_key, high_key, low_inclusive=True, high_inclusive=True):
+        return cls(
+            KeyBound(low_key, low_inclusive), KeyBound(high_key, high_inclusive)
+        )
+
+    @classmethod
+    def at_least(cls, low_key, inclusive=True):
+        return cls(KeyBound(low_key, inclusive), KeyBound.unbounded_high())
+
+    @classmethod
+    def at_most(cls, high_key, inclusive=True):
+        return cls(KeyBound.unbounded_low(), KeyBound(high_key, inclusive))
+
+    @classmethod
+    def exactly(cls, key):
+        return cls(KeyBound(key, True), KeyBound(key, True))
+
+    def contains(self, key):
+        """True if ``key`` falls inside this range."""
+        low, high = self.low, self.high
+        if low.key is not NEG_INF:
+            if key < low.key:
+                return False
+            if key == low.key and not low.inclusive:
+                return False
+        if high.key is not POS_INF:
+            if key > high.key:
+                return False
+            if key == high.key and not high.inclusive:
+                return False
+        return True
+
+    def overlaps(self, other):
+        """True if the two ranges share at least one point.
+
+        Works for ranges over any mutually comparable key space, with
+        unbounded ends handled via the infinity sentinels.
+        """
+        if self.is_empty() or other.is_empty():
+            return False
+        # self strictly below other?
+        if self._strictly_below(other) or other._strictly_below(self):
+            return False
+        return True
+
+    def _strictly_below(self, other):
+        hi, lo = self.high, other.low
+        if hi.key is POS_INF or lo.key is NEG_INF:
+            return False
+        if hi.key < lo.key:
+            return True
+        if hi.key == lo.key and not (hi.inclusive and lo.inclusive):
+            return True
+        return False
+
+    def is_empty(self):
+        """True if no key can satisfy the range."""
+        lo, hi = self.low, self.high
+        if lo.key is NEG_INF or hi.key is POS_INF:
+            return False
+        if lo.key > hi.key:
+            return True
+        if lo.key == hi.key and not (lo.inclusive and hi.inclusive):
+            return True
+        return False
+
+    def is_point(self):
+        """True if the range matches exactly one key."""
+        return (
+            self.low.key is not NEG_INF
+            and self.low.key == self.high.key
+            and self.low.inclusive
+            and self.high.inclusive
+        )
+
+    @classmethod
+    def prefix(cls, prefix_parts, arity):
+        """All composite keys of ``arity`` columns starting with
+        ``prefix_parts``.
+
+        Uses the infinity sentinels as trailing components, which compare
+        correctly against any concrete value:
+
+        >>> r = KeyRange.prefix((7,), 2)
+        >>> r.contains((7, "anything"))
+        True
+        >>> r.contains((8, "x"))
+        False
+        """
+        prefix_parts = tuple(prefix_parts)
+        pad = arity - len(prefix_parts)
+        if pad < 0:
+            raise ValueError("prefix longer than key arity")
+        low = prefix_parts + (NEG_INF,) * pad
+        high = prefix_parts + (POS_INF,) * pad
+        return cls.between(low, high)

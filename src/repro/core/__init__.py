@@ -1,0 +1,8 @@
+"""The engine facade."""
+
+from repro.core.cleanup import CleanupQueue, GhostCleaner
+from repro.core.config import EngineConfig
+from repro.core.database import Database
+from repro.core.session import Session
+
+__all__ = ["CleanupQueue", "Database", "EngineConfig", "GhostCleaner", "Session"]

@@ -1,0 +1,180 @@
+"""The ghost cleaner: asynchronous deferred deletion.
+
+Escrow locking forbids inline deletion of maybe-empty aggregate groups
+(the decrementing transaction cannot know whether a concurrent increment
+is in flight), and ghosting keeps deleted keys around as lockable fence
+posts. Somebody has to actually reclaim them: this module.
+
+Candidates arrive on a queue — enqueued when a commit folds a group's
+count to zero, or when a maintainer ghosts a view row. The cleaner drains
+the queue in short **system transactions** with a NOWAIT lock policy:
+
+* a candidate whose locks are contested is *requeued*, not waited on —
+  cleanup must never block user work;
+* a candidate that turned out to be live again (revived, or a concurrent
+  increment landed first) is dropped;
+* a confirmed-dead aggregate group is first ghosted (if still live with
+  zero counts) and then physically removed, along with its escrow
+  accounts.
+
+Each candidate is processed in its own system transaction, which commits
+independently of every user transaction — the multi-level transaction
+structure the paper requires (a user rollback never resurrects a cleaned
+ghost, and a cleaner crash never affects user work).
+"""
+
+from collections import deque
+
+from repro.common.errors import TransactionAborted
+from repro.locking.keyrange import locks_for_ghost_cleanup, locks_for_update
+from repro.views.definition import is_aggregate_kind
+from repro.wal.records import CleanupRecord, GhostRecord
+
+
+class CleanupQueue:
+    """Pending (index_name, key) candidates, deduplicated."""
+
+    def __init__(self):
+        self._queue = deque()
+        self._members = set()
+
+    def __len__(self):
+        return len(self._queue)
+
+    def enqueue(self, index_name, key):
+        item = (index_name, key)
+        if item not in self._members:
+            self._members.add(item)
+            self._queue.append(item)
+
+    def cancel(self, index_name, key):
+        """Drop a candidate (it was revived); lazily removed from the
+        deque on pop."""
+        self._members.discard((index_name, key))
+
+    def pop(self):
+        while self._queue:
+            item = self._queue.popleft()
+            if item in self._members:
+                self._members.discard(item)
+                return item
+        return None
+
+    def snapshot(self):
+        return [item for item in self._queue if item in self._members]
+
+
+class GhostCleaner:
+    """Drains the cleanup queue in NOWAIT system transactions."""
+
+    def __init__(self, db):
+        self._db = db
+        self.cleaned = 0
+        self.requeued = 0
+        self.skipped_live = 0
+
+    def run(self, limit=None):
+        """Process up to ``limit`` candidates (all, when ``None``).
+
+        Returns the number of keys physically removed.
+        """
+        db = self._db
+        removed = 0
+        budget = len(db.cleanup) if limit is None else limit
+        while budget > 0:
+            budget -= 1
+            item = db.cleanup.pop()
+            if item is None:
+                break
+            index_name, key = item
+            if self._clean_one(index_name, key):
+                removed += 1
+        return removed
+
+    def _clean_one(self, index_name, key):
+        db = self._db
+        index = db.index(index_name)
+        record = index.get_record(key, include_ghost=True)
+        if record is None:
+            return False  # already gone
+        txn = db.begin_system()
+        try:
+            if not record.is_ghost:
+                # A live candidate: only aggregate groups whose committed
+                # count is zero qualify; anything else was revived.
+                view = db.view_of_index(index_name)
+                if (
+                    view is None
+                    or not is_aggregate_kind(view)
+                    or index_name != view.name  # aux indexes have no counters
+                ):
+                    db.abort(txn)
+                    self.skipped_live += 1
+                    return False
+                db.acquire_plan(txn, locks_for_update(index, key))
+                record = index.get_record(key, include_ghost=True)
+                if record is None or record.is_ghost:
+                    db.abort(txn)
+                    return False
+                if record.current_row[view.count_column] != 0 or self._has_pending(
+                    db, index_name, key
+                ):
+                    db.abort(txn)
+                    self.skipped_live += 1
+                    return False
+                index.logical_delete(key)
+                db.log.append(
+                    GhostRecord(txn.txn_id, index_name, key, record.current_row)
+                )
+            # Physically remove the ghost: lock the key and the fence above
+            # it (removing a key merges two gaps).
+            db.acquire_plan(txn, locks_for_ghost_cleanup(index, key))
+            record = index.get_record(key, include_ghost=True)
+            if record is None or not record.is_ghost:
+                db.abort(txn)
+                return False
+            # Snapshot-horizon guard: an active snapshot older than the
+            # record's final version could still read an earlier, live
+            # version — physical removal would erase that history. Defer
+            # until every such snapshot has closed.
+            latest = record.latest_committed()
+            if latest is not None and db.snapshots.horizon() < latest.commit_ts:
+                db.abort(txn)
+                db.cleanup.enqueue(index_name, key)
+                self.requeued += 1
+                db.stats.incr("cleanup.deferred_for_snapshots")
+                return False
+            ghost_row = record.current_row
+            index.physical_delete(key)
+            db.log.append(CleanupRecord(txn.txn_id, index_name, key, ghost_row))
+            self._drop_escrow_accounts(db, index_name, key)
+            db.commit(txn)
+            self.cleaned += 1
+            db.stats.incr("cleanup.removed")
+            return True
+        except TransactionAborted:
+            # Lock contention (NOWAIT) — put it back for a later pass.
+            db.abort(txn)
+            db.cleanup.enqueue(index_name, key)
+            self.requeued += 1
+            db.stats.incr("cleanup.requeued")
+            return False
+
+    @staticmethod
+    def _has_pending(db, index_name, key):
+        view = db.view_of_index(index_name)
+        if view is None or not is_aggregate_kind(view) or index_name != view.name:
+            return False
+        for column in view.counter_columns():
+            account = db.escrow.existing((index_name, key, column))
+            if account is not None and account.has_pending():
+                return True
+        return False
+
+    @staticmethod
+    def _drop_escrow_accounts(db, index_name, key):
+        view = db.view_of_index(index_name)
+        if view is None or not is_aggregate_kind(view) or index_name != view.name:
+            return
+        for column in view.counter_columns():
+            db.escrow.drop((index_name, key, column))

@@ -1,0 +1,58 @@
+"""Engine configuration: the knobs the experiments turn."""
+
+from repro.common.errors import ReproError
+
+AGGREGATE_STRATEGIES = ("escrow", "xlock")
+MAINTENANCE_MODES = ("immediate", "commit_fold", "deferred")
+COUNTER_LOGGING = ("logical", "physical")
+
+
+class EngineConfig:
+    """Immutable-ish configuration bundle for a Database.
+
+    * ``aggregate_strategy`` — ``escrow`` (the paper) or ``xlock`` (the
+      baseline every comparison runs against).
+    * ``maintenance_mode`` — ``immediate`` / ``commit_fold`` / ``deferred``.
+    * ``counter_logging`` — ``logical`` (escrow delta records) or
+      ``physical`` (before/after images; exists to demonstrate why it is
+      wrong under escrow, experiment R4). Only meaningful with the xlock
+      strategy or in the R4 harness; the escrow strategy always logs
+      logically because physical logging of escrow rows is unsound.
+    * ``serializable`` — take key-range locks for phantom protection; off
+      means plain key locks (repeatable read).
+    * ``btree_order`` — fan-out of every index.
+    * ``escalation_threshold`` — escalate a transaction's key locks on one
+      index to a table lock past this count (``None`` disables, the
+      default; SQL Server uses ~5000).
+    """
+
+    def __init__(
+        self,
+        aggregate_strategy="escrow",
+        maintenance_mode="immediate",
+        counter_logging="logical",
+        serializable=True,
+        btree_order=32,
+        escalation_threshold=None,
+    ):
+        if aggregate_strategy not in AGGREGATE_STRATEGIES:
+            raise ReproError(f"unknown aggregate_strategy {aggregate_strategy!r}")
+        if maintenance_mode not in MAINTENANCE_MODES:
+            raise ReproError(f"unknown maintenance_mode {maintenance_mode!r}")
+        if counter_logging not in COUNTER_LOGGING:
+            raise ReproError(f"unknown counter_logging {counter_logging!r}")
+        self.aggregate_strategy = aggregate_strategy
+        self.maintenance_mode = maintenance_mode
+        self.counter_logging = counter_logging
+        self.serializable = serializable
+        self.btree_order = btree_order
+        if escalation_threshold is not None and escalation_threshold < 1:
+            raise ReproError("escalation_threshold must be >= 1 (or None)")
+        self.escalation_threshold = escalation_threshold
+
+    def __repr__(self):
+        return (
+            f"EngineConfig(strategy={self.aggregate_strategy}, "
+            f"mode={self.maintenance_mode}, logging={self.counter_logging}, "
+            f"serializable={self.serializable})"
+        )

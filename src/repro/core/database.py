@@ -1,0 +1,887 @@
+"""The engine facade: schema, transactions, DML, reads, recovery.
+
+:class:`Database` wires every subsystem together and is the public API a
+downstream user programs against::
+
+    db = Database()
+    db.create_table("sales", ("id", "product", "amount"), ("id",))
+    db.create_aggregate_view(
+        "sales_by_product", "sales", group_by=("product",),
+        aggregates=[AggregateSpec.count("n"), AggregateSpec.sum_of("total", "amount")],
+    )
+    txn = db.begin()
+    db.insert(txn, "sales", {"id": 1, "product": "ant", "amount": 30})
+    db.commit(txn)
+    db.read_committed("sales_by_product", ("ant",))   # Row(product='ant', n=1, total=30)
+
+Every statement follows the lock-first / mutate-second discipline (see
+:mod:`repro.views.actions`): the statement compiles into actions, all lock
+plans are acquired, then all mutations apply and log. Under the
+cooperative policy a lock wait aborts the statement run with
+:class:`~repro.txn.transaction.WouldWait` and the simulator re-runs it.
+"""
+
+from repro.catalog import Catalog, TableSchema
+from repro.common import LogicalClock, Row, StorageError
+from repro.common.keys import KeyRange
+from repro.locking import EscrowRegistry, LatchSet, LockManager, LockMode
+from repro.locking.keyrange import (
+    locks_for_logical_delete,
+    locks_for_insert,
+    locks_for_point_read,
+    locks_for_range_scan,
+    locks_for_update,
+    table_resource,
+)
+from repro.metrics import Counters
+from repro.storage import Index
+from repro.storage.records import VersionedRecord
+from repro.txn import LockPolicy, SnapshotRegistry, TransactionManager
+from repro.views.actions import Action, run_actions
+from repro.views.definition import (
+    AggregateView,
+    JoinAggregateView,
+    JoinView,
+    ProjectionView,
+    is_aggregate_kind,
+)
+from repro.views.deferred import DeferredMaintainer
+from repro.views.delta import TxnViewDeltas
+from repro.views.join import leftfk_index_name, secondary_index_name
+from repro.views.maintenance import MaintenanceEngine
+from repro.core.cleanup import CleanupQueue, GhostCleaner
+from repro.core.secondary import SecondaryIndexManager
+from repro.core.config import EngineConfig
+from repro.query.executor import (
+    recompute_aggregate_view,
+    recompute_join_aggregate_view,
+    recompute_join_view,
+    recompute_projection_view,
+)
+from repro.wal import CheckpointRecord, LogManager, recover
+from repro.wal.records import GhostRecord, InsertRecord, UpdateRecord
+from repro.wal.recovery import RecoveryTarget
+
+
+class Database(RecoveryTarget):
+    """An in-memory transactional engine with indexed views."""
+
+    def __init__(self, config=None):
+        self.config = config or EngineConfig()
+        self.clock = LogicalClock()
+        self.log = LogManager()
+        self.locks = LockManager()
+        self.latches = LatchSet()
+        self.escrow = EscrowRegistry()
+        self.snapshots = SnapshotRegistry(self.clock)
+        self.catalog = Catalog()
+        self.stats = Counters()
+        self.cleanup = CleanupQueue()
+        self.cleaner = GhostCleaner(self)
+        self.deferred = DeferredMaintainer(self.clock)
+        self.maintenance = MaintenanceEngine(
+            self.catalog,
+            aggregate_strategy=self.config.aggregate_strategy,
+            deferred=self.deferred,
+        )
+        self._txns = TransactionManager(
+            self.clock, self.log, self.locks, self.escrow, self.snapshots,
+            undo_target=self,
+        )
+        self._txns.commit_listener = self._on_commit
+        self._indexes = {}
+        self._index_views = {}  # index name -> owning view definition
+        self.secondary = SecondaryIndexManager(self)
+        from repro.locking.escalation import EscalationPolicy
+
+        self.escalation = EscalationPolicy(self.config.escalation_threshold)
+
+    # ==================================================================
+    # schema
+    # ==================================================================
+
+    def create_table(self, name, columns, primary_key):
+        """Register a table and build its primary-key index."""
+        schema = self.catalog.add_table(TableSchema(name, columns, primary_key))
+        self._indexes[name] = Index(
+            name,
+            schema.primary_key,
+            order=self.config.btree_order,
+            latch_set=self.latches,
+        )
+        return schema
+
+    def create_aggregate_view(self, name, base, group_by, aggregates,
+                              where=None, bounds=None):
+        view = AggregateView(name, base, group_by, aggregates, where, bounds)
+        return self.create_view(view)
+
+    def create_join_view(self, name, left, right, on, columns, where=None):
+        view = JoinView(
+            name,
+            left,
+            right,
+            on,
+            left_pk=self.catalog.table(left).primary_key,
+            right_pk=self.catalog.table(right).primary_key,
+            columns=columns,
+            where=where,
+        )
+        return self.create_view(view)
+
+    def create_projection_view(self, name, base, columns, where=None):
+        view = ProjectionView(
+            name, base, self.catalog.table(base).primary_key, columns, where
+        )
+        return self.create_view(view)
+
+    def create_join_aggregate_view(self, name, left, right, on, group_by,
+                                   aggregates, where=None, bounds=None):
+        view = JoinAggregateView(
+            name,
+            left,
+            right,
+            on,
+            left_pk=self.catalog.table(left).primary_key,
+            right_pk=self.catalog.table(right).primary_key,
+            group_by=group_by,
+            aggregates=aggregates,
+            where=where,
+            bounds=bounds,
+        )
+        return self.create_view(view)
+
+    def create_secondary_index(self, table, name, columns, unique=False):
+        """Create a secondary index on a base table; ``unique=True``
+        enforces the constraint (see :mod:`repro.core.secondary`)."""
+        return self.secondary.create(table, name, columns, unique=unique)
+
+    def lookup(self, txn, table, index_name, values):
+        """Fetch base rows via a secondary index probe."""
+        txn.require_active()
+        return self.secondary.lookup(txn, table, index_name, values)
+
+    def create_view(self, view):
+        """Register ``view``, build its index(es), and materialize it over
+        any existing base data. DDL is not logged: recovery re-creates the
+        schema from the catalog, then replays the data log."""
+        self.catalog.add_view(view)
+        order = self.config.btree_order
+        self._indexes[view.name] = Index(
+            view.name, view.key_columns, order=order, latch_set=self.latches
+        )
+        self._index_views[view.name] = view
+        if view.kind == "join":
+            sec = secondary_index_name(view.name)
+            sec_key = tuple(view.right_pk) + tuple(
+                c for c in view.left_pk if c not in view.right_pk
+            )
+            self._indexes[sec] = Index(
+                sec, sec_key, order=order, latch_set=self.latches
+            )
+            self._index_views[sec] = view
+        if view.kind in ("join", "join_aggregate"):
+            fk = leftfk_index_name(view.name)
+            fk_key = tuple(lc for lc, _ in view.on) + tuple(view.left_pk)
+            self._indexes[fk] = Index(
+                fk, fk_key, order=order, latch_set=self.latches
+            )
+            self._index_views[fk] = view
+        self._materialize(view)
+        return view
+
+    def _materialize(self, view):
+        """Fill a freshly created view from current base contents.
+
+        Aggregate-shaped and projection views use the bottom-up bulk
+        index build; join views insert per row because two indexes must
+        stay aligned.
+        """
+        ts = self.clock.now()
+        if view.kind == "aggregate":
+            base_rows = list(self._indexes[view.base].rows())
+            expected = recompute_aggregate_view(base_rows, view)
+            self._indexes[view.name].bulk_load(expected.items(), stamp_ts=ts)
+        elif view.kind == "projection":
+            base_rows = list(self._indexes[view.base].rows())
+            expected = recompute_projection_view(base_rows, view)
+            self._indexes[view.name].bulk_load(expected.items(), stamp_ts=ts)
+        elif view.kind == "join_aggregate":
+            left_rows = list(self._indexes[view.left].rows())
+            right_rows = list(self._indexes[view.right].rows())
+            expected = recompute_join_aggregate_view(left_rows, right_rows, view)
+            self._indexes[view.name].bulk_load(expected.items(), stamp_ts=ts)
+            self._materialize_leftfk(view, left_rows, ts)
+        else:  # join
+            left_rows = list(self._indexes[view.left].rows())
+            right_rows = list(self._indexes[view.right].rows())
+            maintainer = self.maintenance.join
+            for vkey, row in recompute_join_view(left_rows, right_rows, view).items():
+                self._bulk_insert(view.name, vkey, row, ts)
+                skey = maintainer._secondary_key(self, view, row)
+                self._bulk_insert(secondary_index_name(view.name), skey, row, ts)
+            self._materialize_leftfk(view, left_rows, ts)
+
+    def _materialize_leftfk(self, view, left_rows, ts):
+        fk_name = leftfk_index_name(view.name)
+        fk_index = self._indexes[fk_name]
+        for left_row in left_rows:
+            key = view.left_fk_of(left_row) + self.table_key(view.left, left_row)
+            ref = left_row.project(fk_index.key_columns)
+            self._bulk_insert(fk_name, key, ref, ts)
+
+    def _bulk_insert(self, index_name, key, row, ts):
+        record = self._indexes[index_name].insert(key, row)
+        record.stamp_version(ts)
+        return record
+
+    # ==================================================================
+    # lookups other layers use
+    # ==================================================================
+
+    def index(self, name):
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise StorageError(f"no index named {name!r}") from None
+
+    def index_names(self):
+        return sorted(self._indexes)
+
+    def table_key(self, table, row):
+        return self.catalog.table(table).key_of(row)
+
+    def table_pk(self, table):
+        return self.catalog.table(table).primary_key
+
+    def view_of_index(self, index_name):
+        return self._index_views.get(index_name)
+
+    def acquire_plan(self, txn, plan):
+        """Acquire a key-lock plan through the multi-granularity /
+        escalation policy (intention locks injected, escalation applied
+        past the configured threshold)."""
+        self.escalation.acquire_plan(txn, plan)
+
+    # ==================================================================
+    # transactions
+    # ==================================================================
+
+    def begin(self, policy=LockPolicy.NOWAIT, isolation="serializable"):
+        return self._txns.begin(policy=policy, isolation=isolation)
+
+    def session(self, isolation="serializable"):
+        """A connection-like wrapper with an implicit current transaction
+        and autocommit statements (see :mod:`repro.core.session`)."""
+        from repro.core.session import Session
+
+        return Session(self, isolation=isolation)
+
+    def begin_system(self):
+        return self._txns.begin_system()
+
+    def commit(self, txn):
+        """Apply any commit-folded view deltas, then commit."""
+        txn.require_active()
+        self._apply_commit_folds(txn)
+        return self._txns.commit(txn)
+
+    def abort(self, txn, reason="user"):
+        self._txns.abort(txn, reason)
+        TxnViewDeltas.clear(txn)
+
+    def savepoint(self, txn):
+        """Mark the current point in ``txn`` for partial rollback."""
+        return self._txns.savepoint(txn)
+
+    def rollback_to(self, txn, savepoint):
+        """Undo everything ``txn`` did after ``savepoint``; the
+        transaction stays active with its locks retained."""
+        self._txns.rollback_to(txn, savepoint)
+
+    def transaction(self, policy=LockPolicy.NOWAIT, isolation="serializable"):
+        """Context manager: commit on clean exit, abort on exception.
+
+        >>> db = Database(); _ = db.create_table("t", ("a",), ("a",))
+        >>> with db.transaction() as txn:
+        ...     db.insert(txn, "t", {"a": 1})
+        (1,)
+        >>> db.read_committed("t", (1,))
+        Row(a=1)
+        """
+        return _TransactionContext(self, policy, isolation)
+
+    @property
+    def committed_count(self):
+        return self._txns.committed_count
+
+    @property
+    def aborted_count(self):
+        return self._txns.aborted_count
+
+    def active_transactions(self):
+        return self._txns.active_transactions()
+
+    def _apply_commit_folds(self, txn):
+        """commit_fold mode: apply the transaction's accumulated aggregate
+        deltas now, one group at a time. Idempotent across WouldWait
+        re-runs: applied groups are remembered in the txn's scratch."""
+        nets = txn.scratch.get(TxnViewDeltas.SCRATCH_KEY)
+        if not nets:
+            return
+        applied = txn.scratch.setdefault("folds_applied", set())
+        maintainer = self.maintenance.aggregate
+        for view_name in sorted(nets):
+            view = self.catalog.view(view_name)
+            for group_key, deltas in nets[view_name].items():
+                tag = (view_name, group_key)
+                if tag in applied:
+                    continue
+                action = maintainer.compile_group_delta(
+                    self, txn, view, group_key, deltas
+                )
+                self.acquire_plan(txn, action.lock_plan)
+                action.apply(self, txn)
+                applied.add(tag)
+
+    def _on_commit(self, txn, commit_ts):
+        """Commit listener: fold escrow deltas into rows, stamp versions,
+        queue newly empty groups for cleanup."""
+        records_to_stamp = list(txn.touched_records)
+        for resource in sorted(txn.escrow_touched, key=repr):
+            account = txn.escrow_touched[resource]
+            index_name, key, column = resource
+            new_value = account.commit(txn.txn_id)
+            index = self._indexes.get(index_name)
+            if index is None:
+                continue
+            record = index.get_record(key, include_ghost=True)
+            if record is None:
+                continue
+            record.current_row = record.current_row.replace(**{column: new_value})
+            records_to_stamp.append(record)
+            view = self.view_of_index(index_name)
+            if (
+                view is not None
+                and is_aggregate_kind(view)
+                and column == view.count_column
+                and new_value == 0
+                and not record.is_ghost
+            ):
+                self.cleanup.enqueue(index_name, key)
+                self.stats.incr("agg.group_emptied_at_commit")
+        stamped = set()
+        for record in records_to_stamp:
+            if id(record) in stamped:
+                continue
+            stamped.add(id(record))
+            record.stamp_version(commit_ts)
+
+    # ==================================================================
+    # DML
+    # ==================================================================
+
+    def insert(self, txn, table, values):
+        """Insert one row, maintaining every view on ``table``."""
+        txn.require_active()
+        schema = self.catalog.table(table)
+        row = values if isinstance(values, Row) else Row(values)
+        schema.validate_row(row)
+        key = schema.key_of(row)
+        txn.acquire(table_resource(table), LockMode.IX)
+        index = self._indexes[table]
+        base_plan = locks_for_insert(index, key, self.config.serializable)
+        # Duplicate check happens in apply (under the key's X lock), but a
+        # pre-check gives a cleaner error without burning a lock wait.
+        existing = index.get_record(key)
+        if existing is not None:
+            raise StorageError(f"duplicate primary key {key!r} in {table!r}")
+
+        def apply_base(d, t):
+            current = index.get_record(key, include_ghost=True)
+            if current is not None and not current.is_ghost:
+                raise StorageError(f"duplicate primary key {key!r} in {table!r}")
+            if current is not None:
+                ghost_row = current.current_row
+                index.insert(key, row)
+                from repro.wal.records import ReviveRecord
+
+                d.log.append(ReviveRecord(t.txn_id, table, key, row, ghost_row))
+                d.cleanup.cancel(table, key)
+                t.touch_record(current)
+            else:
+                record = index.insert(key, row)
+                d.log.append(InsertRecord(t.txn_id, table, key, row))
+                t.touch_record(record)
+            t.stats.writes += 1
+            d.stats.incr("dml.insert")
+
+        base_action = Action(f"base-insert {table}{key!r}", base_plan, apply_base)
+        view_actions = self.maintenance.compile(self, txn, table, "insert", after=row)
+        index_actions = self.secondary.compile(table, "insert", None, row)
+        run_actions(self, txn, [base_action] + index_actions + view_actions)
+        return key
+
+    def delete(self, txn, table, key):
+        """Delete (ghost) the row at ``key``, maintaining views."""
+        txn.require_active()
+        key = tuple(key)
+        txn.acquire(table_resource(table), LockMode.IX)
+        index = self._indexes[table]
+        # Lock before reading the before-image (compile-phase acquire).
+        self.acquire_plan(txn, locks_for_logical_delete(index, key))
+        before = index.get_row(key)
+        if before is None:
+            raise StorageError(f"no row with key {key!r} in {table!r}")
+
+        def apply_base(d, t):
+            record = index.get_record(key)
+            index.logical_delete(key)
+            d.log.append(GhostRecord(t.txn_id, table, key, record.current_row))
+            t.touch_record(record)
+            d.cleanup.enqueue(table, key)
+            t.stats.writes += 1
+            d.stats.incr("dml.delete")
+
+        base_action = Action(f"base-delete {table}{key!r}", [], apply_base)
+        view_actions = self.maintenance.compile(
+            self, txn, table, "delete", before=before
+        )
+        index_actions = self.secondary.compile(table, "delete", before, None)
+        run_actions(self, txn, [base_action] + index_actions + view_actions)
+        return before
+
+    def update(self, txn, table, key, changes):
+        """Update non-key columns of the row at ``key``."""
+        txn.require_active()
+        key = tuple(key)
+        schema = self.catalog.table(table)
+        bad = [c for c in changes if c in schema.primary_key]
+        if bad:
+            raise StorageError(
+                f"primary-key columns {bad!r} are immutable; delete+insert instead"
+            )
+        unknown = [c for c in changes if c not in schema.columns]
+        if unknown:
+            raise StorageError(f"unknown columns {unknown!r} for table {table!r}")
+        txn.acquire(table_resource(table), LockMode.IX)
+        index = self._indexes[table]
+        self.acquire_plan(txn, locks_for_update(index, key))
+        before = index.get_row(key)
+        if before is None:
+            raise StorageError(f"no row with key {key!r} in {table!r}")
+        after = before.replace(**changes)
+        if after == before:
+            return after
+
+        def apply_base(d, t):
+            record = index.get_record(key)
+            d.log.append(UpdateRecord(t.txn_id, table, key, record.current_row, after))
+            record.current_row = after
+            t.touch_record(record)
+            t.stats.writes += 1
+            d.stats.incr("dml.update")
+
+        base_action = Action(f"base-update {table}{key!r}", [], apply_base)
+        view_actions = self.maintenance.compile(
+            self, txn, table, "update", before=before, after=after
+        )
+        index_actions = self.secondary.compile(table, "update", before, after)
+        run_actions(self, txn, [base_action] + index_actions + view_actions)
+        return after
+
+    # ==================================================================
+    # reads
+    # ==================================================================
+
+    def _visible(self, name, row):
+        """Zero-count aggregate groups are logically deleted even before
+        the ghost cleaner physically removes them."""
+        if row is None:
+            return None
+        view = self.view_of_index(name)
+        if (
+            view is not None
+            and is_aggregate_kind(view)
+            and name == view.name
+            and row[view.count_column] == 0
+        ):
+            return None
+        return row
+
+    def read(self, txn, name, key, for_update=False):
+        """Point read of a table or view row.
+
+        Serializable transactions take an S (or U) key lock — which waits
+        behind in-flight escrow writers. Snapshot transactions read the
+        version chain at their read timestamp, lock-free.
+        """
+        txn.require_active()
+        key = tuple(key)
+        index = self.index(name)
+        if txn.isolation in ("snapshot", "read_committed"):
+            # snapshot: frozen at the transaction's start timestamp.
+            # read_committed: latest committed state per statement —
+            # never blocks, admits non-repeatable reads.
+            as_of = txn.read_ts if txn.isolation == "snapshot" else self.clock.now()
+            record = index.get_record(key, include_ghost=True)
+            txn.stats.reads += 1
+            row = record.read_as_of(as_of) if record is not None else None
+            return self._visible(name, row)
+        mode = LockMode.U if for_update else LockMode.S
+        self.acquire_plan(txn, locks_for_point_read(index, key, mode))
+        txn.stats.reads += 1
+        return self._visible(name, index.get_row(key))
+
+    def read_exact(self, txn, name, key):
+        """Read a view row including the transaction's *own* pending
+        escrow deltas. Requires excluding other escrow holders, so the S
+        request converts any E the reader holds into X (E ∨ S = X)."""
+        txn.require_active()
+        key = tuple(key)
+        index = self.index(name)
+        self.acquire_plan(txn, locks_for_point_read(index, key))
+        txn.stats.reads += 1
+        row = index.get_row(key)
+        if row is None:
+            return None
+        view = self.view_of_index(name)
+        if view is not None and is_aggregate_kind(view) and name == view.name:
+            changes = {}
+            for column in view.counter_columns():
+                account = self.escrow.existing((name, key, column))
+                if account is not None:
+                    changes[column] = account.read_exact(txn.txn_id)
+            if changes:
+                row = row.replace(**changes)
+        return row
+
+    def scan(self, txn, name, key_range=None):
+        """Range scan of a table or view, in key order.
+
+        Serializable transactions take key-range locks on every key in
+        range plus the fence above it (no phantoms); snapshot transactions
+        read versions lock-free.
+        """
+        txn.require_active()
+        index = self.index(name)
+        if key_range is None:
+            key_range = KeyRange.all()
+        if txn.isolation in ("snapshot", "read_committed"):
+            as_of = txn.read_ts if txn.isolation == "snapshot" else self.clock.now()
+            rows = []
+            for _, record in index.scan(key_range, include_ghosts=True):
+                row = self._visible(name, record.read_as_of(as_of))
+                if row is not None:
+                    rows.append(row)
+            txn.stats.reads += len(rows)
+            return rows
+        plan = locks_for_range_scan(
+            index, key_range, serializable=self.config.serializable
+        )
+        self.acquire_plan(txn, plan)
+        rows = [
+            row for row in index.rows(key_range)
+            if self._visible(name, row) is not None
+        ]
+        txn.stats.reads += len(rows)
+        return rows
+
+    def read_committed(self, name, key):
+        """Latest committed row outside any transaction (convenience for
+        tests and examples; equivalent to a fresh snapshot read)."""
+        record = self.index(name).get_record(tuple(key), include_ghost=True)
+        if record is None:
+            return None
+        return self._visible(name, record.read_as_of(self.clock.now()))
+
+    # ==================================================================
+    # maintenance utilities
+    # ==================================================================
+
+    def run_ghost_cleanup(self, limit=None):
+        """Run the ghost cleaner; returns keys physically removed."""
+        return self.cleaner.run(limit)
+
+    def refresh_view(self, view_name, limit=None):
+        """Apply pending deferred maintenance for one view."""
+        return self.deferred.refresh(self, view_name, limit)
+
+    def refresh_all_views(self):
+        return self.deferred.refresh_all(self)
+
+    def prune_versions(self):
+        """Drop row versions no active snapshot can see; returns count."""
+        horizon = self.snapshots.horizon()
+        dropped = 0
+        for index in self._indexes.values():
+            for _, record in index.scan(include_ghosts=True):
+                dropped += record.prune_versions(horizon)
+        return dropped
+
+    def check_view_consistency(self, view_name):
+        """Recompute ``view_name`` from its base tables and diff against
+        the maintained contents. Returns a list of discrepancy strings
+        (empty = consistent). Only meaningful at quiescence (no active
+        transactions)."""
+        view = self.catalog.view(view_name)
+        index = self._indexes[view.name]
+        actual = {key: record.current_row for key, record in index.scan()}
+        if view.kind == "aggregate":
+            base_rows = list(self._indexes[view.base].rows())
+            expected = recompute_aggregate_view(base_rows, view)
+        elif view.kind == "projection":
+            base_rows = list(self._indexes[view.base].rows())
+            expected = recompute_projection_view(base_rows, view)
+        elif view.kind == "join_aggregate":
+            expected = recompute_join_aggregate_view(
+                list(self._indexes[view.left].rows()),
+                list(self._indexes[view.right].rows()),
+                view,
+            )
+        else:
+            expected = recompute_join_view(
+                list(self._indexes[view.left].rows()),
+                list(self._indexes[view.right].rows()),
+                view,
+            )
+        problems = []
+        if is_aggregate_kind(view):
+            # Maintained views may legitimately hold zero-count groups not
+            # yet cleaned; treat them as absent.
+            actual = {
+                k: r for k, r in actual.items() if r[view.count_column] != 0
+            }
+        for key in sorted(set(expected) | set(actual), key=repr):
+            exp, act = expected.get(key), actual.get(key)
+            if exp != act:
+                problems.append(f"{view_name}{key!r}: expected {exp!r}, got {act!r}")
+        return problems
+
+    def check_all_views(self):
+        problems = []
+        for view in self.catalog.views():
+            problems.extend(self.check_view_consistency(view.name))
+        return problems
+
+    # ==================================================================
+    # checkpoints, crash, recovery
+    # ==================================================================
+
+    def take_checkpoint(self):
+        """Write a sharp checkpoint: a full snapshot of every index with
+        pending escrow deltas folded in (loser undo subtracts them back),
+        plus the active transaction table. Flushes the log."""
+        snapshot = {}
+        for name, index in self._indexes.items():
+            entries = []
+            view = self.view_of_index(name)
+            counter_cols = (
+                view.counter_columns()
+                if view is not None and is_aggregate_kind(view) and name == view.name
+                else ()
+            )
+            for key, record in index.scan(include_ghosts=True):
+                row = record.current_row
+                for column in counter_cols:
+                    account = self.escrow.existing((name, key, column))
+                    if account is not None:
+                        row = row.replace(**{column: account.read_inclusive()})
+                entries.append([list(key), row.as_dict(), record.is_ghost])
+            snapshot[name] = entries
+        record = CheckpointRecord(self._txns.active_txn_table(), snapshot)
+        self.log.append(record)
+        self.log.flush()
+        self.stats.incr("checkpoint.taken")
+        return record
+
+    def simulate_crash_and_recover(self):
+        """Lose all volatile state, then rebuild from the durable log.
+
+        Returns the :class:`~repro.wal.recovery.RecoveryReport`.
+        """
+        self.log.crash()
+        return self._rebuild_from_log()
+
+    def dump_wal(self, path):
+        """Persist the flushed log prefix as JSON lines (durability across
+        process restarts; pair with :meth:`load_wal_and_recover`)."""
+        self.log.flush()
+        self.log.dump(path)
+
+    def load_wal_and_recover(self, path):
+        """Replace the log with a previously dumped one and rebuild all
+        state from it.
+
+        DDL is not logged (see :meth:`create_view`), so the receiving
+        database must already have the same tables and views registered —
+        the usual pattern is: build the schema, then restore.
+        """
+        self.log = LogManager.load(path)
+        return self._rebuild_from_log()
+
+    def _rebuild_from_log(self):
+        max_txn = 0
+        max_commit_ts = 0
+        for record in self.log.records():
+            if record.txn_id is not None:
+                max_txn = max(max_txn, record.txn_id)
+            commit_ts = getattr(record, "commit_ts", None)
+            if commit_ts is not None:
+                max_commit_ts = max(max_commit_ts, commit_ts)
+        self.clock.advance_to(max_commit_ts)
+        self._reset_volatile()
+        self._txns._next_txn_id = max(self._txns._next_txn_id, max_txn + 1)
+        checkpoint = self.log.latest_checkpoint()
+        if checkpoint is not None and checkpoint.snapshot is not None:
+            self._load_snapshot(checkpoint.snapshot)
+        report = recover(self.log, self)
+        self._post_recovery()
+        self.stats.incr("recovery.runs")
+        return report
+
+    def _reset_volatile(self):
+        next_txn_id = self._txns._next_txn_id
+        self.locks = LockManager()
+        self.latches = LatchSet()
+        self.escrow = EscrowRegistry()
+        self.snapshots = SnapshotRegistry(self.clock)
+        self.cleanup = CleanupQueue()
+        self.cleaner = GhostCleaner(self)
+        self._txns = TransactionManager(
+            self.clock, self.log, self.locks, self.escrow, self.snapshots,
+            undo_target=self,
+        )
+        self._txns._next_txn_id = next_txn_id
+        self._txns.commit_listener = self._on_commit
+        for name, index in list(self._indexes.items()):
+            self._indexes[name] = Index(
+                name,
+                index.key_columns,
+                order=self.config.btree_order,
+                latch_set=self.latches,
+            )
+
+    def _load_snapshot(self, snapshot):
+        for name, entries in snapshot.items():
+            index = self._indexes.get(name)
+            if index is None:
+                continue
+            for key_list, row_dict, is_ghost in entries:
+                record = VersionedRecord(tuple(key_list), Row(row_dict), is_ghost)
+                index.physical_insert(record)
+
+    def _post_recovery(self):
+        """Stamp baseline versions and rebuild the cleanup work list."""
+        ts = self.clock.tick()
+        for name, index in self._indexes.items():
+            view = self.view_of_index(name)
+            is_agg = (
+                view is not None
+                and is_aggregate_kind(view)
+                and name == view.name  # aux indexes carry no counters
+            )
+            for key, record in index.scan(include_ghosts=True):
+                record.stamp_version(ts)
+                if record.is_ghost:
+                    self.cleanup.enqueue(name, key)
+                elif is_agg and record.current_row[view.count_column] == 0:
+                    self.cleanup.enqueue(name, key)
+
+    # ==================================================================
+    # RecoveryTarget implementation (also used by online rollback)
+    # ==================================================================
+
+    def recovery_insert(self, index_name, key, row, is_ghost=False):
+        index = self._indexes.get(index_name)
+        if index is None:
+            return
+        record = VersionedRecord(tuple(key), row, is_ghost)
+        index.physical_insert(record)
+        if is_ghost:
+            self.cleanup.enqueue(index_name, tuple(key))
+
+    def recovery_delete(self, index_name, key):
+        index = self._indexes.get(index_name)
+        if index is None:
+            return
+        if index.get_record(tuple(key), include_ghost=True) is not None:
+            index.physical_delete(tuple(key))
+
+    def recovery_update(self, index_name, key, row):
+        index = self._indexes.get(index_name)
+        if index is None:
+            return
+        record = index.get_record(tuple(key), include_ghost=True)
+        if record is None:
+            record = VersionedRecord(tuple(key), row)
+            index.physical_insert(record)
+        else:
+            record.current_row = row
+
+    def recovery_set_ghost(self, index_name, key, ghost):
+        index = self._indexes.get(index_name)
+        if index is None:
+            return
+        record = index.get_record(tuple(key), include_ghost=True)
+        if record is None:
+            return
+        if ghost:
+            if not record.is_ghost:
+                index.logical_delete(tuple(key))
+            self.cleanup.enqueue(index_name, tuple(key))
+        elif record.is_ghost:
+            index.insert(tuple(key), record.current_row)
+            self.cleanup.cancel(index_name, tuple(key))
+
+    def recovery_revive(self, index_name, key, row):
+        index = self._indexes.get(index_name)
+        if index is None:
+            return
+        record = index.get_record(tuple(key), include_ghost=True)
+        if record is None:
+            index.physical_insert(VersionedRecord(tuple(key), row))
+        elif record.is_ghost:
+            index.insert(tuple(key), row)
+        else:
+            record.current_row = row
+        self.cleanup.cancel(index_name, tuple(key))
+
+    def recovery_escrow_apply(self, index_name, key, deltas):
+        index = self._indexes.get(index_name)
+        if index is None:
+            return
+        record = index.get_record(tuple(key), include_ghost=True)
+        if record is None:
+            return
+        row = record.current_row
+        changes = {c: row[c] + d for c, d in deltas.items()}
+        record.current_row = row.replace(**changes)
+
+
+class _TransactionContext:
+    """``with db.transaction() as txn`` — commit or abort automatically."""
+
+    __slots__ = ("_db", "_policy", "_isolation", "_txn")
+
+    def __init__(self, db, policy, isolation):
+        self._db = db
+        self._policy = policy
+        self._isolation = isolation
+        self._txn = None
+
+    def __enter__(self):
+        self._txn = self._db.begin(policy=self._policy, isolation=self._isolation)
+        return self._txn
+
+    def __exit__(self, exc_type, exc, tb):
+        from repro.txn.transaction import TxnState
+
+        if self._txn.state is not TxnState.ACTIVE:
+            # already resolved (e.g. aborted as a deadlock victim)
+            return False
+        if exc_type is None:
+            self._db.commit(self._txn)
+        else:
+            self._db.abort(self._txn)
+        return False

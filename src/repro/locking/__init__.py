@@ -1,0 +1,44 @@
+"""Concurrency control: lock modes, manager, key-range planning, escrow.
+
+The escrow (E) lock mode and the :class:`EscrowAccount` delta accounting
+are the paper's central mechanism: they let concurrent transactions update
+the same aggregate-view row without conflicting, because increments and
+decrements commute.
+"""
+
+from repro.locking.escrow import EscrowAccount, EscrowRegistry
+from repro.locking.latches import Latch, LatchError, LatchSet
+from repro.locking.manager import LockManager, LockRequest, RequestStatus
+from repro.locking.modes import (
+    GapMode,
+    LockMode,
+    RangeMode,
+    compatible,
+    covers,
+    gap_compatible,
+    gap_supremum,
+    mode_compatible,
+    mode_supremum,
+    supremum,
+)
+
+__all__ = [
+    "EscrowAccount",
+    "EscrowRegistry",
+    "GapMode",
+    "Latch",
+    "LatchError",
+    "LatchSet",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "RangeMode",
+    "RequestStatus",
+    "compatible",
+    "covers",
+    "gap_compatible",
+    "gap_supremum",
+    "mode_compatible",
+    "mode_supremum",
+    "supremum",
+]

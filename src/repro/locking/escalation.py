@@ -1,0 +1,109 @@
+"""Lock escalation: trading granularity for lock-table size.
+
+A transaction that accumulates many key locks on one index can *escalate*
+to a single table-level lock (S if it has only read the index, X
+otherwise), as SQL Server does around 5000 locks. Escalation is sound
+only because every fine-grained user of an index also holds an intention
+lock (IS/IX) on the index's table resource — the escalated S/X conflicts
+with those intents, so escalation waits out (or blocks) everyone touching
+individual keys.
+
+:class:`EscalationPolicy` wraps plan acquisition for the Database:
+
+* it injects the correct intention lock ahead of every key lock;
+* it counts per-(transaction, index) key locks;
+* past the threshold it converts the transaction's intent to a full
+  table lock and *skips* further key locks that the table lock covers.
+
+A threshold of ``None`` disables escalation (the default) — then the
+policy only contributes the intention locks, i.e. plain multi-granularity
+locking.
+"""
+
+from repro.locking.keyrange import table_resource
+from repro.locking.modes import GapMode, LockMode, RangeMode
+
+
+def _is_read_only_mode(mode):
+    """Does this (possibly range) mode only ever read?"""
+    if isinstance(mode, RangeMode):
+        key_ok = mode.key_mode in (LockMode.NL, LockMode.S, LockMode.U)
+        gap_ok = mode.gap in (GapMode.NL, GapMode.S)
+        return key_ok and gap_ok
+    return mode in (LockMode.NL, LockMode.S, LockMode.U, LockMode.IS)
+
+
+def intent_for(mode):
+    """The table-level intention lock a key lock in ``mode`` requires."""
+    return LockMode.IS if _is_read_only_mode(mode) else LockMode.IX
+
+
+class _IndexLockState:
+    __slots__ = ("count", "read_only", "escalated_to")
+
+    def __init__(self):
+        self.count = 0
+        self.read_only = True
+        self.escalated_to = None  # None | LockMode.S | LockMode.X
+
+
+class EscalationPolicy:
+    """Per-database escalation bookkeeping; state lives in txn scratch."""
+
+    SCRATCH_KEY = "escalation_state"
+
+    def __init__(self, threshold=None):
+        self.threshold = threshold
+        self.escalations = 0
+
+    # ------------------------------------------------------------------
+
+    def _state_of(self, txn, index_name):
+        states = txn.scratch.setdefault(self.SCRATCH_KEY, {})
+        state = states.get(index_name)
+        if state is None:
+            state = _IndexLockState()
+            states[index_name] = state
+        return state
+
+    def acquire_plan(self, txn, plan):
+        """Acquire a lock plan with intention locks and escalation.
+
+        ``plan`` is a list of ``(resource, mode)`` pairs as produced by
+        :mod:`repro.locking.keyrange`. Table-level resources pass through
+        unchanged. May raise WouldWait etc., exactly like plain
+        acquisition — callers re-run safely because nothing here mutates
+        data.
+        """
+        for resource, mode in plan:
+            if resource[0] != "key" and resource[0] != "eof":
+                txn.acquire(resource, mode)
+                continue
+            index_name = resource[1]
+            state = self._state_of(txn, index_name)
+            read_only = _is_read_only_mode(mode)
+            needed_table_mode = (
+                LockMode.S if (read_only and state.read_only) else LockMode.X
+            )
+            if state.escalated_to is not None:
+                # Already escalated: does the table lock cover this mode?
+                if state.escalated_to is LockMode.X or read_only:
+                    continue
+                # Held table S but now writing: escalate the escalation.
+                txn.acquire(table_resource(index_name), LockMode.X)
+                state.escalated_to = LockMode.X
+                state.read_only = False
+                continue
+            txn.acquire(table_resource(index_name), intent_for(mode))
+            if (
+                self.threshold is not None
+                and state.count + 1 > self.threshold
+            ):
+                txn.acquire(table_resource(index_name), needed_table_mode)
+                state.escalated_to = needed_table_mode
+                state.read_only = state.read_only and read_only
+                self.escalations += 1
+                continue
+            txn.acquire(resource, mode)
+            state.count += 1
+            state.read_only = state.read_only and read_only

@@ -1,0 +1,85 @@
+"""Latches: short-duration physical locks on structures.
+
+Latches protect physical consistency (a B-tree node mid-split), not
+transactional consistency — they are held for the duration of one structure
+operation, never across user waits, and take no part in deadlock detection
+(latch ordering is the designer's obligation).
+
+In this single-threaded deterministic engine latches cannot actually be
+contended, but the protocol still matters: the engine acquires and releases
+them in the real order, asserts the no-self-deadlock discipline, and counts
+acquisitions so benchmarks can report latch traffic (a proxy for the
+physical cost the paper's design keeps off the critical path).
+"""
+
+from repro.common.errors import ReproError
+
+
+class LatchError(ReproError):
+    """Latch protocol violation (would self-deadlock in a real engine)."""
+
+
+class Latch:
+    """A shared/exclusive latch with acquisition counting."""
+
+    __slots__ = ("name", "_shared_holders", "_exclusive_holder", "acquisitions")
+
+    def __init__(self, name):
+        self.name = name
+        self._shared_holders = set()
+        self._exclusive_holder = None
+        self.acquisitions = 0
+
+    def acquire_shared(self, holder):
+        if self._exclusive_holder is not None and self._exclusive_holder != holder:
+            raise LatchError(
+                f"latch {self.name!r}: shared request by {holder!r} while "
+                f"{self._exclusive_holder!r} holds exclusive"
+            )
+        self._shared_holders.add(holder)
+        self.acquisitions += 1
+
+    def acquire_exclusive(self, holder):
+        others_shared = self._shared_holders - {holder}
+        if others_shared:
+            raise LatchError(
+                f"latch {self.name!r}: exclusive request by {holder!r} while "
+                f"shared holders exist: {sorted(map(repr, others_shared))}"
+            )
+        if self._exclusive_holder is not None and self._exclusive_holder != holder:
+            raise LatchError(
+                f"latch {self.name!r}: exclusive request by {holder!r} while "
+                f"{self._exclusive_holder!r} holds exclusive"
+            )
+        self._exclusive_holder = holder
+        self.acquisitions += 1
+
+    def release(self, holder):
+        if self._exclusive_holder == holder:
+            self._exclusive_holder = None
+        self._shared_holders.discard(holder)
+
+    def is_free(self):
+        return self._exclusive_holder is None and not self._shared_holders
+
+
+class LatchSet:
+    """Named latches created on demand, with aggregate counters."""
+
+    def __init__(self):
+        self._latches = {}
+
+    def get(self, name):
+        latch = self._latches.get(name)
+        if latch is None:
+            latch = Latch(name)
+            self._latches[name] = latch
+        return latch
+
+    def total_acquisitions(self):
+        return sum(latch.acquisitions for latch in self._latches.values())
+
+    def assert_all_free(self):
+        busy = [l.name for l in self._latches.values() if not l.is_free()]
+        if busy:
+            raise LatchError(f"latches left held: {busy!r}")

@@ -1,0 +1,400 @@
+"""The lock manager: request queues, conversions, deadlock detection.
+
+Resources are arbitrary hashable names; by convention the engine uses
+
+* ``("table", name)`` — table-level intention locks,
+* ``("key", index_name, key)`` — key/row locks, whose modes may be plain
+  :class:`~repro.locking.modes.LockMode` or key-range
+  :class:`~repro.locking.modes.RangeMode` pairs.
+
+The manager is synchronous and non-blocking: :meth:`LockManager.request`
+returns a :class:`LockRequest` whose status is ``GRANTED``, ``WAITING`` or
+``DENIED``. Waiting is the *caller's* job — the discrete-event simulator
+parks a transaction whose request is WAITING and resumes it when the
+request is granted (or denied by deadlock victim selection). This keeps the
+manager usable both from plain single-threaded code (no-wait policy) and
+from the simulator (cooperative waiting), and keeps every interleaving
+deterministic.
+
+Deadlock handling: a waits-for graph is maintained incrementally. When a
+request must wait, the manager searches for a cycle through the new edges;
+if one exists, the youngest transaction on the cycle (highest id) is chosen
+as victim. A victim that is itself waiting has its request DENIED and is
+expected to abort; the requester is the victim if it is the youngest.
+
+Fairness: a new request must also be compatible with *earlier waiting*
+requests of other transactions, so writers cannot starve behind a stream of
+compatible readers. Conversions of already-granted locks jump the queue
+(standard, and required to avoid trivial conversion deadlocks).
+"""
+
+import enum
+from collections import OrderedDict
+
+from repro.common.errors import DeadlockError
+from repro.locking.modes import mode_compatible, mode_supremum
+
+
+class RequestStatus(enum.Enum):
+    GRANTED = "granted"
+    WAITING = "waiting"
+    DENIED = "denied"
+
+
+class LockRequest:
+    """One transaction's pending or granted claim on a resource."""
+
+    __slots__ = ("txn_id", "resource", "mode", "status", "is_conversion", "deny_error")
+
+    def __init__(self, txn_id, resource, mode, is_conversion=False):
+        self.txn_id = txn_id
+        self.resource = resource
+        self.mode = mode
+        self.status = RequestStatus.WAITING
+        self.is_conversion = is_conversion
+        self.deny_error = None
+
+    def __repr__(self):
+        return (
+            f"LockRequest(txn={self.txn_id}, resource={self.resource!r}, "
+            f"mode={self.mode!r}, {self.status.value})"
+        )
+
+
+class _ResourceQueue:
+    """Granted modes plus the FIFO wait queue for one resource."""
+
+    __slots__ = ("granted", "waiting")
+
+    def __init__(self):
+        self.granted = OrderedDict()  # txn_id -> mode
+        self.waiting = []  # list of LockRequest
+
+    def is_idle(self):
+        return not self.granted and not self.waiting
+
+
+class LockStats:
+    """Counters the benchmarks report."""
+
+    __slots__ = (
+        "requests",
+        "immediate_grants",
+        "waits",
+        "conversions",
+        "deadlocks",
+        "denials",
+    )
+
+    def __init__(self):
+        self.requests = 0
+        self.immediate_grants = 0
+        self.waits = 0
+        self.conversions = 0
+        self.deadlocks = 0
+        self.denials = 0
+
+    def as_dict(self):
+        return {
+            "requests": self.requests,
+            "immediate_grants": self.immediate_grants,
+            "waits": self.waits,
+            "conversions": self.conversions,
+            "deadlocks": self.deadlocks,
+            "denials": self.denials,
+        }
+
+
+class LockManager:
+    """Grants, queues, converts, and releases locks; detects deadlocks."""
+
+    def __init__(self):
+        self._queues = {}
+        self._held_by_txn = {}  # txn_id -> set of resources
+        self._waiting_request = {}  # txn_id -> LockRequest (at most one)
+        self.stats = LockStats()
+        self.contention = {}  # resource -> cumulative wait count
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+
+    def request(self, txn_id, resource, mode):
+        """Ask for ``mode`` on ``resource``.
+
+        Returns a :class:`LockRequest`; inspect ``status``. A DENIED
+        result carries ``deny_error`` (a :class:`DeadlockError` naming the
+        victim). At most one outstanding WAITING request per transaction
+        is allowed — a transaction is a single thread of control.
+        """
+        if txn_id in self._waiting_request:
+            raise RuntimeError(
+                f"transaction {txn_id} already has a waiting lock request"
+            )
+        self.stats.requests += 1
+        queue = self._queues.setdefault(resource, _ResourceQueue())
+        held = queue.granted.get(txn_id)
+
+        if held is not None:
+            target = mode_supremum(held, mode)
+            if target == held:
+                # Already covered; nothing to do.
+                request = LockRequest(txn_id, resource, held, is_conversion=True)
+                request.status = RequestStatus.GRANTED
+                self.stats.immediate_grants += 1
+                return request
+            request = LockRequest(txn_id, resource, target, is_conversion=True)
+            if self._compatible_with_granted(queue, txn_id, target):
+                queue.granted[txn_id] = target
+                request.status = RequestStatus.GRANTED
+                self.stats.immediate_grants += 1
+                self.stats.conversions += 1
+                return request
+            # Conversions wait at the *front* of the queue.
+            queue.waiting.insert(0, request)
+            return self._begin_wait(request, queue)
+
+        request = LockRequest(txn_id, resource, mode)
+        if self._compatible_with_granted(queue, txn_id, mode) and not any(
+            w.txn_id != txn_id and not mode_compatible(mode, w.mode)
+            for w in queue.waiting
+        ):
+            queue.granted[txn_id] = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            request.status = RequestStatus.GRANTED
+            self.stats.immediate_grants += 1
+            return request
+        queue.waiting.append(request)
+        return self._begin_wait(request, queue)
+
+    def _begin_wait(self, request, queue):
+        self.stats.waits += 1
+        self.contention[request.resource] = (
+            self.contention.get(request.resource, 0) + 1
+        )
+        self._waiting_request[request.txn_id] = request
+        victim = self._detect_deadlock(request.txn_id)
+        if victim is not None:
+            self.stats.deadlocks += 1
+            cycle = self._cycle_through(victim)
+            if victim == request.txn_id:
+                self._remove_waiting(request)
+                request.status = RequestStatus.DENIED
+                request.deny_error = DeadlockError(victim, cycle)
+                self.stats.denials += 1
+                return request
+            victim_request = self._waiting_request.get(victim)
+            if victim_request is not None:
+                self._remove_waiting(victim_request)
+                victim_request.status = RequestStatus.DENIED
+                victim_request.deny_error = DeadlockError(victim, cycle)
+                self.stats.denials += 1
+                # The victim's departure from the queue may unblock others
+                # (it aborts next, releasing its locks, which grants more).
+                self._grant_from_queue(self._queues[victim_request.resource])
+                if request.status is RequestStatus.WAITING:
+                    return request
+        return request
+
+    def _compatible_with_granted(self, queue, txn_id, mode):
+        return all(
+            mode_compatible(mode, held)
+            for holder, held in queue.granted.items()
+            if holder != txn_id
+        )
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+
+    def release(self, txn_id, resource):
+        """Release one lock; returns txn_ids whose requests got granted."""
+        queue = self._queues.get(resource)
+        if queue is None or txn_id not in queue.granted:
+            return []
+        del queue.granted[txn_id]
+        held = self._held_by_txn.get(txn_id)
+        if held is not None:
+            held.discard(resource)
+        granted = self._grant_from_queue(queue)
+        if queue.is_idle():
+            del self._queues[resource]
+        return granted
+
+    def release_all(self, txn_id):
+        """Release every lock of ``txn_id`` (commit/abort). Cancels any
+        waiting request. Returns txn_ids newly granted."""
+        self.cancel_wait(txn_id)
+        resources = list(self._held_by_txn.get(txn_id, ()))
+        newly_granted = []
+        for resource in resources:
+            newly_granted.extend(self.release(txn_id, resource))
+        self._held_by_txn.pop(txn_id, None)
+        return newly_granted
+
+    def cancel_wait(self, txn_id):
+        """Withdraw ``txn_id``'s waiting request, if any."""
+        request = self._waiting_request.get(txn_id)
+        if request is None:
+            return
+        self._remove_waiting(request)
+        request.status = RequestStatus.DENIED
+        queue = self._queues.get(request.resource)
+        if queue is not None:
+            self._grant_from_queue(queue)
+            if queue.is_idle():
+                del self._queues[request.resource]
+
+    def _remove_waiting(self, request):
+        queue = self._queues.get(request.resource)
+        if queue is not None and request in queue.waiting:
+            queue.waiting.remove(request)
+        if self._waiting_request.get(request.txn_id) is request:
+            del self._waiting_request[request.txn_id]
+
+    def _grant_from_queue(self, queue):
+        """Grant queued requests in order while compatibility allows."""
+        granted_txns = []
+        progress = True
+        while progress:
+            progress = False
+            for request in list(queue.waiting):
+                if request.is_conversion:
+                    compatible = self._compatible_with_granted(
+                        queue, request.txn_id, request.mode
+                    )
+                else:
+                    ahead = []
+                    for earlier in queue.waiting:
+                        if earlier is request:
+                            break
+                        ahead.append(earlier)
+                    compatible = self._compatible_with_granted(
+                        queue, request.txn_id, request.mode
+                    ) and all(
+                        earlier.txn_id == request.txn_id
+                        or mode_compatible(request.mode, earlier.mode)
+                        for earlier in ahead
+                    )
+                if not compatible:
+                    # FIFO: do not let later requests jump an incompatible
+                    # earlier one (conversions excepted, handled above by
+                    # sitting at the queue front).
+                    if request.is_conversion:
+                        continue
+                    break
+                queue.waiting.remove(request)
+                queue.granted[request.txn_id] = request.mode
+                self._held_by_txn.setdefault(request.txn_id, set()).add(
+                    request.resource
+                )
+                request.status = RequestStatus.GRANTED
+                if self._waiting_request.get(request.txn_id) is request:
+                    del self._waiting_request[request.txn_id]
+                granted_txns.append(request.txn_id)
+                progress = True
+        return granted_txns
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def held_mode(self, txn_id, resource):
+        """The mode ``txn_id`` holds on ``resource``, or ``None``."""
+        queue = self._queues.get(resource)
+        if queue is None:
+            return None
+        return queue.granted.get(txn_id)
+
+    def holders(self, resource):
+        """Mapping txn_id -> mode of current holders of ``resource``."""
+        queue = self._queues.get(resource)
+        return dict(queue.granted) if queue is not None else {}
+
+    def waiters(self, resource):
+        queue = self._queues.get(resource)
+        return list(queue.waiting) if queue is not None else []
+
+    def locks_of(self, txn_id):
+        """Snapshot of (resource, mode) pairs held by ``txn_id``."""
+        return [
+            (resource, self.held_mode(txn_id, resource))
+            for resource in sorted(
+                self._held_by_txn.get(txn_id, ()), key=repr
+            )
+        ]
+
+    def waiting_for(self, txn_id):
+        """The resource ``txn_id`` is waiting on, or ``None``."""
+        request = self._waiting_request.get(txn_id)
+        return request.resource if request is not None else None
+
+    def active_resources(self):
+        return list(self._queues)
+
+    # ------------------------------------------------------------------
+    # deadlock detection
+    # ------------------------------------------------------------------
+
+    def _blockers_of(self, txn_id):
+        """Transactions that must release/advance before ``txn_id``'s
+        waiting request can be granted."""
+        request = self._waiting_request.get(txn_id)
+        if request is None:
+            return set()
+        queue = self._queues.get(request.resource)
+        if queue is None:
+            return set()
+        blockers = {
+            holder
+            for holder, held in queue.granted.items()
+            if holder != txn_id and not mode_compatible(request.mode, held)
+        }
+        if not request.is_conversion:
+            for earlier in queue.waiting:
+                if earlier is request:
+                    break
+                if earlier.txn_id != txn_id and not mode_compatible(
+                    request.mode, earlier.mode
+                ):
+                    blockers.add(earlier.txn_id)
+        return blockers
+
+    def _detect_deadlock(self, start_txn):
+        """DFS over the waits-for graph from ``start_txn``.
+
+        Returns the chosen victim txn_id if a cycle through ``start_txn``
+        exists, else ``None``. Victim = youngest (max txn_id) on the cycle.
+        """
+        cycle = self._find_cycle(start_txn)
+        if cycle is None:
+            return None
+        return max(cycle)
+
+    def _find_cycle(self, start_txn):
+        path = []
+        on_path = set()
+        visited = set()
+
+        def dfs(txn):
+            if txn in on_path:
+                idx = path.index(txn)
+                return path[idx:]
+            if txn in visited:
+                return None
+            visited.add(txn)
+            path.append(txn)
+            on_path.add(txn)
+            for blocker in sorted(self._blockers_of(txn)):
+                found = dfs(blocker)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(txn)
+            return None
+
+        return dfs(start_txn)
+
+    def _cycle_through(self, txn_id):
+        cycle = self._find_cycle(txn_id)
+        return tuple(cycle) if cycle is not None else (txn_id,)

@@ -1,0 +1,5 @@
+"""Counters, histograms, report tables."""
+
+from repro.metrics.counters import Counters, Histogram, format_table
+
+__all__ = ["Counters", "Histogram", "format_table"]

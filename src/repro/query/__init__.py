@@ -1,0 +1,47 @@
+"""Predicates, aggregates, and the recompute-from-base oracle."""
+
+from repro.query.aggregates import AggFunc, AggregateSpec, derive_averages
+from repro.query.executor import (
+    group_aggregate,
+    nested_loops_join,
+    project,
+    recompute_aggregate_view,
+    recompute_join_view,
+    recompute_projection_view,
+    scan_filter,
+)
+from repro.query.predicates import (
+    Predicate,
+    always_true,
+    col_between,
+    col_eq,
+    col_ge,
+    col_gt,
+    col_in,
+    col_le,
+    col_lt,
+    col_ne,
+)
+
+__all__ = [
+    "AggFunc",
+    "AggregateSpec",
+    "Predicate",
+    "always_true",
+    "col_between",
+    "col_eq",
+    "col_ge",
+    "col_gt",
+    "col_in",
+    "col_le",
+    "col_lt",
+    "col_ne",
+    "derive_averages",
+    "group_aggregate",
+    "nested_loops_join",
+    "project",
+    "recompute_aggregate_view",
+    "recompute_join_view",
+    "recompute_projection_view",
+    "scan_filter",
+]

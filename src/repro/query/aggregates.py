@@ -1,0 +1,122 @@
+"""Aggregate function specifications for indexed views.
+
+COUNT and SUM are the first-class citizens, for the same reason SQL
+Server restricts indexed views to COUNT_BIG and SUM: they are
+*self-maintainable under deletion*. A deleted row's contribution can be
+subtracted without looking at any other row, which is exactly the
+property that lets maintenance be expressed as commutative escrow
+increments.
+
+MIN and MAX are supported as a documented **extension** (beyond what SQL
+Server's indexed views allow) precisely to demonstrate why they were
+excluded: they are not delta-maintainable — deleting the current extreme
+forces a rescan of the group — and they are not commutative, so a view
+containing them is maintained entirely under exclusive locks, forfeiting
+escrow concurrency for the whole view row. See
+:class:`repro.views.definition.AggregateView` (``has_extremes``).
+
+AVG is available as a *derived* column: it is never stored, but
+:func:`derive_averages` computes it from a SUM/COUNT pair at read time.
+"""
+
+import enum
+
+from repro.common.errors import CatalogError
+
+
+class AggFunc(enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+
+
+#: Functions maintainable as commutative escrow deltas.
+DELTA_FUNCS = (AggFunc.COUNT, AggFunc.SUM)
+#: Functions requiring exclusive locks and delete-time rescans.
+EXTREME_FUNCS = (AggFunc.MIN, AggFunc.MAX)
+
+
+class AggregateSpec:
+    """One aggregate column of a view: ``out = FUNC(source)``.
+
+    COUNT takes no source column (it is COUNT(*)).
+
+    >>> AggregateSpec.count("n")
+    AggregateSpec(n=COUNT(*))
+    >>> AggregateSpec.sum_of("total", "amount")
+    AggregateSpec(total=SUM(amount))
+    >>> AggregateSpec.min_of("cheapest", "amount")
+    AggregateSpec(cheapest=MIN(amount))
+    """
+
+    __slots__ = ("out", "func", "source")
+
+    def __init__(self, out, func, source=None):
+        if func is AggFunc.COUNT and source is not None:
+            raise CatalogError("COUNT(*) takes no source column")
+        if func is not AggFunc.COUNT and source is None:
+            raise CatalogError(f"{func.name} needs a source column")
+        self.out = out
+        self.func = func
+        self.source = source
+
+    @classmethod
+    def count(cls, out="row_count"):
+        return cls(out, AggFunc.COUNT)
+
+    @classmethod
+    def sum_of(cls, out, source):
+        return cls(out, AggFunc.SUM, source)
+
+    @classmethod
+    def min_of(cls, out, source):
+        return cls(out, AggFunc.MIN, source)
+
+    @classmethod
+    def max_of(cls, out, source):
+        return cls(out, AggFunc.MAX, source)
+
+    def __repr__(self):
+        if self.func is AggFunc.COUNT:
+            return f"AggregateSpec({self.out}=COUNT(*))"
+        return f"AggregateSpec({self.out}={self.func.name}({self.source}))"
+
+    def is_extreme(self):
+        return self.func in EXTREME_FUNCS
+
+    def initial_value(self):
+        """The value of a group with no rows: 0 for counters, None for
+        extremes (MIN/MAX over an empty set is undefined)."""
+        return None if self.is_extreme() else 0
+
+    def delta_for(self, row, sign):
+        """The contribution of ``row`` with ``sign`` +1 (insert) or -1
+        (delete). Only defined for delta-maintainable functions."""
+        if self.is_extreme():
+            raise CatalogError(f"{self.func.name} is not delta-maintainable")
+        if self.func is AggFunc.COUNT:
+            return sign
+        return sign * row[self.source]
+
+    def fold_extreme(self, current, value):
+        """Fold ``value`` into the running MIN/MAX ``current`` (which may
+        be None for an empty group)."""
+        if current is None:
+            return value
+        if self.func is AggFunc.MIN:
+            return value if value < current else current
+        return value if value > current else current
+
+
+def derive_averages(view_row, pairs):
+    """Compute AVG columns from stored SUM/COUNT columns.
+
+    ``pairs`` is an iterable of ``(avg_name, sum_column, count_column)``.
+    Returns a new row with the averages added (``None`` when count is 0).
+    """
+    changes = {}
+    for avg_name, sum_col, count_col in pairs:
+        count = view_row[count_col]
+        changes[avg_name] = (view_row[sum_col] / count) if count else None
+    return view_row.replace(**changes)

@@ -1,0 +1,111 @@
+"""A minimal relational evaluator.
+
+Used for two jobs:
+
+* **initial materialization** — computing a view's contents from its base
+  tables when the view is created over existing data;
+* **the oracle** — tests and the consistency checker recompute a view from
+  base tables and compare against the incrementally maintained contents.
+  Every concurrency experiment ends with this check: whatever interleaving
+  happened, the view must equal the from-scratch recomputation.
+
+The operators work on plain iterables of :class:`~repro.common.rows.Row`,
+with no locking or logging — they are pure functions of their inputs.
+"""
+
+from repro.common.rows import Row
+from repro.query.aggregates import AggFunc
+
+
+def scan_filter(rows, predicate=None):
+    """Yield rows passing ``predicate`` (all rows when ``None``)."""
+    for row in rows:
+        if predicate is None or predicate(row):
+            yield row
+
+
+def project(rows, columns):
+    """Project each row to ``columns``."""
+    for row in rows:
+        yield row.project(columns)
+
+
+def nested_loops_join(left_rows, right_rows, on):
+    """Equi-join: ``on`` is a sequence of (left_col, right_col) pairs.
+
+    Materializes the right side into a hash table (this is really a hash
+    join, but the name keeps the intent honest: it is the oracle, not an
+    optimized operator).
+    """
+    on = list(on)
+    right_index = {}
+    for row in right_rows:
+        key = tuple(row[rc] for _, rc in on)
+        right_index.setdefault(key, []).append(row)
+    for left in left_rows:
+        key = tuple(left[lc] for lc, _ in on)
+        for right in right_index.get(key, ()):
+            yield left.merge(right)
+
+
+def group_aggregate(rows, group_by, aggregates):
+    """GROUP BY + COUNT/SUM/MIN/MAX.
+
+    Returns a dict mapping group-key tuple -> Row containing the group-by
+    columns and the aggregate outputs. Groups with zero rows do not exist
+    (matching the maintained view, where empty groups are removed).
+    """
+    group_by = tuple(group_by)
+    groups = {}
+    for row in rows:
+        key = tuple(row[c] for c in group_by)
+        acc = groups.get(key)
+        if acc is None:
+            acc = {spec.out: spec.initial_value() for spec in aggregates}
+            groups[key] = acc
+        for spec in aggregates:
+            if spec.func is AggFunc.COUNT:
+                acc[spec.out] += 1
+            elif spec.func is AggFunc.SUM:
+                acc[spec.out] += row[spec.source]
+            else:
+                acc[spec.out] = spec.fold_extreme(acc[spec.out], row[spec.source])
+    result = {}
+    for key, acc in groups.items():
+        values = dict(zip(group_by, key))
+        values.update(acc)
+        result[key] = Row(values)
+    return result
+
+
+def recompute_aggregate_view(base_rows, view):
+    """Oracle for an aggregate view: group-key -> expected Row."""
+    filtered = scan_filter(base_rows, view.where)
+    return group_aggregate(filtered, view.group_by, view.aggregates)
+
+
+def recompute_join_view(left_rows, right_rows, view):
+    """Oracle for a join view: view-key -> expected Row."""
+    joined = nested_loops_join(left_rows, right_rows, view.on)
+    filtered = scan_filter(joined, view.where)
+    result = {}
+    for row in filtered:
+        projected = row.project(view.columns)
+        result[view.key_of(projected)] = projected
+    return result
+
+
+def recompute_join_aggregate_view(left_rows, right_rows, view):
+    """Oracle for a join-aggregate view: group-key -> expected Row."""
+    joined = nested_loops_join(left_rows, right_rows, view.on)
+    filtered = scan_filter(joined, view.where)
+    return group_aggregate(filtered, view.group_by, view.aggregates)
+
+
+def recompute_projection_view(base_rows, view):
+    """Oracle for a projection view: view-key -> expected Row."""
+    result = {}
+    for row in scan_filter(base_rows, view.where):
+        projected = row.project(view.columns)
+        result[view.key_of(projected)] = projected
+    return result

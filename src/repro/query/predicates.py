@@ -1,0 +1,80 @@
+"""Row predicates for view definitions and scans.
+
+A :class:`Predicate` wraps a row -> bool function with a human-readable
+description (views print their definitions; error messages stay
+debuggable). Combinators build compound predicates; the helpers cover the
+comparisons view definitions typically need.
+"""
+
+
+class Predicate:
+    """A named boolean function of a row."""
+
+    __slots__ = ("_fn", "description")
+
+    def __init__(self, fn, description="<predicate>"):
+        self._fn = fn
+        self.description = description
+
+    def __call__(self, row):
+        return bool(self._fn(row))
+
+    def __repr__(self):
+        return f"Predicate({self.description})"
+
+    def and_(self, other):
+        return Predicate(
+            lambda row: self(row) and other(row),
+            f"({self.description} AND {other.description})",
+        )
+
+    def or_(self, other):
+        return Predicate(
+            lambda row: self(row) or other(row),
+            f"({self.description} OR {other.description})",
+        )
+
+    def not_(self):
+        return Predicate(lambda row: not self(row), f"NOT {self.description}")
+
+
+def always_true():
+    return Predicate(lambda row: True, "TRUE")
+
+
+def col_eq(column, value):
+    return Predicate(lambda row: row[column] == value, f"{column} = {value!r}")
+
+
+def col_ne(column, value):
+    return Predicate(lambda row: row[column] != value, f"{column} <> {value!r}")
+
+
+def col_gt(column, value):
+    return Predicate(lambda row: row[column] > value, f"{column} > {value!r}")
+
+
+def col_ge(column, value):
+    return Predicate(lambda row: row[column] >= value, f"{column} >= {value!r}")
+
+
+def col_lt(column, value):
+    return Predicate(lambda row: row[column] < value, f"{column} < {value!r}")
+
+
+def col_le(column, value):
+    return Predicate(lambda row: row[column] <= value, f"{column} <= {value!r}")
+
+
+def col_in(column, values):
+    frozen = frozenset(values)
+    return Predicate(
+        lambda row: row[column] in frozen, f"{column} IN {sorted(frozen)!r}"
+    )
+
+
+def col_between(column, low, high):
+    return Predicate(
+        lambda row: low <= row[column] <= high,
+        f"{column} BETWEEN {low!r} AND {high!r}",
+    )

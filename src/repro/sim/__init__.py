@@ -1,0 +1,5 @@
+"""Deterministic discrete-event concurrency simulation."""
+
+from repro.sim.scheduler import CostModel, Scheduler, SimResult
+
+__all__ = ["CostModel", "Scheduler", "SimResult"]

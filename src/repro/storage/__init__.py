@@ -1,0 +1,13 @@
+"""Storage substrate: B+-trees, heap files, versioned records, ghosts.
+
+This package is deliberately ignorant of transactions and locking — it
+provides the physical structures (and the ghost/version mechanics) that the
+transactional layers coordinate over.
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.heap import HeapFile
+from repro.storage.index import Index
+from repro.storage.records import Version, VersionedRecord
+
+__all__ = ["BPlusTree", "HeapFile", "Index", "Version", "VersionedRecord"]

@@ -1,0 +1,571 @@
+"""An in-memory B+-tree.
+
+This is the physical structure underneath every table and indexed view in
+the engine. It is a textbook B+-tree — separator keys in inner nodes,
+records only in leaves, leaves doubly linked for range scans — implemented
+with full rebalancing on delete (borrow from siblings, merge, shrink root).
+
+Beyond the usual mapping operations, it exposes the navigation primitives
+that key-range locking needs:
+
+* :meth:`BPlusTree.next_key` / :meth:`BPlusTree.prev_key` — find the
+  neighbouring existing key, used to pick the lock that protects a gap.
+* :meth:`BPlusTree.range_items` — scan a :class:`~repro.common.keys.KeyRange`
+  in key order.
+
+Keys are tuples (see :func:`repro.common.keys.composite_key`); values are
+arbitrary objects (the storage layer stores :class:`~repro.storage.records.
+VersionedRecord` instances, but the tree does not care).
+"""
+
+import bisect
+
+from repro.common.errors import StorageError
+from repro.common.keys import NEG_INF, POS_INF, KeyRange
+
+DEFAULT_ORDER = 32
+
+_MISSING = object()
+
+
+class _LeafNode:
+    __slots__ = ("keys", "values", "next", "prev")
+
+    def __init__(self):
+        self.keys = []
+        self.values = []
+        self.next = None
+        self.prev = None
+
+    @property
+    def is_leaf(self):
+        return True
+
+
+class _InnerNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys = []
+        self.children = []
+
+    @property
+    def is_leaf(self):
+        return False
+
+
+class BPlusTree:
+    """An ordered mapping from tuple keys to values.
+
+    ``order`` is the maximum number of children of an inner node; leaves
+    hold at most ``order - 1`` entries. The minimum order is 4 so that
+    every split and merge has room to work.
+
+    >>> t = BPlusTree(order=4)
+    >>> t.insert((1,), "a"); t.insert((2,), "b")
+    >>> t.get((2,))
+    'b'
+    >>> [k for k, _ in t.items()]
+    [(1,), (2,)]
+    """
+
+    def __init__(self, order=DEFAULT_ORDER):
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self._order = order
+        self._root = _LeafNode()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic mapping operations
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self._size
+
+    def __contains__(self, key):
+        return self.get(key, default=_MISSING) is not _MISSING
+
+    def get(self, key, default=None):
+        """Return the value stored at ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def insert(self, key, value, overwrite=False):
+        """Insert ``key`` -> ``value``.
+
+        Raises :class:`StorageError` on a duplicate key unless
+        ``overwrite`` is set, in which case the old value is replaced.
+        """
+        path = self._find_path(key)
+        leaf = path[-1][0]
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            if not overwrite:
+                raise StorageError(f"duplicate key {key!r}")
+            leaf.values[idx] = value
+            return
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self._size += 1
+        if len(leaf.keys) >= self._order:
+            self._split(path)
+
+    def update(self, key, value):
+        """Replace the value at an existing ``key``."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            raise StorageError(f"missing key {key!r}")
+        leaf.values[idx] = value
+
+    def delete(self, key):
+        """Remove ``key`` and return its value.
+
+        Raises :class:`StorageError` if the key is absent.
+        """
+        path = self._find_path(key)
+        leaf = path[-1][0]
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            raise StorageError(f"missing key {key!r}")
+        value = leaf.values[idx]
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self._size -= 1
+        self._rebalance(path)
+        return value
+
+    def pop(self, key, default=_MISSING):
+        """Remove ``key`` if present, returning its value or ``default``."""
+        try:
+            return self.delete(key)
+        except StorageError:
+            if default is _MISSING:
+                raise
+            return default
+
+    def clear(self):
+        """Remove every entry."""
+        self._root = _LeafNode()
+        self._size = 0
+
+    def bulk_build(self, sorted_items):
+        """Replace the tree's contents by bottom-up bulk loading.
+
+        ``sorted_items`` must be (key, value) pairs in strictly ascending
+        key order — the classic index-build path: pack leaves to ~full,
+        then build each inner level from the one below. O(n), no splits.
+        Raises :class:`StorageError` on unsorted or duplicate keys.
+        """
+        items = list(sorted_items)
+        self.clear()
+        if not items:
+            return
+        for i in range(1, len(items)):
+            if items[i - 1][0] >= items[i][0]:
+                raise StorageError(
+                    "bulk_build requires strictly ascending keys; saw "
+                    f"{items[i - 1][0]!r} before {items[i][0]!r}"
+                )
+        capacity = self._order - 1
+        # Pack leaves; keep every leaf at >= min fill by borrowing from the
+        # neighbour when the final leaf would come up short.
+        leaves = []
+        start = 0
+        while start < len(items):
+            chunk = items[start : start + capacity]
+            start += capacity
+            leaf = _LeafNode()
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            leaves.append(leaf)
+        min_fill = self._min_leaf_fill()
+        if len(leaves) > 1 and len(leaves[-1].keys) < min_fill:
+            donor = leaves[-2]
+            need = min_fill - len(leaves[-1].keys)
+            leaves[-1].keys[:0] = donor.keys[-need:]
+            leaves[-1].values[:0] = donor.values[-need:]
+            del donor.keys[-need:]
+            del donor.values[-need:]
+        for left, right in zip(leaves, leaves[1:]):
+            left.next = right
+            right.prev = left
+        self._size = len(items)
+        # Build inner levels bottom-up.
+        level = leaves
+        while len(level) > 1:
+            parents = []
+            i = 0
+            while i < len(level):
+                group = level[i : i + self._order]
+                i += self._order
+                node = _InnerNode()
+                node.children = group
+                node.keys = [self._subtree_min(c) for c in group[1:]]
+                parents.append(node)
+            min_children = self._min_inner_children()
+            if len(parents) > 1 and len(parents[-1].children) < min_children:
+                donor = parents[-2]
+                need = min_children - len(parents[-1].children)
+                moved = donor.children[-need:]
+                del donor.children[-need:]
+                del donor.keys[-need:]
+                parents[-1].children[:0] = moved
+                parents[-1].keys = [
+                    self._subtree_min(c) for c in parents[-1].children[1:]
+                ]
+            level = parents
+        self._root = level[0]
+
+    @staticmethod
+    def _subtree_min(node):
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # ordered navigation
+    # ------------------------------------------------------------------
+
+    def first_key(self):
+        """The smallest key, or ``None`` if the tree is empty."""
+        leaf = self._leftmost_leaf()
+        return leaf.keys[0] if leaf.keys else None
+
+    def last_key(self):
+        """The largest key, or ``None`` if the tree is empty."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+    def next_key(self, key, inclusive=False):
+        """The smallest stored key strictly greater than ``key`` (or
+        greater-or-equal when ``inclusive``). ``None`` if no such key.
+
+        ``key`` may be the NEG_INF sentinel to mean "before everything".
+        """
+        if key is NEG_INF:
+            return self.first_key()
+        if key is POS_INF:
+            return None
+        leaf = self._find_leaf(key)
+        if inclusive:
+            idx = bisect.bisect_left(leaf.keys, key)
+        else:
+            idx = bisect.bisect_right(leaf.keys, key)
+        while leaf is not None:
+            if idx < len(leaf.keys):
+                return leaf.keys[idx]
+            leaf = leaf.next
+            idx = 0
+        return None
+
+    def prev_key(self, key, inclusive=False):
+        """The largest stored key strictly less than ``key`` (or
+        less-or-equal when ``inclusive``). ``None`` if no such key."""
+        if key is POS_INF:
+            return self.last_key()
+        if key is NEG_INF:
+            return None
+        leaf = self._find_leaf(key)
+        if inclusive:
+            idx = bisect.bisect_right(leaf.keys, key) - 1
+        else:
+            idx = bisect.bisect_left(leaf.keys, key) - 1
+        while leaf is not None:
+            if idx >= 0:
+                return leaf.keys[idx]
+            leaf = leaf.prev
+            if leaf is not None:
+                idx = len(leaf.keys) - 1
+        return None
+
+    def items(self):
+        """Iterate all ``(key, value)`` pairs in key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            # Snapshot the leaf so concurrent structural changes made by
+            # the caller (e.g. deleting while scanning) do not skip entries.
+            for pair in list(zip(leaf.keys, leaf.values)):
+                yield pair
+            leaf = leaf.next
+
+    def keys(self):
+        for key, _ in self.items():
+            yield key
+
+    def values(self):
+        for _, value in self.items():
+            yield value
+
+    def range_items(self, key_range):
+        """Iterate ``(key, value)`` pairs whose keys fall in ``key_range``.
+
+        ``key_range`` is a :class:`repro.common.keys.KeyRange`; unbounded
+        ends are supported.
+        """
+        if not isinstance(key_range, KeyRange):
+            raise TypeError("range_items expects a KeyRange")
+        if key_range.is_empty():
+            return
+        low = key_range.low
+        if low.key is NEG_INF:
+            leaf = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._find_leaf(low.key)
+            if low.inclusive:
+                idx = bisect.bisect_left(leaf.keys, low.key)
+            else:
+                idx = bisect.bisect_right(leaf.keys, low.key)
+        high = key_range.high
+        while leaf is not None:
+            pairs = list(zip(leaf.keys, leaf.values))
+            for key, value in pairs[idx:]:
+                if high.key is not POS_INF:
+                    if key > high.key:
+                        return
+                    if key == high.key and not high.inclusive:
+                        return
+                yield key, value
+            leaf = leaf.next
+            idx = 0
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def height(self):
+        """Number of levels (1 for a lone leaf)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    def check_invariants(self):
+        """Verify structural invariants; raises StorageError on violation.
+
+        Used by tests after randomized operation sequences. Checks key
+        ordering inside nodes, separator correctness, fill factors, leaf
+        chaining, and the size counter.
+        """
+        count = self._check_node(self._root, NEG_INF, POS_INF, is_root=True)
+        if count != self._size:
+            raise StorageError(f"size mismatch: counted {count}, recorded {self._size}")
+        # leaf chain must enumerate the same keys in sorted order
+        chained = list(self.keys())
+        if chained != sorted(chained):
+            raise StorageError("leaf chain out of order")
+        if len(chained) != self._size:
+            raise StorageError("leaf chain misses entries")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _leftmost_leaf(self):
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def _find_leaf(self, key):
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def _find_path(self, key):
+        """Return [(node, child_index_in_parent), ...] from root to leaf.
+
+        The root's recorded index is ``None``.
+        """
+        path = []
+        node = self._root
+        idx_in_parent = None
+        while True:
+            path.append((node, idx_in_parent))
+            if node.is_leaf:
+                return path
+            idx = bisect.bisect_right(node.keys, key)
+            idx_in_parent = idx
+            node = node.children[idx]
+
+    def _split(self, path):
+        """Split the (overfull) leaf at the end of ``path`` and propagate."""
+        node, _ = path[-1]
+        mid = len(node.keys) // 2
+        right = _LeafNode()
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        right.prev = node
+        if right.next is not None:
+            right.next.prev = right
+        node.next = right
+        separator = right.keys[0]
+        self._insert_in_parent(path, len(path) - 1, separator, right)
+
+    def _insert_in_parent(self, path, level, separator, right_child):
+        if level == 0:
+            new_root = _InnerNode()
+            new_root.keys = [separator]
+            new_root.children = [path[0][0], right_child]
+            self._root = new_root
+            return
+        parent, _ = path[level - 1]
+        child_idx = path[level][1]
+        parent.keys.insert(child_idx, separator)
+        parent.children.insert(child_idx + 1, right_child)
+        if len(parent.children) > self._order:
+            self._split_inner(path, level - 1)
+
+    def _split_inner(self, path, level):
+        node, _ = path[level]
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _InnerNode()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._insert_in_parent(path, level, separator, right)
+
+    def _min_leaf_fill(self):
+        return (self._order - 1) // 2
+
+    def _min_inner_children(self):
+        return (self._order + 1) // 2
+
+    def _rebalance(self, path):
+        """Restore fill invariants after a delete along ``path``."""
+        level = len(path) - 1
+        while level > 0:
+            node, idx_in_parent = path[level]
+            parent, _ = path[level - 1]
+            if node.is_leaf:
+                underfull = len(node.keys) < self._min_leaf_fill()
+            else:
+                underfull = len(node.children) < self._min_inner_children()
+            if not underfull:
+                self._fix_separator(parent, idx_in_parent, node)
+                return
+            if not self._borrow_or_merge(parent, idx_in_parent, node):
+                return
+            level -= 1
+        # root handling: shrink if an inner root lost all separators
+        root = self._root
+        if not root.is_leaf and len(root.children) == 1:
+            self._root = root.children[0]
+
+    def _fix_separator(self, parent, idx_in_parent, node):
+        """Keep the parent separator equal to the subtree's smallest key
+        after deletions at a leaf's left edge (cosmetic; lookups do not
+        require it, but it keeps check_invariants strict)."""
+        if idx_in_parent and node.is_leaf and node.keys:
+            parent.keys[idx_in_parent - 1] = node.keys[0]
+
+    def _borrow_or_merge(self, parent, idx, node):
+        """Try borrowing from a sibling; otherwise merge.
+
+        Returns True if the parent lost a child (so rebalancing must
+        continue upward).
+        """
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if node.is_leaf:
+            min_fill = self._min_leaf_fill()
+            if left is not None and len(left.keys) > min_fill:
+                node.keys.insert(0, left.keys.pop())
+                node.values.insert(0, left.values.pop())
+                parent.keys[idx - 1] = node.keys[0]
+                return False
+            if right is not None and len(right.keys) > min_fill:
+                node.keys.append(right.keys.pop(0))
+                node.values.append(right.values.pop(0))
+                parent.keys[idx] = right.keys[0]
+                return False
+            # merge with a sibling
+            if left is not None:
+                left.keys.extend(node.keys)
+                left.values.extend(node.values)
+                left.next = node.next
+                if node.next is not None:
+                    node.next.prev = left
+                del parent.children[idx]
+                del parent.keys[idx - 1]
+            else:
+                node.keys.extend(right.keys)
+                node.values.extend(right.values)
+                node.next = right.next
+                if right.next is not None:
+                    right.next.prev = node
+                del parent.children[idx + 1]
+                del parent.keys[idx]
+            return True
+
+        min_children = self._min_inner_children()
+        if left is not None and len(left.children) > min_children:
+            node.children.insert(0, left.children.pop())
+            node.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            return False
+        if right is not None and len(right.children) > min_children:
+            node.children.append(right.children.pop(0))
+            node.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            return False
+        if left is not None:
+            left.keys.append(parent.keys[idx - 1])
+            left.keys.extend(node.keys)
+            left.children.extend(node.children)
+            del parent.children[idx]
+            del parent.keys[idx - 1]
+        else:
+            node.keys.append(parent.keys[idx])
+            node.keys.extend(right.keys)
+            node.children.extend(right.children)
+            del parent.children[idx + 1]
+            del parent.keys[idx]
+        return True
+
+    def _check_node(self, node, low, high, is_root=False):
+        if node.is_leaf:
+            keys = node.keys
+            if keys != sorted(keys):
+                raise StorageError("leaf keys out of order")
+            for k in keys:
+                if (low is not NEG_INF and k < low) or (
+                    high is not POS_INF and k >= high
+                ):
+                    raise StorageError(f"leaf key {k!r} outside [{low!r}, {high!r})")
+            if not is_root and len(keys) < self._min_leaf_fill():
+                raise StorageError("underfull leaf")
+            if len(keys) >= self._order:
+                raise StorageError("overfull leaf")
+            return len(keys)
+        if node.keys != sorted(node.keys):
+            raise StorageError("inner keys out of order")
+        if len(node.children) != len(node.keys) + 1:
+            raise StorageError("inner child count mismatch")
+        if not is_root and len(node.children) < self._min_inner_children():
+            raise StorageError("underfull inner node")
+        if len(node.children) > self._order:
+            raise StorageError("overfull inner node")
+        count = 0
+        bounds = [low, *node.keys, high]
+        for i, child in enumerate(node.children):
+            count += self._check_node(child, bounds[i], bounds[i + 1])
+        return count

@@ -1,0 +1,74 @@
+"""Heap files: unordered record storage with RID addressing.
+
+Base tables that have no clustering index live in a :class:`HeapFile`.
+Records are addressed by monotonically assigned RIDs (record identifiers);
+deletion leaves holes, and RIDs are never reused, so a RID observed by one
+transaction can never silently come to mean a different row.
+"""
+
+from repro.common.errors import StorageError
+from repro.storage.records import VersionedRecord
+
+
+class HeapFile:
+    """An unordered bag of versioned records addressed by RID.
+
+    >>> h = HeapFile("orders")
+    >>> rid = h.insert_row(None)
+    >>> h.get(rid).key == ("orders", rid)
+    True
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self._records = {}
+        self._next_rid = 1
+
+    def __len__(self):
+        return len(self._records)
+
+    def allocate_rid(self):
+        """Reserve and return a fresh RID without storing anything."""
+        rid = self._next_rid
+        self._next_rid += 1
+        return rid
+
+    def insert_row(self, row, rid=None):
+        """Store ``row`` under a fresh (or supplied) RID; returns the RID."""
+        if rid is None:
+            rid = self.allocate_rid()
+        elif rid in self._records:
+            raise StorageError(f"RID {rid} already in use in heap {self.name!r}")
+        else:
+            self._next_rid = max(self._next_rid, rid + 1)
+        self._records[rid] = VersionedRecord((self.name, rid), row)
+        return rid
+
+    def get(self, rid):
+        """Return the record at ``rid`` or raise StorageError."""
+        try:
+            return self._records[rid]
+        except KeyError:
+            raise StorageError(f"no RID {rid} in heap {self.name!r}") from None
+
+    def try_get(self, rid):
+        """Return the record at ``rid`` or ``None``."""
+        return self._records.get(rid)
+
+    def delete(self, rid):
+        """Physically remove the record at ``rid``."""
+        if rid not in self._records:
+            raise StorageError(f"no RID {rid} in heap {self.name!r}")
+        del self._records[rid]
+
+    def scan(self, include_ghosts=False):
+        """Iterate ``(rid, record)`` pairs in RID order."""
+        for rid in sorted(self._records):
+            record = self._records[rid]
+            if record.is_ghost and not include_ghosts:
+                continue
+            yield rid, record
+
+    def live_count(self):
+        """Number of non-ghost records."""
+        return sum(1 for _, r in self._records.items() if not r.is_ghost)

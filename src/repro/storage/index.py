@@ -1,0 +1,275 @@
+"""A ghost-aware index: B+-tree of versioned records.
+
+:class:`Index` is the storage object tables and indexed views are made of.
+It wraps a :class:`~repro.storage.btree.BPlusTree` whose values are
+:class:`~repro.storage.records.VersionedRecord` instances and adds the
+semantics the maintenance and locking layers need:
+
+* **logical insert** revives an existing ghost instead of failing on a
+  duplicate key;
+* **logical delete** turns the record into a ghost rather than removing
+  the key (physical removal is the ghost cleaner's job);
+* scans skip ghosts by default but can include them (the cleaner, and
+  key-range locking, need to see them: a ghost still defines a lockable
+  key separating two gaps);
+* a registry of ghost keys awaiting cleanup.
+"""
+
+from repro.common.errors import StorageError
+from repro.common.keys import KeyRange
+from repro.storage.btree import BPlusTree
+from repro.storage.records import VersionedRecord
+
+
+class Index:
+    """An ordered, ghost-aware collection of versioned records.
+
+    When a ``latch_set`` is supplied, every operation runs the real latch
+    protocol against the index's tree latch — shared for lookups and
+    scans, exclusive for structural changes. The engine is single-
+    threaded (concurrency is simulated above the storage layer), so
+    latches cannot be *contended* here, but the acquire/release pairing
+    is executed and asserted, and the acquisition counts feed the
+    benchmarks as a proxy for physical-structure traffic.
+    """
+
+    def __init__(self, name, key_columns, order=32, unique=True, latch_set=None):
+        self.name = name
+        self.key_columns = tuple(key_columns)
+        self.unique = unique
+        self._tree = BPlusTree(order=order)
+        self._ghost_keys = set()
+        self._latches = latch_set
+
+    def _latched_shared(self, fn):
+        if self._latches is None:
+            return fn()
+        latch = self._latches.get(f"tree:{self.name}")
+        latch.acquire_shared(self.name)
+        try:
+            return fn()
+        finally:
+            latch.release(self.name)
+
+    def _latched_exclusive(self, fn):
+        if self._latches is None:
+            return fn()
+        latch = self._latches.get(f"tree:{self.name}")
+        latch.acquire_exclusive(self.name)
+        try:
+            return fn()
+        finally:
+            latch.release(self.name)
+
+    def __len__(self):
+        """Number of live (non-ghost) records."""
+        return len(self._tree) - len(self._ghost_keys)
+
+    def __contains__(self, key):
+        record = self._tree.get(key)
+        return record is not None and not record.is_ghost
+
+    def total_entries(self):
+        """Number of slots including ghosts."""
+        return len(self._tree)
+
+    def ghost_count(self):
+        return len(self._ghost_keys)
+
+    def key_of(self, row):
+        """Extract this index's key from ``row``."""
+        return row.key(self.key_columns)
+
+    # ------------------------------------------------------------------
+    # record access
+    # ------------------------------------------------------------------
+
+    def get_record(self, key, include_ghost=False):
+        """The record at ``key``; ``None`` if absent (or ghost, unless
+        ``include_ghost``)."""
+        record = self._latched_shared(lambda: self._tree.get(key))
+        if record is None:
+            return None
+        if record.is_ghost and not include_ghost:
+            return None
+        return record
+
+    def get_row(self, key):
+        """The live row at ``key``, or ``None``."""
+        record = self.get_record(key)
+        return record.current_row if record is not None else None
+
+    # ------------------------------------------------------------------
+    # logical modifications (ghost-aware)
+    # ------------------------------------------------------------------
+
+    def insert(self, key, row):
+        """Logically insert ``row`` at ``key``.
+
+        If a ghost occupies the key it is revived in place; a live
+        occupant raises :class:`StorageError`. Returns the record.
+        """
+
+        def do_insert():
+            existing = self._tree.get(key)
+            if existing is not None:
+                if not existing.is_ghost:
+                    raise StorageError(
+                        f"duplicate key {key!r} in index {self.name!r}"
+                    )
+                existing.revive(row)
+                self._ghost_keys.discard(key)
+                return existing
+            record = VersionedRecord(key, row)
+            self._tree.insert(key, record)
+            return record
+
+        return self._latched_exclusive(do_insert)
+
+    def update(self, key, row):
+        """Replace the live row at ``key`` in place (key must not change)."""
+        record = self.get_record(key)
+        if record is None:
+            raise StorageError(f"missing key {key!r} in index {self.name!r}")
+        record.current_row = row
+        return record
+
+    def logical_delete(self, key):
+        """Mark the record at ``key`` as a ghost; returns the record.
+
+        The key remains in the tree so key-range locks anchored on it stay
+        meaningful and escrow state attached to it survives until cleanup.
+        """
+        record = self.get_record(key)
+        if record is None:
+            raise StorageError(f"missing key {key!r} in index {self.name!r}")
+        record.make_ghost()
+        self._ghost_keys.add(key)
+        return record
+
+    # ------------------------------------------------------------------
+    # physical modifications (system transactions / cleanup only)
+    # ------------------------------------------------------------------
+
+    def physical_insert(self, record):
+        """Place an existing record object at its key (recovery redo)."""
+
+        def do_insert():
+            self._tree.insert(record.key, record, overwrite=True)
+            if record.is_ghost:
+                self._ghost_keys.add(record.key)
+            else:
+                self._ghost_keys.discard(record.key)
+
+        self._latched_exclusive(do_insert)
+
+    def physical_delete(self, key):
+        """Remove the slot entirely; only valid for ghost records unless
+        forced by recovery. Returns the removed record."""
+
+        def do_delete():
+            record = self._tree.get(key)
+            if record is None:
+                raise StorageError(f"missing key {key!r} in index {self.name!r}")
+            self._tree.delete(key)
+            self._ghost_keys.discard(key)
+            return record
+
+        return self._latched_exclusive(do_delete)
+
+    def ghost_keys(self):
+        """Snapshot of keys currently marked ghost (cleanup work list)."""
+        return sorted(self._ghost_keys)
+
+    def bulk_load(self, items, stamp_ts=None):
+        """Replace the index contents by bottom-up bulk build.
+
+        ``items`` is an iterable of (key, row) pairs; they are sorted
+        here. Used by view materialization — O(n log n) for the sort,
+        O(n) for the build, no per-key split work. Optionally stamps a
+        baseline committed version at ``stamp_ts``.
+        """
+
+        def build():
+            records = []
+            for key, row in sorted(items, key=lambda item: item[0]):
+                record = VersionedRecord(key, row)
+                if stamp_ts is not None:
+                    record.stamp_version(stamp_ts)
+                records.append((key, record))
+            self._tree.bulk_build(records)
+            self._ghost_keys.clear()
+
+        self._latched_exclusive(build)
+
+    # ------------------------------------------------------------------
+    # scans and navigation
+    # ------------------------------------------------------------------
+
+    def scan(self, key_range=None, include_ghosts=False):
+        """Iterate ``(key, record)`` pairs in key order over ``key_range``
+        (default: everything).
+
+        Scans are not tree-latched: a real engine latches leaf-at-a-time
+        and releases between leaves, which a Python generator cannot
+        express without holding the latch across arbitrary caller code.
+        Transactional protection comes from the key-range locks above.
+        """
+        if key_range is None:
+            key_range = KeyRange.all()
+        for key, record in self._tree.range_items(key_range):
+            if record.is_ghost and not include_ghosts:
+                continue
+            yield key, record
+
+    def rows(self, key_range=None):
+        """Iterate live rows in key order."""
+        for _, record in self.scan(key_range):
+            yield record.current_row
+
+    def next_key(self, key, inclusive=False, include_ghosts=True):
+        """The neighbouring key above ``key``.
+
+        Ghosts are included by default because key-range locking treats a
+        ghost as a real fence post: the gap on either side of it is a
+        distinct lockable unit.
+        """
+        candidate = self._tree.next_key(key, inclusive=inclusive)
+        if include_ghosts:
+            return candidate
+        while candidate is not None:
+            record = self._tree.get(candidate)
+            if not record.is_ghost:
+                return candidate
+            candidate = self._tree.next_key(candidate)
+        return None
+
+    def prev_key(self, key, inclusive=False, include_ghosts=True):
+        """The neighbouring key below ``key`` (see :meth:`next_key`)."""
+        candidate = self._tree.prev_key(key, inclusive=inclusive)
+        if include_ghosts:
+            return candidate
+        while candidate is not None:
+            record = self._tree.get(candidate)
+            if not record.is_ghost:
+                return candidate
+            candidate = self._tree.prev_key(candidate)
+        return None
+
+    def first_key(self):
+        return self._tree.first_key()
+
+    def last_key(self):
+        return self._tree.last_key()
+
+    def check_invariants(self):
+        """Structural check plus ghost-registry consistency."""
+        self._tree.check_invariants()
+        actual_ghosts = {
+            key for key, rec in self._tree.items() if rec.is_ghost
+        }
+        if actual_ghosts != self._ghost_keys:
+            raise StorageError(
+                f"ghost registry out of sync in index {self.name!r}: "
+                f"registry={sorted(self._ghost_keys)!r} actual={sorted(actual_ghosts)!r}"
+            )

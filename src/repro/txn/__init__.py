@@ -1,0 +1,21 @@
+"""Transactions: lifecycle, lock policies, snapshots."""
+
+from repro.txn.manager import TransactionManager
+from repro.txn.snapshot import SnapshotRegistry
+from repro.txn.transaction import (
+    LockPolicy,
+    Transaction,
+    TxnState,
+    TxnStats,
+    WouldWait,
+)
+
+__all__ = [
+    "LockPolicy",
+    "SnapshotRegistry",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "TxnStats",
+    "WouldWait",
+]

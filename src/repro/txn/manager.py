@@ -1,0 +1,222 @@
+"""Transaction lifecycle: begin, commit, abort, system transactions.
+
+Commit protocol (WAL rule enforced here):
+
+1. append COMMIT record, flush the log — the transaction is now durable;
+2. fold escrow deltas into their rows and stamp MVCC versions (via the
+   registered commit listener — the Database);
+3. release all locks, append END.
+
+Abort protocol (online rollback):
+
+1. append ABORT;
+2. walk the transaction's log backchain newest-first; for every undoable
+   record write a CLR and apply the undo — *except* escrow deltas, whose
+   pending amounts never reached the row: their CLRs are logged (so crash
+   recovery, which replays deltas, compensates them) but no row change is
+   applied online;
+3. discard pending escrow deltas, release locks, append END.
+
+System transactions (:meth:`TransactionManager.begin_system`) are nested
+top-level actions: they get their own id and commit independently of the
+user transaction that spawned them, exactly like B-tree structure
+modifications and ghost cleanup in SQL Server. Their commits survive a
+rollback of the surrounding user transaction.
+"""
+
+from repro.common.errors import TransactionStateError
+from repro.txn.transaction import LockPolicy, Transaction, TxnState
+from repro.wal.records import (
+    AbortRecord,
+    BeginRecord,
+    CommitRecord,
+    CompensationRecord,
+    CounterImageRecord,
+    EndRecord,
+    EscrowDeltaRecord,
+)
+
+
+class TransactionManager:
+    """Creates transactions and drives their completion."""
+
+    def __init__(self, clock, log, lock_manager, escrow_registry, snapshots,
+                 undo_target=None):
+        self._clock = clock
+        self._log = log
+        self._locks = lock_manager
+        self._escrow = escrow_registry
+        self._snapshots = snapshots
+        self._undo_target = undo_target
+        self._next_txn_id = 1
+        self._active = {}
+        self.commit_listener = None  # set by the Database
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    def set_undo_target(self, target):
+        self._undo_target = target
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, policy=LockPolicy.NOWAIT, is_system=False,
+              isolation="serializable"):
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        read_ts = self._snapshots.open(txn_id)
+        txn = Transaction(
+            txn_id,
+            self._locks,
+            policy=policy,
+            read_ts=read_ts,
+            is_system=is_system,
+            isolation=isolation,
+        )
+        self._active[txn_id] = txn
+        self._log.append(BeginRecord(txn_id, is_system=is_system))
+        return txn
+
+    def begin_system(self, policy=LockPolicy.NOWAIT):
+        """A nested top-level action: own id, commits independently."""
+        return self.begin(policy=policy, is_system=True)
+
+    def commit(self, txn):
+        """Make ``txn`` durable and visible; returns the commit timestamp."""
+        txn.require_active()
+        commit_ts = self._clock.tick()
+        txn.commit_ts = commit_ts
+        self._log.append(CommitRecord(txn.txn_id, commit_ts))
+        self._log.flush()
+        # Fold escrow deltas into rows and stamp versions. The listener is
+        # the Database; it needs the commit timestamp for version stamps.
+        if self.commit_listener is not None:
+            self.commit_listener(txn, commit_ts)
+        else:
+            for account in txn.escrow_touched.values():
+                account.commit(txn.txn_id)
+            for record in txn.touched_records:
+                record.stamp_version(commit_ts)
+        txn.state = TxnState.COMMITTED
+        self._locks.release_all(txn.txn_id)
+        self._snapshots.close(txn.txn_id)
+        self._log.append(EndRecord(txn.txn_id))
+        del self._active[txn.txn_id]
+        self.committed_count += 1
+        return commit_ts
+
+    def abort(self, txn, reason="user"):
+        """Roll ``txn`` back completely."""
+        if txn.state is TxnState.ABORTED:
+            return  # idempotent: deadlock victims may be aborted by the
+            # scheduler after the lock manager already denied them
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"cannot abort transaction {txn.txn_id} in state {txn.state.value}"
+            )
+        self._locks.cancel_wait(txn.txn_id)
+        self._log.append(AbortRecord(txn.txn_id))
+        self._rollback(txn)
+        for account in txn.escrow_touched.values():
+            account.abort(txn.txn_id)
+        txn.state = TxnState.ABORTED
+        self._locks.release_all(txn.txn_id)
+        self._snapshots.close(txn.txn_id)
+        self._log.append(EndRecord(txn.txn_id))
+        del self._active[txn.txn_id]
+        self.aborted_count += 1
+
+    def _rollback(self, txn, stop_after_lsn=None):
+        """Walk the backchain writing CLRs and applying undo actions.
+
+        ``stop_after_lsn`` bounds the walk for partial (savepoint)
+        rollback: records with LSN <= the bound are left alone.
+        """
+        lsn = self._log.last_lsn_of(txn.txn_id)
+        while lsn is not None:
+            if stop_after_lsn is not None and lsn <= stop_after_lsn:
+                break
+            record = self._log.record_at(lsn)
+            if isinstance(record, CompensationRecord):
+                lsn = record.undo_next_lsn
+                continue
+            if record.is_undoable():
+                clr = CompensationRecord(
+                    txn.txn_id,
+                    compensated_lsn=record.lsn,
+                    undo_next_lsn=record.prev_lsn,
+                    action=record,
+                )
+                self._log.append(clr)
+                if isinstance(record, EscrowDeltaRecord):
+                    # The delta never reached the row; reverse the pending
+                    # reservation instead.
+                    for column, delta in record.deltas.items():
+                        resource = (record.index_name, record.key, column)
+                        account = txn.escrow_touched.get(resource)
+                        if account is not None:
+                            account.unreserve(txn.txn_id, delta)
+                elif isinstance(record, CounterImageRecord):
+                    # The physically logged ablation variant also defers
+                    # row changes to commit; online undo discards nothing
+                    # here (pending state is reconciled at abort/commit).
+                    pass
+                elif self._undo_target is not None:
+                    # Everything else is undone in place under the
+                    # transaction's own locks.
+                    record.undo(self._undo_target)
+            lsn = record.prev_lsn
+
+    # ------------------------------------------------------------------
+    # savepoints
+    # ------------------------------------------------------------------
+
+    def savepoint(self, txn):
+        """Mark the current point in ``txn``; returns an opaque token for
+        :meth:`rollback_to`."""
+        txn.require_active()
+        return _Savepoint(txn.txn_id, self._log.last_lsn_of(txn.txn_id))
+
+    def rollback_to(self, txn, savepoint):
+        """Undo everything ``txn`` did after ``savepoint``, leaving the
+        transaction active (its locks are retained, as in every real
+        system — releasing them could let conflicting work slip into the
+        middle of the retained prefix)."""
+        txn.require_active()
+        if savepoint.txn_id != txn.txn_id:
+            raise TransactionStateError(
+                f"savepoint belongs to transaction {savepoint.txn_id}, "
+                f"not {txn.txn_id}"
+            )
+        self._rollback(txn, stop_after_lsn=savepoint.lsn)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def active_transactions(self):
+        return list(self._active.values())
+
+    def active_txn_table(self):
+        """txn_id -> last LSN, as a checkpoint wants it."""
+        return {
+            txn_id: self._log.last_lsn_of(txn_id) or 0
+            for txn_id in self._active
+        }
+
+    def get(self, txn_id):
+        return self._active.get(txn_id)
+
+
+class _Savepoint:
+    """An opaque marker: the transaction's last LSN at creation time."""
+
+    __slots__ = ("txn_id", "lsn")
+
+    def __init__(self, txn_id, lsn):
+        self.txn_id = txn_id
+        self.lsn = lsn
+
+    def __repr__(self):
+        return f"Savepoint(txn={self.txn_id}, lsn={self.lsn})"

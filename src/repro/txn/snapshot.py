@@ -1,0 +1,43 @@
+"""Snapshot (multi-version) read support.
+
+A transaction's ``read_ts`` freezes the committed state it sees: version
+chains answer reads as of that timestamp without any locks, so snapshot
+readers of an indexed view never block behind in-flight escrow writers —
+experiment R8's left column.
+
+The registry tracks which snapshots are still in use so version pruning
+(:meth:`SnapshotRegistry.horizon`) never removes a version some reader
+still needs.
+"""
+
+
+class SnapshotRegistry:
+    """Active snapshot timestamps, for visibility and pruning decisions."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._active = {}  # txn_id -> read_ts
+
+    def open(self, txn_id):
+        """Register a snapshot at the current time; returns the read_ts."""
+        ts = self._clock.now()
+        self._active[txn_id] = ts
+        return ts
+
+    def close(self, txn_id):
+        self._active.pop(txn_id, None)
+
+    def active_count(self):
+        return len(self._active)
+
+    def horizon(self):
+        """The oldest timestamp any active snapshot might read — versions
+        strictly older than the version visible at this timestamp are
+        garbage."""
+        if not self._active:
+            return self._clock.now()
+        return min(self._active.values())
+
+    def oldest_snapshot_age(self):
+        """How far (in clock ticks) the oldest snapshot lags now."""
+        return self._clock.now() - self.horizon()

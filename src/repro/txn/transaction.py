@@ -1,0 +1,144 @@
+"""Transaction objects and the lock-acquisition policies.
+
+A :class:`Transaction` is a handle: its state machine, its lock policy,
+the records it touched (for version stamping at commit), and the escrow
+accounts it reserved against. The heavy lifting — commit, abort, rollback
+— lives in :class:`~repro.txn.manager.TransactionManager`.
+
+Lock policies decide what happens when a lock request must wait:
+
+* ``NOWAIT`` — cancel and raise :class:`LockTimeoutError`. Used by direct
+  (non-simulated) callers, where a wait could never end, and by system
+  transactions like the ghost cleaner that prefer to skip contested work.
+* ``COOPERATIVE`` — raise :class:`WouldWait` carrying the queued request.
+  The discrete-event scheduler catches it, parks the transaction, and
+  re-runs the interrupted operation once the lock is granted. Operations
+  are written lock-first/mutate-second, so re-running is safe.
+"""
+
+import enum
+
+from repro.common.errors import LockTimeoutError, ReproError, TransactionStateError
+from repro.locking.manager import RequestStatus
+
+
+class LockPolicy(enum.Enum):
+    NOWAIT = "nowait"
+    COOPERATIVE = "cooperative"
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class WouldWait(ReproError):
+    """Control-flow signal: the lock request was queued; park and retry.
+
+    Not an error in the failure sense — it never escapes the scheduler.
+    """
+
+    def __init__(self, request):
+        super().__init__(f"txn {request.txn_id} must wait for {request.resource!r}")
+        self.request = request
+
+
+class Transaction:
+    """One unit of atomicity. Created by the TransactionManager."""
+
+    __slots__ = (
+        "txn_id",
+        "state",
+        "is_system",
+        "policy",
+        "isolation",
+        "read_ts",
+        "commit_ts",
+        "touched_records",
+        "escrow_touched",
+        "scratch",
+        "stats",
+        "_lock_manager",
+    )
+
+    def __init__(self, txn_id, lock_manager, policy=LockPolicy.NOWAIT, read_ts=0,
+                 is_system=False, isolation="serializable"):
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self.is_system = is_system
+        self.policy = policy
+        self.isolation = isolation
+        self.read_ts = read_ts
+        self.commit_ts = None
+        self.touched_records = []  # VersionedRecords to stamp at commit
+        self.escrow_touched = {}  # resource -> EscrowAccount
+        self.scratch = {}  # per-txn scratch space (commit-time delta folding)
+        self.stats = TxnStats()
+        self._lock_manager = lock_manager
+
+    def __repr__(self):
+        return f"Transaction({self.txn_id}, {self.state.value})"
+
+    # ------------------------------------------------------------------
+
+    def require_active(self):
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def acquire(self, resource, mode):
+        """Take a lock, honouring this transaction's policy on waits."""
+        self.require_active()
+        request = self._lock_manager.request(self.txn_id, resource, mode)
+        if request.status is RequestStatus.GRANTED:
+            return request
+        if request.status is RequestStatus.DENIED:
+            self.stats.deadlocks += 1
+            raise request.deny_error
+        # WAITING
+        self.stats.lock_waits += 1
+        if self.policy is LockPolicy.COOPERATIVE:
+            raise WouldWait(request)
+        self._lock_manager.cancel_wait(self.txn_id)
+        raise LockTimeoutError(self.txn_id, resource)
+
+    def acquire_all(self, plan):
+        """Acquire every (resource, mode) pair of a lock plan, in order."""
+        for resource, mode in plan:
+            self.acquire(resource, mode)
+
+    def holds(self, resource):
+        return self._lock_manager.held_mode(self.txn_id, resource)
+
+    # ------------------------------------------------------------------
+
+    def touch_record(self, record):
+        """Remember ``record`` for version stamping at commit."""
+        self.touched_records.append(record)
+
+    def touch_escrow(self, resource, account):
+        self.escrow_touched[resource] = account
+
+
+class TxnStats:
+    """Per-transaction counters reported to the harness."""
+
+    __slots__ = ("lock_waits", "deadlocks", "reads", "writes", "view_maintenances")
+
+    def __init__(self):
+        self.lock_waits = 0
+        self.deadlocks = 0
+        self.reads = 0
+        self.writes = 0
+        self.view_maintenances = 0
+
+    def as_dict(self):
+        return {
+            "lock_waits": self.lock_waits,
+            "deadlocks": self.deadlocks,
+            "reads": self.reads,
+            "writes": self.writes,
+            "view_maintenances": self.view_maintenances,
+        }

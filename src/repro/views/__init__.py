@@ -1,0 +1,41 @@
+"""Indexed views: definitions, maintenance, deltas, deferred mode."""
+
+from repro.views.actions import Action, run_actions
+from repro.views.aggregate import ESCROW, XLOCK, AggregateMaintainer
+from repro.views.deferred import DeferredMaintainer
+from repro.views.definition import (
+    AggregateView,
+    JoinAggregateView,
+    JoinView,
+    ProjectionView,
+    ViewDefinition,
+    is_aggregate_kind,
+)
+from repro.views.join_aggregate import JoinAggregateMaintainer
+from repro.views.delta import NetDelta, TxnViewDeltas
+from repro.views.join import JoinMaintainer, leftfk_index_name, secondary_index_name
+from repro.views.maintenance import MaintenanceEngine
+from repro.views.projection import ProjectionMaintainer
+
+__all__ = [
+    "ESCROW",
+    "XLOCK",
+    "Action",
+    "AggregateMaintainer",
+    "AggregateView",
+    "DeferredMaintainer",
+    "JoinAggregateMaintainer",
+    "JoinAggregateView",
+    "JoinMaintainer",
+    "JoinView",
+    "MaintenanceEngine",
+    "NetDelta",
+    "ProjectionMaintainer",
+    "ProjectionView",
+    "TxnViewDeltas",
+    "ViewDefinition",
+    "is_aggregate_kind",
+    "leftfk_index_name",
+    "run_actions",
+    "secondary_index_name",
+]

@@ -1,0 +1,46 @@
+"""Maintenance actions: the lock-first / mutate-second contract.
+
+Every DML statement is compiled into a list of :class:`Action` objects:
+one for the base-table change plus one or more per affected view. The DML
+executor then runs two phases::
+
+    for action in actions: db.acquire_plan(txn, action.lock_plan)  # phase A
+    for action in actions: action.apply(db, txn)               # phase B
+
+Phase A may raise :class:`~repro.txn.transaction.WouldWait`; the simulator
+parks the transaction and *re-runs the whole statement*, which recompiles
+the actions against the (possibly changed) current state. Because phase A
+never mutates anything, re-running is always safe; because the simulator
+executes a statement run atomically (no other transaction progresses
+between phase A's last grant and phase B), the state phase B sees is the
+state the actions were compiled against.
+
+Locks already held from a previous run are simply re-confirmed (the lock
+manager treats covered re-requests as no-ops) and retained until commit —
+strict two-phase locking.
+"""
+
+
+class Action:
+    """A lock plan plus a mutation closure."""
+
+    __slots__ = ("description", "lock_plan", "_apply")
+
+    def __init__(self, description, lock_plan, apply_fn):
+        self.description = description
+        self.lock_plan = list(lock_plan)
+        self._apply = apply_fn
+
+    def __repr__(self):
+        return f"Action({self.description!r}, {len(self.lock_plan)} locks)"
+
+    def apply(self, db, txn):
+        self._apply(db, txn)
+
+
+def run_actions(db, txn, actions):
+    """Acquire every plan, then apply every mutation — in order."""
+    for action in actions:
+        db.acquire_plan(txn, action.lock_plan)
+    for action in actions:
+        action.apply(db, txn)

@@ -1,0 +1,308 @@
+"""Join-view maintenance.
+
+A join view materializes ``left ⋈ right`` keyed by (left pk, right pk) and
+carries a **secondary index** keyed by (right pk, left pk) so that
+right-side deletes find their view rows without scanning — indexed views
+with multiple indexes, exactly as the paper's title says.
+
+Two auxiliary structures are maintained alongside:
+
+* ``<view>#right`` — the secondary index on the view (logged, recovered);
+* ``<view>#leftfk`` — an internal index on the *left base table*'s join
+  columns, created automatically when the view is, so that inserting a
+  right row can find pre-existing left rows that reference it. Its entries
+  are covered by the base row's own lock (a documented simplification:
+  locking the base key protects its derived index entries).
+
+View rows are deleted by **ghosting** (like aggregate groups): the key
+stays as a lockable fence post until the ghost cleaner removes it.
+"""
+
+from repro.common.keys import KeyRange
+from repro.locking.keyrange import (
+    locks_for_insert,
+    locks_for_logical_delete,
+    locks_for_point_read,
+    locks_for_update,
+)
+from repro.views.actions import Action
+from repro.wal.records import GhostRecord, InsertRecord, ReviveRecord, UpdateRecord
+
+
+def secondary_index_name(view_name):
+    return f"{view_name}#right"
+
+
+def leftfk_index_name(view_name):
+    return f"{view_name}#leftfk"
+
+
+class JoinMaintainer:
+    """Compiles base-table changes into join-view actions."""
+
+    # ------------------------------------------------------------------
+    # statement compilation
+    # ------------------------------------------------------------------
+
+    def compile_insert(self, db, txn, view, table, row):
+        if table == view.left:
+            return self._compile_left_insert(db, txn, view, row)
+        return self._compile_right_insert(db, txn, view, row)
+
+    def compile_delete(self, db, txn, view, table, row):
+        if table == view.left:
+            keys = self._view_keys_for_left(db, view, self._left_key(db, view, row))
+        else:
+            keys = self._view_keys_for_right(db, view, db.table_key(view.right, row))
+        actions = []
+        if table == view.left:
+            actions.append(self._leftfk_delete_action(db, view, row))
+        for vkey in keys:
+            actions.extend(self._ghost_view_row_actions(db, view, vkey))
+        return actions
+
+    def compile_update(self, db, txn, view, table, before, after):
+        """Updates decompose into delete+insert unless the row's join
+        behaviour is unchanged, in which case affected view rows are
+        patched in place."""
+        join_cols = (
+            [lc for lc, _ in view.on] if table == view.left else list(view.right_pk)
+        )
+        join_changed = any(before[c] != after[c] for c in join_cols)
+        if join_changed:
+            return self.compile_delete(db, txn, view, table, before) + (
+                self.compile_insert(db, txn, view, table, after)
+            )
+        # In-place: re-derive each affected view row from the new base row.
+        if table == view.left:
+            keys = self._view_keys_for_left(
+                db, view, self._left_key(db, view, before)
+            )
+        else:
+            keys = self._view_keys_for_right(
+                db, view, db.table_key(view.right, before)
+            )
+        actions = []
+        for vkey in keys:
+            actions.extend(
+                self._patch_view_row_actions(db, txn, view, table, vkey, before, after)
+            )
+        return actions
+
+    # ------------------------------------------------------------------
+    # left-side insert
+    # ------------------------------------------------------------------
+
+    def _compile_left_insert(self, db, txn, view, row):
+        actions = [self._leftfk_insert_action(db, view, row)]
+        right_index = db.index(view.right)
+        fk = view.left_fk_of(row)
+        # Read the matched right row under a shared lock (before any
+        # mutation — this is still compile phase).
+        db.acquire_plan(txn, locks_for_point_read(right_index, fk))
+        txn.stats.reads += 1
+        right_row = right_index.get_row(fk)
+        if right_row is None:
+            return actions
+        joined = row.merge(right_row)
+        if not view.relevant(joined):
+            return actions
+        view_row = joined.project(view.columns)
+        actions.extend(self._insert_view_row_actions(db, view, view_row))
+        return actions
+
+    def _compile_right_insert(self, db, txn, view, row):
+        """A new right row may match left rows inserted before it (no FK
+        enforcement here). Find them through the auto-created left-fk
+        index."""
+        actions = []
+        fk_index = db.index(leftfk_index_name(view.name))
+        right_key = db.table_key(view.right, row)
+        matches = list(
+            fk_index.scan(KeyRange.prefix(right_key, len(fk_index.key_columns)))
+        )
+        left_index = db.index(view.left)
+        for _, ref_record in matches:
+            left_key = tuple(
+                ref_record.current_row[c] for c in db.table_pk(view.left)
+            )
+            db.acquire_plan(txn, locks_for_point_read(left_index, left_key))
+            txn.stats.reads += 1
+            left_row = left_index.get_row(left_key)
+            if left_row is None:
+                continue
+            joined = left_row.merge(row)
+            if not view.relevant(joined):
+                continue
+            view_row = joined.project(view.columns)
+            actions.extend(self._insert_view_row_actions(db, view, view_row))
+        return actions
+
+    # ------------------------------------------------------------------
+    # action builders
+    # ------------------------------------------------------------------
+
+    def _insert_view_row_actions(self, db, view, view_row):
+        vkey = view.key_of(view_row)
+        primary = db.index(view.name)
+        secondary = db.index(secondary_index_name(view.name))
+        skey = self._secondary_key(db, view, view_row)
+        plan = locks_for_insert(primary, vkey, db.config.serializable)
+
+        def apply(d, t):
+            self._insert_into(d, t, view.name, primary, vkey, view_row)
+            self._insert_into(
+                d, t, secondary_index_name(view.name), secondary, skey, view_row
+            )
+            t.stats.view_maintenances += 1
+            d.stats.incr("join.row_inserted")
+
+        return [Action(f"join-insert {view.name}{vkey!r}", plan, apply)]
+
+    def _ghost_view_row_actions(self, db, view, vkey):
+        primary = db.index(view.name)
+        record = primary.get_record(vkey)
+        if record is None:
+            return []
+        view_row = record.current_row
+        skey = self._secondary_key(db, view, view_row)
+        sec_name = secondary_index_name(view.name)
+        secondary = db.index(sec_name)
+        plan = locks_for_logical_delete(primary, vkey)
+
+        def apply(d, t):
+            rec = primary.get_record(vkey)
+            primary.logical_delete(vkey)
+            d.log.append(GhostRecord(t.txn_id, view.name, vkey, rec.current_row))
+            t.touch_record(rec)
+            d.cleanup.enqueue(view.name, vkey)
+            srec = secondary.get_record(skey)
+            if srec is not None:
+                secondary.logical_delete(skey)
+                d.log.append(GhostRecord(t.txn_id, sec_name, skey, srec.current_row))
+                t.touch_record(srec)
+                d.cleanup.enqueue(sec_name, skey)
+            t.stats.view_maintenances += 1
+            d.stats.incr("join.row_ghosted")
+
+        return [Action(f"join-ghost {view.name}{vkey!r}", plan, apply)]
+
+    def _patch_view_row_actions(self, db, txn, view, table, vkey, before, after):
+        primary = db.index(view.name)
+        record = primary.get_record(vkey)
+        if record is None:
+            return []
+        old_view_row = record.current_row
+        changed = {
+            c: after[c]
+            for c in view.columns
+            if c in after and c in before and before[c] != after[c]
+        }
+        if not changed:
+            return []
+        new_view_row = old_view_row.replace(**changed)
+        if not view.relevant(new_view_row):
+            # The update pushed the joined row out of the view's predicate.
+            return self._ghost_view_row_actions(db, view, vkey)
+        sec_name = secondary_index_name(view.name)
+        secondary = db.index(sec_name)
+        skey = self._secondary_key(db, view, old_view_row)
+        plan = locks_for_update(primary, vkey)
+
+        def apply(d, t):
+            rec = primary.get_record(vkey)
+            d.log.append(
+                UpdateRecord(t.txn_id, view.name, vkey, rec.current_row, new_view_row)
+            )
+            rec.current_row = new_view_row
+            t.touch_record(rec)
+            srec = secondary.get_record(skey)
+            if srec is not None:
+                d.log.append(
+                    UpdateRecord(t.txn_id, sec_name, skey, srec.current_row, new_view_row)
+                )
+                srec.current_row = new_view_row
+                t.touch_record(srec)
+            t.stats.view_maintenances += 1
+            d.stats.incr("join.row_patched")
+
+        return [Action(f"join-patch {view.name}{vkey!r}", plan, apply)]
+
+    def _insert_into(self, db, txn, index_name, index, key, row):
+        existing = index.get_record(key, include_ghost=True)
+        if existing is not None and existing.is_ghost:
+            ghost_row = existing.current_row
+            index.insert(key, row)
+            db.log.append(ReviveRecord(txn.txn_id, index_name, key, row, ghost_row))
+            db.cleanup.cancel(index_name, key)
+            txn.touch_record(existing)
+            return
+        record = index.insert(key, row)
+        db.log.append(InsertRecord(txn.txn_id, index_name, key, row))
+        txn.touch_record(record)
+
+    # ------------------------------------------------------------------
+    # the internal left-fk index
+    # ------------------------------------------------------------------
+
+    def _leftfk_insert_action(self, db, view, row):
+        name = leftfk_index_name(view.name)
+        index = db.index(name)
+        key = self._leftfk_key(db, view, row)
+        ref_columns = []
+        for c in [lc for lc, _ in view.on] + list(db.table_pk(view.left)):
+            if c not in ref_columns:
+                ref_columns.append(c)
+        ref_row = row.project(tuple(ref_columns))
+
+        def apply(d, t):
+            self._insert_into(d, t, name, index, key, ref_row)
+
+        # Covered by the base row's lock: no plan of its own.
+        return Action(f"leftfk-insert {name}{key!r}", [], apply)
+
+    def _leftfk_delete_action(self, db, view, row):
+        name = leftfk_index_name(view.name)
+        index = db.index(name)
+        key = self._leftfk_key(db, view, row)
+
+        def apply(d, t):
+            record = index.get_record(key)
+            if record is None:
+                return
+            index.logical_delete(key)
+            d.log.append(GhostRecord(t.txn_id, name, key, record.current_row))
+            t.touch_record(record)
+            d.cleanup.enqueue(name, key)
+
+        return Action(f"leftfk-ghost {name}{key!r}", [], apply)
+
+    # ------------------------------------------------------------------
+    # key plumbing
+    # ------------------------------------------------------------------
+
+    def _left_key(self, db, view, row):
+        return db.table_key(view.left, row)
+
+    def _leftfk_key(self, db, view, left_row):
+        fk = view.left_fk_of(left_row)
+        return fk + self._left_key(db, view, left_row)
+
+    def _secondary_key(self, db, view, view_row):
+        right_part = tuple(view_row[c] for c in view.right_pk)
+        left_part = tuple(view_row[c] for c in view.left_pk)
+        return right_part + left_part
+
+    def _view_keys_for_left(self, db, view, left_key):
+        primary = db.index(view.name)
+        rng = KeyRange.prefix(left_key, len(view.key_columns))
+        return [key for key, _ in primary.scan(rng)]
+
+    def _view_keys_for_right(self, db, view, right_key):
+        secondary = db.index(secondary_index_name(view.name))
+        rng = KeyRange.prefix(right_key, len(secondary.key_columns))
+        keys = []
+        for _, record in secondary.scan(rng):
+            row = record.current_row
+            keys.append(view.key_of(row))
+        return keys

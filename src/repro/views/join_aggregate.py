@@ -1,0 +1,146 @@
+"""Maintenance for join-aggregate views.
+
+The strategy is composition: turn a base-table change into a set of
+*joined-row contributions* ``(joined_row, sign)``, fold them into net
+per-group counter deltas, and hand each group delta to the plain
+aggregate maintainer (:meth:`AggregateMaintainer.compile_group_delta`) —
+so join-aggregate groups enjoy the same escrow locking, ghosting, and
+commit folding as single-table aggregate groups.
+
+Contribution derivation per event:
+
+* **left insert/delete** — look up the matched right row (S lock) and
+  contribute ±1 joined row;
+* **left update** — −old contribution, +new contribution (the fk may
+  have changed: each side does its own right-row lookup);
+* **right insert** — *backfill*: every pre-existing left row referencing
+  the new right key contributes +1 (found through the auto-created
+  ``<view>#leftfk`` index, shared with plain join views);
+* **right delete** — every child's contribution is removed;
+* **right update** — if any group-by / aggregate-source / predicate
+  column changed, each child re-contributes (−old, +new).
+
+Right-side fan-out means one parent update can touch many groups — the
+NetDelta fold collapses those into one action per affected group.
+"""
+
+from repro.common.keys import KeyRange
+from repro.locking.keyrange import locks_for_point_read
+from repro.views.delta import NetDelta, TxnViewDeltas
+from repro.views.join import leftfk_index_name
+
+
+class JoinAggregateMaintainer:
+    """Compiles base-table changes into join-aggregate view actions."""
+
+    def __init__(self, aggregate_maintainer):
+        self._aggregate = aggregate_maintainer
+
+    # ------------------------------------------------------------------
+    # statement compilation
+    # ------------------------------------------------------------------
+
+    def compile(self, db, txn, view, table, op, before, after):
+        contributions = []
+        if table == view.left:
+            if op in ("delete", "update"):
+                contributions.extend(
+                    self._left_contributions(db, txn, view, before, -1)
+                )
+            if op in ("insert", "update"):
+                contributions.extend(
+                    self._left_contributions(db, txn, view, after, +1)
+                )
+        else:  # right-side change
+            if op == "update" and not self._right_change_matters(
+                view, before, after
+            ):
+                return []
+            if op in ("delete", "update"):
+                contributions.extend(
+                    self._right_contributions(db, txn, view, before, -1)
+                )
+            if op in ("insert", "update"):
+                contributions.extend(
+                    self._right_contributions(db, txn, view, after, +1)
+                )
+        return self._fold_and_compile(db, txn, view, contributions)
+
+    # ------------------------------------------------------------------
+
+    def _left_contributions(self, db, txn, view, left_row, sign):
+        right_index = db.index(view.right)
+        fk = view.left_fk_of(left_row)
+        db.acquire_plan(txn, locks_for_point_read(right_index, fk))
+        txn.stats.reads += 1
+        right_row = right_index.get_row(fk)
+        if right_row is None:
+            return []
+        return [(left_row.merge(right_row), sign)]
+
+    def _right_contributions(self, db, txn, view, right_row, sign):
+        """All children's joined rows with ``right_row``, via #leftfk."""
+        fk_index = db.index(leftfk_index_name(view.name))
+        right_key = tuple(right_row[c] for c in view.right_pk)
+        left_index = db.index(view.left)
+        contributions = []
+        matches = list(
+            fk_index.scan(KeyRange.prefix(right_key, len(fk_index.key_columns)))
+        )
+        for _, ref_record in matches:
+            left_key = tuple(
+                ref_record.current_row[c] for c in db.table_pk(view.left)
+            )
+            db.acquire_plan(txn, locks_for_point_read(left_index, left_key))
+            txn.stats.reads += 1
+            left_row = left_index.get_row(left_key)
+            if left_row is None:
+                continue
+            contributions.append((left_row.merge(right_row), sign))
+        return contributions
+
+    def _right_change_matters(self, view, before, after):
+        """Did the update touch any column the view derives from?"""
+        interesting = set(view.group_by)
+        for spec in view.aggregates:
+            if spec.source is not None:
+                interesting.add(spec.source)
+        changed = {c for c in after if c in before and before[c] != after[c]}
+        if changed & interesting:
+            return True
+        # a predicate can reference any column; re-evaluate conservatively
+        return view.where is not None and bool(changed)
+
+    def _fold_and_compile(self, db, txn, view, contributions):
+        net = NetDelta(view.name)
+        for joined_row, sign in contributions:
+            deltas = view.deltas_for_joined(joined_row, sign)
+            if deltas is None:
+                continue
+            net.add(view.group_key_of_joined_row(joined_row), deltas)
+        if db.config.maintenance_mode == "commit_fold":
+            TxnViewDeltas.for_view(txn, view.name).merge(net)
+            return []
+        return [
+            self._aggregate.compile_group_delta(db, txn, view, group_key, deltas)
+            for group_key, deltas in net.items()
+        ]
+
+    # ------------------------------------------------------------------
+    # the internal left-fk index (shared shape with join views)
+    # ------------------------------------------------------------------
+
+    def leftfk_actions(self, db, txn, view, table, op, before, after):
+        """Maintain the #leftfk index for left-table changes.
+
+        Reuses the join maintainer's covered-by-base-lock convention.
+        """
+        if table != view.left:
+            return []
+        join_maintainer = db.maintenance.join
+        actions = []
+        if op in ("delete", "update"):
+            actions.append(join_maintainer._leftfk_delete_action(db, view, before))
+        if op in ("insert", "update"):
+            actions.append(join_maintainer._leftfk_insert_action(db, view, after))
+        return actions

@@ -1,0 +1,106 @@
+"""The maintenance engine: dispatch base-table changes to view maintainers.
+
+Given one base-table change (insert / delete / update with before+after
+images), :meth:`MaintenanceEngine.compile` produces the list of view
+maintenance :class:`~repro.views.actions.Action` objects for every view
+defined over that table, honouring the database's maintenance mode:
+
+* ``immediate`` — actions run inside the user statement (the paper's
+  indexed views);
+* ``commit_fold`` — aggregate deltas accumulate per transaction and apply
+  just before the commit record (experiment R10); non-aggregate views are
+  still maintained immediately (folding row-level inserts buys nothing);
+* ``deferred`` — changes queue in the deferred maintainer and the views
+  drift stale until refreshed (experiment R6's baseline).
+"""
+
+from repro.views.aggregate import AggregateMaintainer
+from repro.views.join import JoinMaintainer
+from repro.views.join_aggregate import JoinAggregateMaintainer
+from repro.views.projection import ProjectionMaintainer
+
+
+class MaintenanceEngine:
+    """Routes base-table deltas to per-view-kind maintainers."""
+
+    def __init__(self, catalog, aggregate_strategy="escrow", deferred=None):
+        self._catalog = catalog
+        self.aggregate = AggregateMaintainer(strategy=aggregate_strategy)
+        self.join = JoinMaintainer()
+        self.join_aggregate = JoinAggregateMaintainer(self.aggregate)
+        self.projection = ProjectionMaintainer()
+        self.deferred = deferred  # a DeferredMaintainer, or None
+
+    def _maintainer_for(self, view):
+        if view.kind == "aggregate":
+            return self.aggregate
+        if view.kind == "join":
+            return self.join
+        if view.kind == "join_aggregate":
+            return self.join_aggregate
+        if view.kind == "projection":
+            return self.projection
+        raise TypeError(f"no maintainer for view kind {view.kind!r}")
+
+    # ------------------------------------------------------------------
+
+    def compile(self, db, txn, table, op, before=None, after=None):
+        """Actions maintaining every view over ``table`` for one change.
+
+        ``op`` is ``"insert"`` (after set), ``"delete"`` (before set) or
+        ``"update"`` (both set).
+        """
+        actions = []
+        for view in self._catalog.views_on(table):
+            if db.config.maintenance_mode == "deferred" and self.deferred is not None:
+                self.deferred.enqueue(view, table, op, before, after)
+                continue
+            actions.extend(
+                self._compile_one(db, txn, view, table, op, before, after)
+            )
+        return actions
+
+    def _compile_one(self, db, txn, view, table, op, before, after):
+        maintainer = self._maintainer_for(view)
+        if view.kind == "aggregate":
+            if op == "insert":
+                return maintainer.compile_insert(db, txn, view, after)
+            if op == "delete":
+                return maintainer.compile_delete(db, txn, view, before)
+            return maintainer.compile_update(db, txn, view, before, after)
+        if view.kind == "join":
+            if op == "insert":
+                return maintainer.compile_insert(db, txn, view, table, after)
+            if op == "delete":
+                return maintainer.compile_delete(db, txn, view, table, before)
+            return maintainer.compile_update(db, txn, view, table, before, after)
+        if view.kind == "join_aggregate":
+            actions = maintainer.leftfk_actions(
+                db, txn, view, table, op, before, after
+            )
+            actions.extend(
+                maintainer.compile(db, txn, view, table, op, before, after)
+            )
+            return actions
+        # projection
+        if op == "insert":
+            return maintainer.compile_insert(db, txn, view, after)
+        if op == "delete":
+            return maintainer.compile_delete(db, txn, view, before)
+        return maintainer.compile_update(db, txn, view, before, after)
+
+    # ------------------------------------------------------------------
+
+    def compile_commit_folds(self, db, txn):
+        """Actions for the transaction's accumulated NetDeltas
+        (commit_fold mode); empty in other modes."""
+        from repro.views.delta import TxnViewDeltas
+
+        nets = txn.scratch.get(TxnViewDeltas.SCRATCH_KEY)
+        if not nets:
+            return []
+        actions = []
+        for view_name in sorted(nets):
+            view = self._catalog.view(view_name)
+            actions.extend(self.aggregate.compile_net(db, txn, view, nets[view_name]))
+        return actions

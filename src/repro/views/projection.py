@@ -1,0 +1,104 @@
+"""Projection-view maintenance (SELECT cols FROM base WHERE p).
+
+The simplest view shape: one view row per qualifying base row, keyed by
+the base primary key. Its interesting case is the predicate boundary — an
+update can move a row *into* or *out of* the view, which is an insert or
+a (ghosted) delete on the view index, with the corresponding key-range
+locking.
+"""
+
+from repro.locking.keyrange import (
+    locks_for_insert,
+    locks_for_logical_delete,
+    locks_for_update,
+)
+from repro.views.actions import Action
+from repro.wal.records import GhostRecord, InsertRecord, ReviveRecord, UpdateRecord
+
+
+class ProjectionMaintainer:
+    """Compiles base-table changes into projection-view actions."""
+
+    def compile_insert(self, db, txn, view, row):
+        if not view.relevant(row):
+            return []
+        view_row = view.project(row)
+        return [self._insert_action(db, view, view_row)]
+
+    def compile_delete(self, db, txn, view, row):
+        if not view.relevant(row):
+            return []
+        vkey = view.key_of(view.project(row))
+        return self._ghost_actions(db, view, vkey)
+
+    def compile_update(self, db, txn, view, before, after):
+        was_in = view.relevant(before)
+        now_in = view.relevant(after)
+        if not was_in and not now_in:
+            return []
+        if was_in and not now_in:
+            vkey = view.key_of(view.project(before))
+            return self._ghost_actions(db, view, vkey)
+        if not was_in and now_in:
+            return [self._insert_action(db, view, view.project(after))]
+        # stayed in the view: in-place patch (the key cannot change — base
+        # primary keys are immutable in this engine)
+        new_view_row = view.project(after)
+        vkey = view.key_of(new_view_row)
+        index = db.index(view.name)
+        plan = locks_for_update(index, vkey)
+
+        def apply(d, t):
+            record = index.get_record(vkey)
+            d.log.append(
+                UpdateRecord(t.txn_id, view.name, vkey, record.current_row, new_view_row)
+            )
+            record.current_row = new_view_row
+            t.touch_record(record)
+            t.stats.view_maintenances += 1
+            d.stats.incr("proj.row_patched")
+
+        return [Action(f"proj-patch {view.name}{vkey!r}", plan, apply)]
+
+    # ------------------------------------------------------------------
+
+    def _insert_action(self, db, view, view_row):
+        index = db.index(view.name)
+        vkey = view.key_of(view_row)
+        plan = locks_for_insert(index, vkey, db.config.serializable)
+
+        def apply(d, t):
+            existing = index.get_record(vkey, include_ghost=True)
+            if existing is not None and existing.is_ghost:
+                ghost_row = existing.current_row
+                index.insert(vkey, view_row)
+                d.log.append(
+                    ReviveRecord(t.txn_id, view.name, vkey, view_row, ghost_row)
+                )
+                d.cleanup.cancel(view.name, vkey)
+                t.touch_record(existing)
+            else:
+                record = index.insert(vkey, view_row)
+                d.log.append(InsertRecord(t.txn_id, view.name, vkey, view_row))
+                t.touch_record(record)
+            t.stats.view_maintenances += 1
+            d.stats.incr("proj.row_inserted")
+
+        return Action(f"proj-insert {view.name}{vkey!r}", plan, apply)
+
+    def _ghost_actions(self, db, view, vkey):
+        index = db.index(view.name)
+        if index.get_record(vkey) is None:
+            return []
+        plan = locks_for_logical_delete(index, vkey)
+
+        def apply(d, t):
+            record = index.get_record(vkey)
+            index.logical_delete(vkey)
+            d.log.append(GhostRecord(t.txn_id, view.name, vkey, record.current_row))
+            t.touch_record(record)
+            d.cleanup.enqueue(view.name, vkey)
+            t.stats.view_maintenances += 1
+            d.stats.incr("proj.row_ghosted")
+
+        return [Action(f"proj-ghost {view.name}{vkey!r}", plan, apply)]

@@ -1,0 +1,200 @@
+"""Crash recovery: analysis, repeat-history redo, loser undo.
+
+The engine's tables are in-memory, so a crash loses *all* data state and
+recovery rebuilds it from the durable log prefix (or from the latest sharp
+checkpoint snapshot). The three ARIES phases survive intact:
+
+1. **Analysis** — scan the log; transactions with a COMMIT record are
+   winners, everything else still open at the crash is a loser. System
+   transactions commit independently of their parents (multi-level
+   recovery): a ghost-cleanup that committed stays committed even if the
+   user transaction whose delete produced the ghost aborts.
+2. **Redo** — repeat history: every data record (including CLRs, including
+   losers' records) is re-applied in LSN order.
+3. **Undo** — losers are rolled back by walking their backchains newest-
+   first, honouring ``undo_next_lsn`` in CLRs so partially rolled-back
+   transactions are not compensated twice. Undo writes fresh CLRs so a
+   crash *during recovery* is itself recoverable.
+
+The escrow point: :class:`~repro.wal.records.EscrowDeltaRecord` redo/undo
+are relative (+delta / -delta), so the interleaved histories that escrow
+locking permits recover to exactly the committed sums. Physical
+before/after-image records cannot promise that — the R4 experiment runs
+both through this same recovery driver and shows the divergence.
+"""
+
+from repro.wal.records import (
+    AbortRecord,
+    BeginRecord,
+    CommitRecord,
+    CompensationRecord,
+    EndRecord,
+    RecordType,
+)
+
+
+class RecoveryTarget:
+    """The interface recovery (and online rollback) drives.
+
+    The engine's :class:`~repro.core.database.Database` implements these
+    as direct index manipulations that bypass locking — recovery runs
+    single-threaded before transactions restart, and online rollback runs
+    under the aborting transaction's own locks.
+    """
+
+    def recovery_insert(self, index_name, key, row, is_ghost=False):
+        raise NotImplementedError
+
+    def recovery_delete(self, index_name, key):
+        raise NotImplementedError
+
+    def recovery_update(self, index_name, key, row):
+        raise NotImplementedError
+
+    def recovery_set_ghost(self, index_name, key, ghost):
+        raise NotImplementedError
+
+    def recovery_revive(self, index_name, key, row):
+        raise NotImplementedError
+
+    def recovery_escrow_apply(self, index_name, key, deltas):
+        raise NotImplementedError
+
+
+class RecoveryReport:
+    """What recovery did — asserted on by tests, printed by benches."""
+
+    def __init__(self):
+        self.winners = set()
+        self.losers = set()
+        self.redo_count = 0
+        self.undo_count = 0
+        self.clrs_written = 0
+        self.analyzed_records = 0
+
+    def as_dict(self):
+        return {
+            "winners": sorted(self.winners),
+            "losers": sorted(self.losers),
+            "redo_count": self.redo_count,
+            "undo_count": self.undo_count,
+            "clrs_written": self.clrs_written,
+            "analyzed_records": self.analyzed_records,
+        }
+
+
+_DATA_TYPES = {
+    RecordType.INSERT,
+    RecordType.UPDATE,
+    RecordType.DELETE,
+    RecordType.GHOST,
+    RecordType.REVIVE,
+    RecordType.CLEANUP,
+    RecordType.ESCROW_DELTA,
+    RecordType.COUNTER_IMAGE,
+    RecordType.CLR,
+}
+
+
+def analyze(log, from_lsn=1):
+    """Phase 1: classify transactions.
+
+    Returns ``(winners, losers, last_lsn_map)`` where ``losers`` maps
+    txn_id -> the LSN to start undo from (its last log record).
+    """
+    winners = set()
+    open_txns = {}
+    count = 0
+    for record in log.records(from_lsn):
+        count += 1
+        if isinstance(record, BeginRecord):
+            open_txns[record.txn_id] = record.lsn
+        elif isinstance(record, CommitRecord):
+            winners.add(record.txn_id)
+            open_txns.pop(record.txn_id, None)
+        elif isinstance(record, (AbortRecord, EndRecord)):
+            # An abort record alone does not finish rollback; only END
+            # means every undo was applied and logged. A transaction with
+            # ABORT but no END is still a loser with work to do.
+            if record.type is RecordType.END:
+                open_txns.pop(record.txn_id, None)
+            else:
+                open_txns[record.txn_id] = record.lsn
+        elif record.txn_id is not None:
+            open_txns.setdefault(record.txn_id, record.lsn)
+            open_txns[record.txn_id] = record.lsn
+    losers = {}
+    for txn_id in open_txns:
+        losers[txn_id] = log.last_lsn_of(txn_id)
+    return winners, losers, count
+
+
+def redo(log, target, from_lsn=1, report=None):
+    """Phase 2: repeat history — replay every data record in LSN order."""
+    for record in log.records(from_lsn):
+        if record.type in _DATA_TYPES:
+            record.redo(target)
+            if report is not None:
+                report.redo_count += 1
+
+
+def undo(log, target, losers, report=None, write_clrs=True):
+    """Phase 3: roll back losers, newest record first across all losers
+    (single combined pass in descending LSN order, as ARIES does)."""
+    # Each loser's cursor: the LSN of the next record to examine.
+    cursors = {t: lsn for t, lsn in losers.items() if lsn is not None}
+    while cursors:
+        txn_id, lsn = max(cursors.items(), key=lambda item: item[1])
+        record = log.record_at(lsn)
+        if isinstance(record, CompensationRecord):
+            # Already-compensated work: skip to undo_next.
+            next_lsn = record.undo_next_lsn
+        elif record.is_undoable():
+            record.undo(target)
+            if report is not None:
+                report.undo_count += 1
+            if write_clrs:
+                clr = CompensationRecord(
+                    txn_id,
+                    compensated_lsn=record.lsn,
+                    undo_next_lsn=record.prev_lsn,
+                    action=record,
+                )
+                log.append(clr)
+                if report is not None:
+                    report.clrs_written += 1
+            next_lsn = record.prev_lsn
+        else:
+            next_lsn = record.prev_lsn
+        if next_lsn is None:
+            if write_clrs:
+                log.append(EndRecord(txn_id))
+            del cursors[txn_id]
+        else:
+            cursors[txn_id] = next_lsn
+
+
+def recover(log, target):
+    """Run full recovery against ``target``; returns a RecoveryReport.
+
+    If a sharp checkpoint exists, the caller is expected to have restored
+    the snapshot into ``target`` already; redo then starts just after the
+    checkpoint.
+    """
+    report = RecoveryReport()
+    checkpoint = log.latest_checkpoint()
+    from_lsn = checkpoint.lsn + 1 if checkpoint is not None else 1
+    winners, losers, analyzed = analyze(log, from_lsn)
+    if checkpoint is not None:
+        # Transactions active at the checkpoint may have no records after
+        # it; they are losers unless a later COMMIT appeared.
+        for txn_id, last_lsn in checkpoint.active_txns.items():
+            if txn_id not in winners and txn_id not in losers:
+                losers[txn_id] = log.last_lsn_of(txn_id) or last_lsn
+    report.winners = winners
+    report.losers = set(losers)
+    report.analyzed_records = analyzed
+    redo(log, target, from_lsn, report)
+    undo(log, target, losers, report)
+    log.flush()
+    return report

@@ -1,0 +1,21 @@
+"""Workload generators for the evaluation."""
+
+from repro.workload.banking import ACCOUNTS, BRANCH_TOTALS, BankingWorkload
+from repro.workload.orders import (
+    BY_PRODUCT,
+    PRODUCTS,
+    SALES,
+    SALES_NAMED,
+    OrderEntryWorkload,
+)
+
+__all__ = [
+    "ACCOUNTS",
+    "BRANCH_TOTALS",
+    "BY_PRODUCT",
+    "BankingWorkload",
+    "OrderEntryWorkload",
+    "PRODUCTS",
+    "SALES",
+    "SALES_NAMED",
+]

@@ -1,0 +1,96 @@
+"""Tests for table schemas and the catalog registry."""
+
+import pytest
+
+from repro.catalog import Catalog, TableSchema
+from repro.common import CatalogError, Row
+from repro.query import AggregateSpec
+from repro.views import AggregateView
+
+
+class TestTableSchema:
+    def test_basic(self):
+        t = TableSchema("t", ("a", "b"), ("a",))
+        assert t.columns == ("a", "b")
+        assert t.primary_key == ("a",)
+
+    def test_key_of(self):
+        t = TableSchema("t", ("a", "b", "c"), ("c", "a"))
+        assert t.key_of(Row(a=1, b=2, c=3)) == (3, 1)
+        assert t.key_of({"a": 1, "b": 2, "c": 3}) == (3, 1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (), ("a",))
+
+    def test_missing_pk_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", ("a",), ())
+
+    def test_pk_not_in_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", ("a",), ("b",))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", ("a", "a"), ("a",))
+
+    def test_validate_row(self):
+        t = TableSchema("t", ("a", "b"), ("a",))
+        t.validate_row(Row(a=1, b=2))
+        with pytest.raises(CatalogError):
+            t.validate_row(Row(a=1))
+        with pytest.raises(CatalogError):
+            t.validate_row(Row(a=1, b=2, c=3))
+
+
+def make_view(name="v", base="t"):
+    return AggregateView(
+        name, base, ("g",), [AggregateSpec.count("n")], where=None
+    )
+
+
+class TestCatalog:
+    def test_add_and_get_table(self):
+        c = Catalog()
+        c.add_table(TableSchema("t", ("a",), ("a",)))
+        assert c.table("t").name == "t"
+        assert c.has_table("t")
+        assert not c.has_table("x")
+
+    def test_missing_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_duplicate_table_rejected(self):
+        c = Catalog()
+        c.add_table(TableSchema("t", ("a",), ("a",)))
+        with pytest.raises(CatalogError):
+            c.add_table(TableSchema("t", ("b",), ("b",)))
+
+    def test_view_registration(self):
+        c = Catalog()
+        c.add_table(TableSchema("t", ("g", "x"), ("x",)))
+        view = c.add_view(make_view())
+        assert c.view("v") is view
+        assert c.has_view("v")
+        assert c.views_on("t") == [view]
+        assert c.views_on("other") == []
+
+    def test_view_on_missing_table_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog().add_view(make_view(base="missing"))
+
+    def test_view_name_clash_with_table(self):
+        c = Catalog()
+        c.add_table(TableSchema("t", ("g", "x"), ("x",)))
+        with pytest.raises(CatalogError):
+            c.add_view(make_view(name="t"))
+
+    def test_multiple_views_on_table(self):
+        c = Catalog()
+        c.add_table(TableSchema("t", ("g", "x"), ("x",)))
+        c.add_view(make_view("v1"))
+        c.add_view(make_view("v2"))
+        assert len(c.views_on("t")) == 2
+        assert len(c.views()) == 2

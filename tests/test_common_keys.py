@@ -1,0 +1,142 @@
+"""Unit tests for key ranges and bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import KeyRange, composite_key
+from repro.common.keys import NEG_INF, POS_INF, KeyBound
+
+
+class TestCompositeKey:
+    def test_single(self):
+        assert composite_key(5) == (5,)
+
+    def test_multi(self):
+        assert composite_key("a", 2) == ("a", 2)
+
+    def test_lexicographic_order(self):
+        assert composite_key(1, 5) < composite_key(2, 0)
+        assert composite_key(1, 5) < composite_key(1, 6)
+
+
+class TestInfinities:
+    def test_neg_inf_below_everything(self):
+        assert NEG_INF < (0,)
+        assert NEG_INF < ("",)
+        assert not (NEG_INF < NEG_INF)
+
+    def test_pos_inf_above_everything(self):
+        assert POS_INF > (10**9,)
+        assert not (POS_INF > POS_INF)
+
+    def test_infinities_not_equal(self):
+        assert NEG_INF != POS_INF
+
+
+class TestKeyRangeContains:
+    def test_closed_range(self):
+        r = KeyRange.between((1,), (5,))
+        assert r.contains((1,))
+        assert r.contains((5,))
+        assert r.contains((3,))
+        assert not r.contains((0,))
+        assert not r.contains((6,))
+
+    def test_open_ends(self):
+        r = KeyRange.between((1,), (5,), low_inclusive=False, high_inclusive=False)
+        assert not r.contains((1,))
+        assert not r.contains((5,))
+        assert r.contains((2,))
+
+    def test_unbounded(self):
+        assert KeyRange.all().contains((42,))
+        assert KeyRange.at_least((3,)).contains((3,))
+        assert not KeyRange.at_least((3,), inclusive=False).contains((3,))
+        assert KeyRange.at_most((3,)).contains((3,))
+        assert not KeyRange.at_most((3,)).contains((4,))
+
+    def test_point_range(self):
+        r = KeyRange.exactly((7,))
+        assert r.is_point()
+        assert r.contains((7,))
+        assert not r.contains((8,))
+
+
+class TestKeyRangeEmpty:
+    def test_inverted_is_empty(self):
+        assert KeyRange.between((5,), (1,)).is_empty()
+
+    def test_half_open_point_is_empty(self):
+        assert KeyRange.between((1,), (1,), high_inclusive=False).is_empty()
+
+    def test_closed_point_not_empty(self):
+        assert not KeyRange.exactly((1,)).is_empty()
+
+    def test_unbounded_not_empty(self):
+        assert not KeyRange.all().is_empty()
+
+
+class TestKeyRangeOverlap:
+    def test_disjoint(self):
+        a = KeyRange.between((1,), (3,))
+        b = KeyRange.between((4,), (6,))
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_touching_closed_ends_overlap(self):
+        a = KeyRange.between((1,), (3,))
+        b = KeyRange.between((3,), (6,))
+        assert a.overlaps(b)
+
+    def test_touching_open_ends_disjoint(self):
+        a = KeyRange.between((1,), (3,), high_inclusive=False)
+        b = KeyRange.between((3,), (6,))
+        assert not a.overlaps(b)
+
+    def test_nested(self):
+        outer = KeyRange.between((1,), (10,))
+        inner = KeyRange.between((4,), (5,))
+        assert outer.overlaps(inner)
+        assert inner.overlaps(outer)
+
+    def test_unbounded_overlaps_everything(self):
+        assert KeyRange.all().overlaps(KeyRange.exactly((0,)))
+
+    def test_empty_overlaps_nothing(self):
+        empty = KeyRange.between((5,), (1,))
+        assert not empty.overlaps(KeyRange.all())
+        assert not KeyRange.all().overlaps(empty)
+
+
+class TestKeyBound:
+    def test_equality(self):
+        assert KeyBound((1,), True) == KeyBound((1,), True)
+        assert KeyBound((1,), True) != KeyBound((1,), False)
+
+    def test_hashable(self):
+        assert len({KeyBound((1,), True), KeyBound((1,), True)}) == 1
+
+
+keys = st.tuples(st.integers(min_value=-50, max_value=50))
+
+
+class TestKeyRangeProperties:
+    @given(keys, keys, keys)
+    def test_contains_implies_overlap_with_point(self, lo, hi, k):
+        r = KeyRange.between(lo, hi)
+        if r.contains(k):
+            assert r.overlaps(KeyRange.exactly(k))
+
+    @given(keys, keys)
+    def test_overlap_symmetric(self, lo, hi):
+        a = KeyRange.between(lo, hi)
+        b = KeyRange.at_least(lo)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(keys, keys, st.booleans(), st.booleans())
+    def test_empty_contains_nothing(self, lo, hi, li, hi_inc):
+        r = KeyRange.between(lo, hi, low_inclusive=li, high_inclusive=hi_inc)
+        if r.is_empty():
+            assert not r.contains(lo)
+            assert not r.contains(hi)

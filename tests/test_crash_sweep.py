@@ -1,0 +1,87 @@
+"""Crash-at-every-LSN sweep: recovery correctness at *every* possible
+crash point.
+
+A fixed workload runs to completion with the log fully flushed. Then,
+for every prefix of the log, a fresh database recovers from exactly that
+prefix and must satisfy the consistency oracle: every view equals the
+recomputation over the recovered base tables, and committed-transaction
+durability is exact (a transaction is recovered iff its COMMIT record is
+inside the prefix). This is the brute-force version of the targeted
+recovery tests — if any single log boundary were unsafe, this finds it.
+"""
+
+import pytest
+
+from repro.core import Database, EngineConfig
+from repro.query import AggregateSpec
+from repro.wal import LogManager, RecordType
+
+
+def build_schema(strategy):
+    db = Database(EngineConfig(aggregate_strategy=strategy))
+    db.create_table("sales", ("id", "product", "amount"), ("id",))
+    db.create_aggregate_view(
+        "v", "sales", group_by=("product",),
+        aggregates=[
+            AggregateSpec.count("n"),
+            AggregateSpec.sum_of("t", "amount"),
+        ],
+    )
+    return db
+
+
+def run_workload(db):
+    """A scenario touching every mechanism: inserts, hot-group escrow,
+    deletes to zero, revival, update moving groups, an abort, cleanup."""
+    with db.transaction() as txn:
+        db.insert(txn, "sales", {"id": 1, "product": "a", "amount": 10})
+        db.insert(txn, "sales", {"id": 2, "product": "a", "amount": 20})
+        db.insert(txn, "sales", {"id": 3, "product": "b", "amount": 5})
+    t_abort = db.begin()
+    db.insert(t_abort, "sales", {"id": 4, "product": "a", "amount": 99})
+    db.abort(t_abort)
+    with db.transaction() as txn:
+        db.delete(txn, "sales", (3,))  # empties group b
+    with db.transaction() as txn:
+        db.insert(txn, "sales", {"id": 5, "product": "b", "amount": 7})  # revives
+    with db.transaction() as txn:
+        db.update(txn, "sales", (1,), {"product": "b"})  # moves groups
+    db.run_ghost_cleanup()
+    db.log.flush()
+
+
+def committed_ids_in_prefix(log, limit_lsn):
+    return {
+        r.txn_id
+        for r in log.records()
+        if r.type is RecordType.COMMIT and r.lsn <= limit_lsn
+    }
+
+
+@pytest.mark.parametrize("strategy", ["escrow", "xlock"])
+def test_recovery_correct_at_every_crash_point(strategy, tmp_path):
+    reference = build_schema(strategy)
+    run_workload(reference)
+    path = tmp_path / "wal.jsonl"
+    reference.dump_wal(path)
+    full_log = LogManager.load(path)
+    tail = full_log.tail_lsn()
+    # sanity: the scenario produced a meaningful log
+    assert tail > 30
+
+    for crash_lsn in range(0, tail + 1):
+        db = build_schema(strategy)
+        db.log = LogManager.load(path)
+        db.log.flushed_lsn = crash_lsn
+        db.log.crash()  # discard everything past the crash point
+        report = db._rebuild_from_log()
+        # durability is exact: winners = commits inside the prefix
+        expected_winners = committed_ids_in_prefix(full_log, crash_lsn)
+        assert report.winners == expected_winners, f"lsn={crash_lsn}"
+        # every view matches the recomputation over recovered base data
+        problems = db.check_all_views()
+        assert problems == [], f"lsn={crash_lsn}: {problems[:2]}"
+        # and the recovered engine still works
+        with db.transaction() as txn:
+            db.insert(txn, "sales", {"id": 900, "product": "z", "amount": 1})
+        assert db.read_committed("v", ("z",))["n"] == 1

@@ -1,0 +1,116 @@
+"""Latch protocol tests: the Latch/LatchSet primitives and their
+integration into index operations."""
+
+import pytest
+
+from repro.core import Database, EngineConfig
+from repro.locking import Latch, LatchError, LatchSet
+
+
+class TestLatch:
+    def test_shared_sharing(self):
+        latch = Latch("l")
+        latch.acquire_shared("a")
+        latch.acquire_shared("b")
+        assert latch.acquisitions == 2
+        latch.release("a")
+        latch.release("b")
+        assert latch.is_free()
+
+    def test_exclusive_blocks_shared(self):
+        latch = Latch("l")
+        latch.acquire_exclusive("a")
+        with pytest.raises(LatchError):
+            latch.acquire_shared("b")
+        latch.release("a")
+        latch.acquire_shared("b")
+
+    def test_shared_blocks_exclusive(self):
+        latch = Latch("l")
+        latch.acquire_shared("a")
+        with pytest.raises(LatchError):
+            latch.acquire_exclusive("b")
+
+    def test_holder_may_upgrade_itself(self):
+        latch = Latch("l")
+        latch.acquire_shared("a")
+        latch.acquire_exclusive("a")  # self-upgrade allowed
+        latch.release("a")
+        assert latch.is_free()
+
+    def test_exclusive_reentrant_same_holder(self):
+        latch = Latch("l")
+        latch.acquire_exclusive("a")
+        latch.acquire_exclusive("a")
+        latch.release("a")
+        assert latch.is_free()
+
+
+class TestLatchSet:
+    def test_lazy_creation_and_counting(self):
+        latches = LatchSet()
+        l1 = latches.get("x")
+        assert latches.get("x") is l1
+        l1.acquire_shared("h")
+        l1.release("h")
+        assert latches.total_acquisitions() == 1
+
+    def test_assert_all_free(self):
+        latches = LatchSet()
+        latch = latches.get("x")
+        latches.assert_all_free()
+        latch.acquire_exclusive("h")
+        with pytest.raises(LatchError):
+            latches.assert_all_free()
+        latch.release("h")
+        latches.assert_all_free()
+
+
+class TestIndexLatching:
+    def make_db(self):
+        db = Database(EngineConfig())
+        db.create_table("t", ("a", "b"), ("a",))
+        return db
+
+    def test_operations_count_latch_traffic(self):
+        db = self.make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 1, "b": 2})
+        db.commit(txn)
+        assert db.latches.total_acquisitions() > 0
+
+    def test_latches_released_after_every_statement(self):
+        db = self.make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 1, "b": 2})
+        db.latches.assert_all_free()  # never held across statements
+        db.update(txn, "t", (1,), {"b": 3})
+        db.latches.assert_all_free()
+        db.delete(txn, "t", (1,))
+        db.latches.assert_all_free()
+        db.commit(txn)
+        db.latches.assert_all_free()
+
+    def test_latches_released_after_abort(self):
+        db = self.make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 1, "b": 2})
+        db.abort(txn)
+        db.latches.assert_all_free()
+
+    def test_latches_released_after_recovery(self):
+        db = self.make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 1, "b": 2})
+        db.commit(txn)
+        db.simulate_crash_and_recover()
+        db.latches.assert_all_free()
+
+    def test_health_report_includes_latches(self):
+        from repro.core.inspect import health_report
+
+        db = self.make_db()
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 1, "b": 2})
+        db.commit(txn)
+        assert health_report(db)["latch_acquisitions"] > 0

@@ -1,0 +1,251 @@
+"""Tests for the lock manager: grants, queues, conversion, deadlocks."""
+
+import pytest
+
+from repro.locking import LockManager, LockMode, RangeMode, RequestStatus
+
+M = LockMode
+RES = ("key", "idx", (1,))
+RES2 = ("key", "idx", (2,))
+TAB = ("table", "t")
+
+
+@pytest.fixture
+def lm():
+    return LockManager()
+
+
+class TestBasicGrants:
+    def test_first_request_granted(self, lm):
+        r = lm.request(1, RES, M.X)
+        assert r.status is RequestStatus.GRANTED
+        assert lm.held_mode(1, RES) is M.X
+
+    def test_compatible_shares(self, lm):
+        assert lm.request(1, RES, M.S).status is RequestStatus.GRANTED
+        assert lm.request(2, RES, M.S).status is RequestStatus.GRANTED
+        assert lm.holders(RES) == {1: M.S, 2: M.S}
+
+    def test_incompatible_waits(self, lm):
+        lm.request(1, RES, M.X)
+        r = lm.request(2, RES, M.S)
+        assert r.status is RequestStatus.WAITING
+        assert lm.waiting_for(2) == RES
+
+    def test_escrow_holders_share(self, lm):
+        for txn in range(1, 6):
+            assert lm.request(txn, RES, M.E).status is RequestStatus.GRANTED
+        assert len(lm.holders(RES)) == 5
+
+    def test_escrow_blocks_reader(self, lm):
+        lm.request(1, RES, M.E)
+        assert lm.request(2, RES, M.S).status is RequestStatus.WAITING
+
+    def test_reacquire_held_mode_is_noop(self, lm):
+        lm.request(1, RES, M.S)
+        r = lm.request(1, RES, M.S)
+        assert r.status is RequestStatus.GRANTED
+        assert lm.stats.requests == 2
+
+    def test_weaker_request_covered_by_held(self, lm):
+        lm.request(1, RES, M.X)
+        r = lm.request(1, RES, M.S)
+        assert r.status is RequestStatus.GRANTED
+        assert lm.held_mode(1, RES) is M.X
+
+    def test_range_mode_grants(self, lm):
+        assert lm.request(1, RES, RangeMode.RANGE_I_N).status is RequestStatus.GRANTED
+        assert (
+            lm.request(2, RES, RangeMode.key(M.X)).status is RequestStatus.GRANTED
+        )
+        assert lm.request(3, RES, RangeMode.RANGE_S_S).status is RequestStatus.WAITING
+
+
+class TestRelease:
+    def test_release_grants_waiter(self, lm):
+        lm.request(1, RES, M.X)
+        r2 = lm.request(2, RES, M.S)
+        granted = lm.release(1, RES)
+        assert granted == [2]
+        assert r2.status is RequestStatus.GRANTED
+        assert lm.held_mode(2, RES) is M.S
+
+    def test_release_all(self, lm):
+        lm.request(1, RES, M.X)
+        lm.request(1, RES2, M.S)
+        lm.request(1, TAB, M.IX)
+        lm.release_all(1)
+        assert lm.held_mode(1, RES) is None
+        assert lm.held_mode(1, RES2) is None
+        assert lm.locks_of(1) == []
+
+    def test_release_unheld_is_noop(self, lm):
+        assert lm.release(1, RES) == []
+
+    def test_fifo_grant_order(self, lm):
+        lm.request(1, RES, M.X)
+        r2 = lm.request(2, RES, M.X)
+        r3 = lm.request(3, RES, M.X)
+        lm.release_all(1)
+        assert r2.status is RequestStatus.GRANTED
+        assert r3.status is RequestStatus.WAITING
+        lm.release_all(2)
+        assert r3.status is RequestStatus.GRANTED
+
+    def test_multiple_compatible_granted_together(self, lm):
+        lm.request(1, RES, M.X)
+        r2 = lm.request(2, RES, M.S)
+        r3 = lm.request(3, RES, M.S)
+        lm.release_all(1)
+        assert r2.status is RequestStatus.GRANTED
+        assert r3.status is RequestStatus.GRANTED
+
+    def test_writer_not_starved(self, lm):
+        """Readers arriving after a waiting writer queue behind it."""
+        lm.request(1, RES, M.S)
+        w = lm.request(2, RES, M.X)
+        r3 = lm.request(3, RES, M.S)
+        assert w.status is RequestStatus.WAITING
+        assert r3.status is RequestStatus.WAITING  # queued behind the writer
+        lm.release_all(1)
+        assert w.status is RequestStatus.GRANTED
+        assert r3.status is RequestStatus.WAITING
+        lm.release_all(2)
+        assert r3.status is RequestStatus.GRANTED
+
+    def test_cancel_wait(self, lm):
+        lm.request(1, RES, M.X)
+        r2 = lm.request(2, RES, M.S)
+        lm.cancel_wait(2)
+        assert r2.status is RequestStatus.DENIED
+        assert lm.waiting_for(2) is None
+        lm.release_all(1)
+        assert lm.held_mode(2, RES) is None
+
+
+class TestConversion:
+    def test_upgrade_s_to_x_alone(self, lm):
+        lm.request(1, RES, M.S)
+        r = lm.request(1, RES, M.X)
+        assert r.status is RequestStatus.GRANTED
+        assert lm.held_mode(1, RES) is M.X
+
+    def test_upgrade_blocked_by_other_reader(self, lm):
+        lm.request(1, RES, M.S)
+        lm.request(2, RES, M.S)
+        r = lm.request(1, RES, M.X)
+        assert r.status is RequestStatus.WAITING
+        lm.release_all(2)
+        assert r.status is RequestStatus.GRANTED
+        assert lm.held_mode(1, RES) is M.X
+
+    def test_conversion_jumps_queue(self, lm):
+        lm.request(1, RES, M.S)
+        lm.request(2, RES, M.S)
+        lm.request(3, RES, M.X)  # new waiter
+        conv = lm.request(1, RES, M.X)  # conversion should be ahead of txn 3
+        assert conv.status is RequestStatus.WAITING
+        lm.release_all(2)
+        assert conv.status is RequestStatus.GRANTED
+        assert lm.held_mode(1, RES) is M.X
+
+    def test_escrow_to_x_conversion(self, lm):
+        lm.request(1, RES, M.E)
+        lm.request(2, RES, M.E)
+        conv = lm.request(1, RES, M.S)  # read exact => E ∨ S = X
+        assert conv.status is RequestStatus.WAITING
+        lm.release_all(2)
+        assert conv.status is RequestStatus.GRANTED
+        assert lm.held_mode(1, RES) is M.X
+
+    def test_only_one_waiting_request_per_txn(self, lm):
+        lm.request(1, RES, M.X)
+        lm.request(2, RES, M.S)
+        with pytest.raises(RuntimeError):
+            lm.request(2, RES2, M.S)
+
+
+class TestDeadlockDetection:
+    def test_two_txn_cycle(self, lm):
+        lm.request(1, RES, M.X)
+        lm.request(2, RES2, M.X)
+        r1 = lm.request(1, RES2, M.X)
+        assert r1.status is RequestStatus.WAITING
+        r2 = lm.request(2, RES, M.X)
+        # txn 2 is younger -> victim; its request is denied immediately
+        assert r2.status is RequestStatus.DENIED
+        assert r2.deny_error is not None
+        assert set(r2.deny_error.cycle) == {1, 2}
+        assert lm.stats.deadlocks == 1
+
+    def test_victim_is_youngest(self, lm):
+        lm.request(5, RES, M.X)
+        lm.request(3, RES2, M.X)
+        lm.request(5, RES2, M.X)  # 5 waits on 3
+        r = lm.request(3, RES, M.X)  # 3 waits on 5 -> cycle {3,5}, victim 5
+        assert r.status is RequestStatus.WAITING  # 3 survives
+        # 5's waiting request was denied
+        assert lm.waiting_for(5) is None
+        assert lm.stats.deadlocks == 1
+
+    def test_victim_abort_unblocks_survivor(self, lm):
+        lm.request(5, RES, M.X)
+        lm.request(3, RES2, M.X)
+        r5 = lm.request(5, RES2, M.X)
+        r3 = lm.request(3, RES, M.X)
+        assert r5.status is RequestStatus.DENIED
+        lm.release_all(5)  # victim aborts
+        assert r3.status is RequestStatus.GRANTED
+
+    def test_three_txn_cycle(self, lm):
+        resources = [("r", i) for i in range(3)]
+        for t in range(3):
+            lm.request(t + 1, resources[t], M.X)
+        lm.request(1, resources[1], M.X)
+        lm.request(2, resources[2], M.X)
+        r = lm.request(3, resources[0], M.X)
+        assert r.status is RequestStatus.DENIED  # txn 3 youngest on cycle
+        assert set(r.deny_error.cycle) == {1, 2, 3}
+
+    def test_no_false_positive(self, lm):
+        lm.request(1, RES, M.X)
+        lm.request(2, RES2, M.X)
+        r = lm.request(2, RES, M.S)
+        assert r.status is RequestStatus.WAITING
+        assert lm.stats.deadlocks == 0
+
+    def test_escrow_avoids_deadlock_entirely(self, lm):
+        """Hot-row updates under E never create waits, hence no cycles."""
+        lm.request(1, RES, M.E)
+        lm.request(2, RES2, M.E)
+        assert lm.request(1, RES2, M.E).status is RequestStatus.GRANTED
+        assert lm.request(2, RES, M.E).status is RequestStatus.GRANTED
+        assert lm.stats.deadlocks == 0
+        assert lm.stats.waits == 0
+
+
+class TestIntrospection:
+    def test_locks_of(self, lm):
+        lm.request(1, RES, M.S)
+        lm.request(1, TAB, M.IS)
+        locks = lm.locks_of(1)
+        assert (RES, M.S) in locks
+        assert (TAB, M.IS) in locks
+
+    def test_waiters(self, lm):
+        lm.request(1, RES, M.X)
+        lm.request(2, RES, M.S)
+        assert [w.txn_id for w in lm.waiters(RES)] == [2]
+
+    def test_stats_counters(self, lm):
+        lm.request(1, RES, M.X)
+        lm.request(2, RES, M.S)
+        stats = lm.stats.as_dict()
+        assert stats["requests"] == 2
+        assert stats["immediate_grants"] == 1
+        assert stats["waits"] == 1
+
+    def test_queue_cleanup(self, lm):
+        lm.request(1, RES, M.X)
+        lm.release_all(1)
+        assert lm.active_resources() == []

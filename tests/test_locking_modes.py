@@ -1,0 +1,222 @@
+"""Tests for lock modes: compatibility matrix, lattice, range modes."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.locking import (
+    GapMode,
+    LockMode,
+    RangeMode,
+    compatible,
+    covers,
+    gap_compatible,
+    gap_supremum,
+    mode_compatible,
+    mode_supremum,
+    supremum,
+)
+
+M = LockMode
+ALL_MODES = list(LockMode)
+
+
+class TestCompatibilityMatrix:
+    def test_nl_compatible_with_all(self):
+        for m in ALL_MODES:
+            assert compatible(M.NL, m)
+            assert compatible(m, M.NL)
+
+    def test_x_conflicts_with_all_but_nl(self):
+        for m in ALL_MODES:
+            if m is not M.NL:
+                assert not compatible(M.X, m)
+
+    def test_symmetric(self):
+        for a, b in itertools.product(ALL_MODES, repeat=2):
+            assert compatible(a, b) == compatible(b, a)
+
+    def test_classic_entries(self):
+        assert compatible(M.IS, M.IX)
+        assert compatible(M.IS, M.S)
+        assert compatible(M.IS, M.SIX)
+        assert compatible(M.IX, M.IX)
+        assert not compatible(M.IX, M.S)
+        assert not compatible(M.IX, M.SIX)
+        assert compatible(M.S, M.S)
+        assert compatible(M.S, M.U)
+        assert not compatible(M.S, M.SIX)
+        assert not compatible(M.SIX, M.SIX)
+        assert not compatible(M.U, M.U)
+
+    def test_escrow_core_property(self):
+        """The paper's key fact: E is self-compatible but excludes
+        readers and absolute writers."""
+        assert compatible(M.E, M.E)
+        assert not compatible(M.E, M.S)
+        assert not compatible(M.E, M.U)
+        assert not compatible(M.E, M.X)
+        assert not compatible(M.E, M.SIX)
+        # escrow writers announce themselves with IX at table level
+        assert compatible(M.E, M.IX)
+        assert compatible(M.E, M.IS)
+
+
+class TestSupremumLattice:
+    def test_idempotent(self):
+        for m in ALL_MODES:
+            assert supremum(m, m) is m
+
+    def test_nl_is_identity(self):
+        for m in ALL_MODES:
+            assert supremum(M.NL, m) is m
+
+    def test_commutative(self):
+        for a, b in itertools.product(ALL_MODES, repeat=2):
+            assert supremum(a, b) is supremum(b, a)
+
+    def test_associative(self):
+        for a, b, c in itertools.product(ALL_MODES, repeat=3):
+            assert supremum(a, supremum(b, c)) is supremum(supremum(a, b), c)
+
+    def test_result_at_least_as_strong(self):
+        """Anything incompatible with a or b is incompatible with sup(a,b)."""
+        for a, b in itertools.product(ALL_MODES, repeat=2):
+            sup = supremum(a, b)
+            for probe in ALL_MODES:
+                if not compatible(probe, a) or not compatible(probe, b):
+                    assert not compatible(probe, sup), (a, b, probe)
+
+    def test_classic_conversions(self):
+        assert supremum(M.IX, M.S) is M.SIX
+        assert supremum(M.S, M.X) is M.X
+        assert supremum(M.S, M.U) is M.U
+
+    def test_escrow_read_forces_x(self):
+        """Reading the exact value under escrow requires X: exactness and
+        concurrent increments cannot coexist."""
+        assert supremum(M.E, M.S) is M.X
+        assert supremum(M.E, M.U) is M.X
+        assert supremum(M.E, M.X) is M.X
+
+    def test_covers(self):
+        assert covers(M.X, M.S)
+        assert covers(M.X, M.E)
+        assert not covers(M.S, M.X)
+        assert not covers(M.E, M.S)
+        assert covers(M.SIX, M.IX)
+
+
+class TestGapModes:
+    def test_insert_intents_commute(self):
+        assert gap_compatible(GapMode.INS, GapMode.INS)
+
+    def test_insert_conflicts_with_scanned_gap(self):
+        assert not gap_compatible(GapMode.INS, GapMode.S)
+        assert not gap_compatible(GapMode.INS, GapMode.X)
+
+    def test_gap_readers_commute(self):
+        assert gap_compatible(GapMode.S, GapMode.S)
+
+    def test_gap_x_excludes_all_but_nl(self):
+        for g in (GapMode.INS, GapMode.S, GapMode.X):
+            assert not gap_compatible(GapMode.X, g)
+
+    def test_nl_identity(self):
+        for g in GapMode:
+            assert gap_compatible(GapMode.NL, g)
+            assert gap_supremum(GapMode.NL, g) is g
+
+    def test_supremum(self):
+        assert gap_supremum(GapMode.INS, GapMode.S) is GapMode.X
+        assert gap_supremum(GapMode.S, GapMode.X) is GapMode.X
+
+
+class TestRangeModes:
+    def test_sqlserver_matrix(self):
+        """Reproduce the documented SQL Server key-range compatibility."""
+        s = RangeMode.key(M.S)
+        x = RangeMode.key(M.X)
+        rss = RangeMode.RANGE_S_S
+        rin = RangeMode.RANGE_I_N
+        rxx = RangeMode.RANGE_X_X
+        # RangeI-N is compatible with plain key locks (even X): the insert
+        # only touches the gap.
+        assert rin.compatible_with(s)
+        assert rin.compatible_with(x)
+        assert rin.compatible_with(rin)
+        # ...but conflicts with range locks protecting the gap.
+        assert not rin.compatible_with(rss)
+        assert not rin.compatible_with(rxx)
+        # RangeS-S readers coexist.
+        assert rss.compatible_with(rss)
+        assert rss.compatible_with(s)
+        assert not rss.compatible_with(x)
+        # RangeX-X excludes everything except gap-free NL locks.
+        assert not rxx.compatible_with(rss)
+        assert not rxx.compatible_with(s)
+        assert not rxx.compatible_with(rxx)
+
+    def test_escrow_key_component(self):
+        e = RangeMode.key(M.E)
+        assert e.compatible_with(RangeMode.key(M.E))
+        assert not e.compatible_with(RangeMode.key(M.S))
+        assert not e.compatible_with(RangeMode.RANGE_S_S)
+        # an insert into the gap below an escrow-locked key is fine
+        assert e.compatible_with(RangeMode.RANGE_I_N)
+
+    def test_supremum_componentwise(self):
+        got = RangeMode.RANGE_I_N.supremum_with(RangeMode.key(M.X))
+        assert got == RangeMode(GapMode.INS, M.X)
+
+    def test_covers(self):
+        assert RangeMode.RANGE_X_X.covers(RangeMode.key(M.S))
+        assert not RangeMode.key(M.X).covers(RangeMode.RANGE_S_S)
+
+    def test_equality_and_hash(self):
+        assert RangeMode.key(M.S) == RangeMode(GapMode.NL, M.S)
+        assert len({RangeMode.key(M.S), RangeMode(GapMode.NL, M.S)}) == 1
+
+    def test_repr(self):
+        assert "I" in repr(RangeMode.RANGE_I_N)
+
+
+class TestMixedModeHelpers:
+    def test_plain_plain(self):
+        assert mode_compatible(M.S, M.S)
+        assert mode_supremum(M.S, M.X) is M.X
+
+    def test_plain_vs_range(self):
+        assert mode_compatible(M.S, RangeMode.RANGE_I_N)
+        assert not mode_compatible(M.S, RangeMode.RANGE_X_X)
+
+    def test_range_vs_plain_supremum(self):
+        got = mode_supremum(RangeMode.RANGE_S_S, M.X)
+        assert got == RangeMode(GapMode.S, M.X)
+
+
+range_modes = st.builds(
+    RangeMode,
+    st.sampled_from(list(GapMode)),
+    st.sampled_from([M.NL, M.S, M.U, M.X, M.E]),
+)
+
+
+class TestRangeModeProperties:
+    @given(range_modes, range_modes)
+    def test_compat_symmetric(self, a, b):
+        assert a.compatible_with(b) == b.compatible_with(a)
+
+    @given(range_modes, range_modes)
+    def test_supremum_upper_bound(self, a, b):
+        sup = a.supremum_with(b)
+        assert sup.covers(a)
+        assert sup.covers(b)
+
+    @given(range_modes, range_modes, range_modes)
+    def test_supremum_conflict_preserving(self, a, b, probe):
+        sup = a.supremum_with(b)
+        if not probe.compatible_with(a) or not probe.compatible_with(b):
+            assert not probe.compatible_with(sup)

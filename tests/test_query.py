@@ -1,0 +1,145 @@
+"""Tests for predicates, aggregate specs, and the oracle executor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import CatalogError, Row
+from repro.query import (
+    AggFunc,
+    AggregateSpec,
+    always_true,
+    col_between,
+    col_eq,
+    col_ge,
+    col_gt,
+    col_in,
+    col_le,
+    col_lt,
+    col_ne,
+    derive_averages,
+    group_aggregate,
+    nested_loops_join,
+    project,
+    scan_filter,
+)
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        row = Row(a=5, b="x")
+        assert col_eq("a", 5)(row)
+        assert not col_eq("a", 6)(row)
+        assert col_ne("a", 6)(row)
+        assert col_gt("a", 4)(row)
+        assert not col_gt("a", 5)(row)
+        assert col_ge("a", 5)(row)
+        assert col_lt("a", 6)(row)
+        assert col_le("a", 5)(row)
+        assert col_in("b", ["x", "y"])(row)
+        assert col_between("a", 1, 5)(row)
+        assert not col_between("a", 6, 9)(row)
+
+    def test_combinators(self):
+        row = Row(a=5)
+        p = col_gt("a", 1).and_(col_lt("a", 10))
+        assert p(row)
+        assert not p.not_()(row)
+        q = col_eq("a", 9).or_(col_eq("a", 5))
+        assert q(row)
+
+    def test_always_true(self):
+        assert always_true()(Row())
+
+    def test_description_in_repr(self):
+        assert "a = 5" in repr(col_eq("a", 5))
+        assert "AND" in repr(col_eq("a", 1).and_(col_eq("b", 2)))
+
+
+class TestAggregateSpec:
+    def test_count(self):
+        spec = AggregateSpec.count("n")
+        assert spec.func is AggFunc.COUNT
+        assert spec.delta_for(Row(x=99), +1) == 1
+        assert spec.delta_for(Row(x=99), -1) == -1
+
+    def test_sum(self):
+        spec = AggregateSpec.sum_of("total", "x")
+        assert spec.delta_for(Row(x=7), +1) == 7
+        assert spec.delta_for(Row(x=7), -1) == -7
+
+    def test_count_with_source_rejected(self):
+        with pytest.raises(CatalogError):
+            AggregateSpec("n", AggFunc.COUNT, "x")
+
+    def test_sum_without_source_rejected(self):
+        with pytest.raises(CatalogError):
+            AggregateSpec("s", AggFunc.SUM)
+
+    def test_initial_is_zero(self):
+        assert AggregateSpec.count("n").initial_value() == 0
+
+    def test_derive_averages(self):
+        row = Row(g=1, total=10, n=4)
+        out = derive_averages(row, [("avg", "total", "n")])
+        assert out["avg"] == 2.5
+
+    def test_derive_average_of_empty_group(self):
+        row = Row(g=1, total=0, n=0)
+        assert derive_averages(row, [("avg", "total", "n")])["avg"] is None
+
+
+class TestExecutor:
+    ROWS = [
+        Row(id=1, g="a", x=10),
+        Row(id=2, g="a", x=5),
+        Row(id=3, g="b", x=7),
+    ]
+
+    def test_scan_filter(self):
+        got = list(scan_filter(self.ROWS, col_eq("g", "a")))
+        assert [r["id"] for r in got] == [1, 2]
+        assert list(scan_filter(self.ROWS)) == self.ROWS
+
+    def test_project(self):
+        got = list(project(self.ROWS, ("id",)))
+        assert got == [Row(id=1), Row(id=2), Row(id=3)]
+
+    def test_group_aggregate(self):
+        specs = [AggregateSpec.count("n"), AggregateSpec.sum_of("total", "x")]
+        groups = group_aggregate(self.ROWS, ("g",), specs)
+        assert groups[("a",)] == Row(g="a", n=2, total=15)
+        assert groups[("b",)] == Row(g="b", n=1, total=7)
+
+    def test_group_aggregate_empty_input(self):
+        assert group_aggregate([], ("g",), [AggregateSpec.count("n")]) == {}
+
+    def test_join(self):
+        left = [Row(id=1, fk=10), Row(id=2, fk=20), Row(id=3, fk=99)]
+        right = [Row(pk=10, name="x"), Row(pk=20, name="y")]
+        got = list(nested_loops_join(left, right, [("fk", "pk")]))
+        assert len(got) == 2
+        assert got[0] == Row(id=1, fk=10, pk=10, name="x")
+
+    def test_join_many_to_one(self):
+        left = [Row(id=1, fk=10), Row(id=2, fk=10)]
+        right = [Row(pk=10, name="x")]
+        assert len(list(nested_loops_join(left, right, [("fk", "pk")]))) == 2
+
+
+class TestGroupAggregateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-20, 20)), max_size=50
+        )
+    )
+    def test_sums_match_python(self, data):
+        rows = [Row(g=g, x=x) for g, x in data]
+        specs = [AggregateSpec.count("n"), AggregateSpec.sum_of("s", "x")]
+        groups = group_aggregate(rows, ("g",), specs)
+        for g in {g for g, _ in data}:
+            values = [x for gg, x in data if gg == g]
+            assert groups[(g,)]["n"] == len(values)
+            assert groups[(g,)]["s"] == sum(values)
+        assert set(groups) == {(g,) for g, _ in data}

@@ -1,0 +1,104 @@
+"""Unique secondary indexes: constraint enforcement."""
+
+import pytest
+
+from repro.common import CatalogError, Row
+from repro.core import Database, EngineConfig
+
+
+def users_db():
+    db = Database(EngineConfig())
+    db.create_table("users", ("uid", "email", "name"), ("uid",))
+    db.create_secondary_index("users", "by_email", ("email",), unique=True)
+    return db
+
+
+def add(db, txn, uid, email, name="x"):
+    db.insert(txn, "users", {"uid": uid, "email": email, "name": name})
+
+
+class TestUniqueConstraint:
+    def test_duplicate_rejected_statement_level(self):
+        db = users_db()
+        txn = db.begin()
+        add(db, txn, 1, "a@x")
+        with pytest.raises(CatalogError):
+            add(db, txn, 2, "a@x")
+        # the transaction survives the failed statement
+        add(db, txn, 3, "b@x")
+        db.commit(txn)
+        assert db.read_committed("users", (1,)) is not None
+        assert db.read_committed("users", (2,)) is None
+        assert db.read_committed("users", (3,)) is not None
+
+    def test_duplicate_across_transactions(self):
+        db = users_db()
+        with db.transaction() as txn:
+            add(db, txn, 1, "a@x")
+        t2 = db.begin()
+        with pytest.raises(CatalogError):
+            add(db, t2, 2, "a@x")
+        db.abort(t2)
+
+    def test_value_freed_after_delete_and_cleanup(self):
+        db = users_db()
+        with db.transaction() as txn:
+            add(db, txn, 1, "a@x")
+        with db.transaction() as txn:
+            db.delete(txn, "users", (1,))
+        # the entry is a ghost: re-inserting the value revives it
+        with db.transaction() as txn:
+            add(db, txn, 2, "a@x")
+        reader = db.begin()
+        rows = db.lookup(reader, "users", "by_email", ("a@x",))
+        db.commit(reader)
+        assert [r["uid"] for r in rows] == [2]
+
+    def test_update_to_taken_value_rejected(self):
+        db = users_db()
+        with db.transaction() as txn:
+            add(db, txn, 1, "a@x")
+            add(db, txn, 2, "b@x")
+        t2 = db.begin()
+        with pytest.raises(CatalogError):
+            db.update(t2, "users", (2,), {"email": "a@x"})
+        db.abort(t2)
+
+    def test_update_swapping_own_value_ok(self):
+        db = users_db()
+        with db.transaction() as txn:
+            add(db, txn, 1, "a@x")
+        with db.transaction() as txn:
+            db.update(txn, "users", (1,), {"email": "c@x"})
+        reader = db.begin()
+        assert db.lookup(reader, "users", "by_email", ("c@x",))[0]["uid"] == 1
+        assert db.lookup(reader, "users", "by_email", ("a@x",)) == []
+        db.commit(reader)
+
+    def test_create_unique_index_over_duplicates_fails(self):
+        db = Database(EngineConfig())
+        db.create_table("users", ("uid", "email"), ("uid",))
+        with db.transaction() as txn:
+            db.insert(txn, "users", {"uid": 1, "email": "same"})
+            db.insert(txn, "users", {"uid": 2, "email": "same"})
+        with pytest.raises(CatalogError):
+            db.create_secondary_index("users", "by_email", ("email",), unique=True)
+
+    def test_lookup_returns_full_row(self):
+        db = users_db()
+        with db.transaction() as txn:
+            add(db, txn, 1, "a@x", name="ada")
+        reader = db.begin()
+        rows = db.lookup(reader, "users", "by_email", ("a@x",))
+        db.commit(reader)
+        assert rows == [Row(uid=1, email="a@x", name="ada")]
+
+    def test_recovery_preserves_constraint(self):
+        db = users_db()
+        with db.transaction() as txn:
+            add(db, txn, 1, "a@x")
+        db.simulate_crash_and_recover()
+        t2 = db.begin()
+        with pytest.raises(CatalogError):
+            add(db, t2, 2, "a@x")
+        db.abort(t2)

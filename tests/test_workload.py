@@ -1,0 +1,130 @@
+"""Tests for workload generators and distributions."""
+
+import pytest
+
+from repro.common import DeterministicRng, ZipfGenerator
+from repro.core import Database, EngineConfig
+from repro.sim import Scheduler
+from repro.workload import BY_PRODUCT, PRODUCTS, SALES, OrderEntryWorkload
+
+
+class TestZipf:
+    def test_uniform_when_theta_zero(self):
+        z = ZipfGenerator(10, 0.0, seed=1)
+        draws = z.draws(5000)
+        counts = [draws.count(i) for i in range(10)]
+        assert min(counts) > 300  # roughly uniform
+
+    def test_skew_concentrates_mass(self):
+        z = ZipfGenerator(100, 1.2, seed=1)
+        draws = z.draws(5000)
+        hot = sum(1 for d in draws if d < 5)
+        assert hot > len(draws) * 0.5
+
+    def test_hot_fraction_monotone_in_theta(self):
+        low = ZipfGenerator(100, 0.2).hot_fraction(5)
+        high = ZipfGenerator(100, 1.2).hot_fraction(5)
+        assert high > low
+
+    def test_hot_fraction_bounds(self):
+        z = ZipfGenerator(10, 1.0)
+        assert z.hot_fraction(0) == 0.0
+        assert z.hot_fraction(10) == pytest.approx(1.0)
+        assert z.hot_fraction(99) == pytest.approx(1.0)
+
+    def test_range(self):
+        z = ZipfGenerator(7, 0.9, seed=3)
+        assert all(0 <= v < 7 for v in z.draws(1000))
+
+    def test_determinism(self):
+        assert ZipfGenerator(50, 1.0, seed=9).draws(100) == ZipfGenerator(
+            50, 1.0, seed=9
+        ).draws(100)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(5, -1.0)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(5), DeterministicRng(5)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(1)
+        seq = list(range(10))
+        assert rng.choice(seq) in seq
+        assert len(rng.sample(seq, 3)) == 3
+
+
+class TestOrderEntryWorkload:
+    def make(self, **kwargs):
+        db = Database(EngineConfig())
+        wl = OrderEntryWorkload(db, n_products=8, zipf_theta=0.5, seed=11, **kwargs)
+        wl.setup()
+        return db, wl
+
+    def test_setup_creates_schema(self):
+        db, _wl = self.make()
+        assert db.catalog.has_table(SALES)
+        assert db.catalog.has_table(PRODUCTS)
+        assert db.catalog.has_view(BY_PRODUCT)
+        assert len(db.index(PRODUCTS)) == 8
+
+    def test_setup_with_join_view(self):
+        db, _wl = self.make(with_join_view=True)
+        assert db.catalog.has_view("sales_with_names")
+
+    def test_preload(self):
+        db, wl = self.make()
+        wl.preload_sales(50)
+        assert len(db.index(SALES)) == 50
+        assert db.check_all_views() == []
+
+    def test_sale_ids_unique(self):
+        _db, wl = self.make()
+        ids = {wl.next_sale_values()["id"] for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_programs_run_clean(self):
+        db, wl = self.make(with_join_view=True)
+        wl.preload_sales(30)
+        sched = Scheduler(db, cleanup_interval=200)
+        sched.add_session(wl.new_sale_program(items=2), txns=10)
+        sched.add_session(wl.cancel_program(), txns=5)
+        sched.add_session(wl.mixed_program(), txns=15)
+        sched.add_session(wl.hot_reader_program(), txns=5, isolation="snapshot")
+        result = sched.run()
+        assert result.committed >= 30
+        db.run_ghost_cleanup()
+        assert db.check_all_views() == []
+
+    def test_cancel_program_deletes(self):
+        db, wl = self.make()
+        wl.preload_sales(10)
+        sched = Scheduler(db)
+        sched.add_session(wl.cancel_program(), txns=5)
+        sched.run()
+        assert len(db.index(SALES)) == 5
+        assert db.check_all_views() == []
+
+    def test_repricing_program(self):
+        db, wl = self.make()
+        wl.preload_sales(10)
+        sched = Scheduler(db)
+        sched.add_session(wl.repricing_program(), txns=5)
+        result = sched.run()
+        assert result.committed == 5
+        assert db.check_all_views() == []
+
+    def test_range_reader(self):
+        db, wl = self.make()
+        wl.preload_sales(10)
+        sched = Scheduler(db)
+        sched.add_session(wl.range_reader_program(), txns=3)
+        assert sched.run().committed == 3
