@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src
+
+.PHONY: test bench bench-smoke check-results
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/run_all.py
+
+# A fast subset: run the cheapest self-judging benchmark, then validate
+# every result document under benchmarks/results/ against the schema.
+bench-smoke:
+	cd benchmarks && $(PYTHON) -c "import bench_r9_logvolume as b; b.scenario()"
+	$(PYTHON) benchmarks/check_results.py
+
+check-results:
+	$(PYTHON) benchmarks/check_results.py

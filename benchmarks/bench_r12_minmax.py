@@ -55,7 +55,7 @@ def run_config(with_extremes, with_deletes):
         "throughput": result.throughput(),
         "waits": result.lock_stats["waits"],
         "deadlocks": result.lock_stats["deadlocks"],
-        "rescans": db.stats.get("agg.extreme_rescans"),
+        "rescans": db.counters.get("agg.extreme_rescans"),
     }
 
 

@@ -12,6 +12,7 @@ from repro import Database, EngineConfig
 from repro.sim import Scheduler
 from repro.workload import OrderEntryWorkload
 
+import harness
 from harness import build_store, emit
 
 MPLS = (1, 2, 4, 8, 16)
@@ -57,6 +58,21 @@ def sweep():
         ["MPL", "no view", "view+xlock", "view+escrow"],
         rows,
         "R2: throughput (commits/kilotick) vs multiprogramming level",
+        params={"mpls": list(MPLS), "txns": TXNS, "zipf_theta": 1.2},
+        series=series,
+        claim=harness.claim(
+            "escrow scales with MPL while the X-locked view flattens",
+            [
+                ("escrow MPL16 > 4x escrow MPL1",
+                 series["escrow"][16] > 4 * series["escrow"][1]),
+                ("escrow MPL16 > 3x xlock MPL16",
+                 series["escrow"][16] > 3 * series["xlock"][16]),
+                ("escrow within 0.4x of no-view upper bound at MPL16",
+                 series["escrow"][16] > 0.4 * series["none"][16]),
+                ("strategies comparable at MPL1",
+                 series["xlock"][1] > 0.6 * series["escrow"][1]),
+            ],
+        ),
     )
     return series
 

@@ -36,7 +36,7 @@ def churn_run(strategy, cleanup_interval):
     zero_rows = sum(
         1 for _, rec in view_index.scan() if rec.current_row["n_sales"] == 0
     )
-    reclaimed_before = db.stats.get("cleanup.removed")
+    reclaimed_before = db.counters.get("cleanup.removed")
     db.run_ghost_cleanup()
     db.run_ghost_cleanup()
     problems = db.check_all_views()
@@ -46,7 +46,7 @@ def churn_run(strategy, cleanup_interval):
         "ghosts_at_end": peak_overhead,
         "zero_rows_at_end": zero_rows,
         "reclaimed_during_run": reclaimed_before,
-        "reclaimed_total": db.stats.get("cleanup.removed"),
+        "reclaimed_total": db.counters.get("cleanup.removed"),
         "waits": result.lock_stats["waits"],
     }
 

@@ -15,6 +15,7 @@ from repro import Database, EngineConfig
 from repro.query import AggregateSpec
 from repro.workload import OrderEntryWorkload
 
+import harness
 from harness import emit
 
 N_TXNS = 100
@@ -58,8 +59,8 @@ def run_schema(with_agg, with_join):
     return {
         "bytes_per_txn": (db.log.bytes_estimate - bytes_before) / N_TXNS,
         "records_per_txn": (len(db.log) - records_before) / N_TXNS,
-        "maintenances": db.stats.get("agg.escrow_applied")
-        + db.stats.get("join.row_inserted"),
+        "maintenances": db.counters.get("agg.escrow_applied")
+        + db.counters.get("join.row_inserted"),
     }
 
 
@@ -83,11 +84,31 @@ def scenario():
                 out["maintenances"],
             ]
         )
+    base = outcomes["base only"]["bytes_per_txn"]
+    agg = outcomes["+aggregate view"]["bytes_per_txn"]
+    join = outcomes["+join view"]["bytes_per_txn"]
+    both = outcomes["+both views"]["bytes_per_txn"]
     emit(
         "r9_logvolume",
         ["schema", "log bytes/txn", "log records/txn", "view maintenances"],
         rows,
         f"R9: log volume per update transaction ({N_TXNS} single-insert txns)",
+        params={"n_txns": N_TXNS, "zipf_theta": 0.8, "n_products": 20},
+        series={
+            "bytes_per_txn": {k: v["bytes_per_txn"] for k, v in outcomes.items()}
+        },
+        claim=harness.claim(
+            "each view adds log volume proportional to its delta",
+            [
+                ("base < aggregate < both", base < agg < both),
+                ("base < join", base < join),
+                ("logical aggregate delta cheaper than join row inserts",
+                 (agg - base) < (join - base)),
+                ("costs compose roughly additively",
+                 abs((both - base) - ((agg - base) + (join - base)))
+                 < 0.25 * (both - base)),
+            ],
+        ),
     )
     return outcomes
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Validate every ``benchmarks/results/*.json`` against the documented
+result schema (:mod:`repro.obs.schema`, ``docs/OBSERVABILITY.md``).
+
+Exit status 0 when every document parses and conforms; 1 otherwise,
+with one line per problem. This is the regression gate ``make
+bench-smoke`` (and ``run_all.py``) runs after emitting results.
+
+Run:  python benchmarks/check_results.py [results_dir]
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.schema import validate_result  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def check_directory(results_dir=RESULTS_DIR):
+    """Returns (checked_count, problems)."""
+    problems = []
+    paths = sorted(pathlib.Path(results_dir).glob("*.json"))
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path.name}: unreadable JSON: {exc}")
+            continue
+        problems.extend(validate_result(doc, label=path.name))
+        stem_claim = doc.get("name") if isinstance(doc, dict) else None
+        if stem_claim is not None and stem_claim != path.stem:
+            problems.append(
+                f"{path.name}: document name {stem_claim!r} != file stem"
+            )
+    return len(paths), problems
+
+
+def main(argv):
+    results_dir = pathlib.Path(argv[1]) if len(argv) > 1 else RESULTS_DIR
+    checked, problems = check_directory(results_dir)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"{checked} result file(s) checked, {len(problems)} problem(s)")
+        return 1
+    print(f"{checked} result file(s) checked, all schema-valid")
+    if checked == 0:
+        print("(run `python benchmarks/run_all.py` to generate results)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

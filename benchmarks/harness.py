@@ -8,10 +8,12 @@ and roughly by how much — so a regression in the engine shows up as a
 failing benchmark, not just a different number.
 """
 
+import json
 import pathlib
 
 from repro import Database, EngineConfig
 from repro.metrics import format_table
+from repro.obs.schema import RESULT_SCHEMA_VERSION, validate_result
 from repro.sim import Scheduler
 from repro.workload import OrderEntryWorkload
 
@@ -54,10 +56,67 @@ def run_writers(db, workload, mpl=8, txns=15, items=2, think=0,
     return result
 
 
-def emit(name, headers, rows, title):
-    """Print the experiment table and save it under results/."""
+def claim(description, checks):
+    """Evaluate a qualitative claim from ``(label, bool)`` pairs.
+
+    Returns the ``claim`` object of the result JSON schema: verdict is
+    ``"pass"`` only if every check held. Benchmarks compute the same
+    predicates their pytest assertions use, so ``run_all.py`` records
+    the verdict without pytest in the loop.
+    """
+    checks = [{"label": label, "ok": bool(ok)} for label, ok in checks]
+    return {
+        "description": description,
+        "verdict": "pass" if all(c["ok"] for c in checks) else "fail",
+        "checks": checks,
+    }
+
+
+def emit(name, headers, rows, title, params=None, series=None, claim=None,
+         db=None, results_dir=None):
+    """Print the experiment table; save ``<name>.txt`` and ``<name>.json``.
+
+    The JSON document follows :mod:`repro.obs.schema` (validated before
+    writing — a benchmark cannot emit a malformed result):
+
+    * ``params`` — the swept/fixed parameters of the experiment;
+    * ``series`` — named data series keyed by x-value (for plotting and
+      trajectory tracking), defaulting to the table itself;
+    * ``claim`` — the qualitative-claim verdict from :func:`claim`
+      (``"not-evaluated"`` when the benchmark does not self-judge);
+    * ``counters`` / ``lock_stats`` — engine totals from ``db``, when the
+      experiment ran over a single database.
+    """
     table = format_table(headers, rows, title=title)
     print("\n" + table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    results_dir = pathlib.Path(results_dir) if results_dir else RESULTS_DIR
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / f"{name}.txt").write_text(table + "\n")
+    doc = {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "name": name,
+        "title": title,
+        "params": params or {},
+        "table": {"headers": list(headers), "rows": [list(r) for r in rows]},
+        "series": _jsonable_series(series) if series else {},
+        "claim": claim
+        or {"description": title, "verdict": "not-evaluated", "checks": []},
+        "counters": db.counters.as_dict() if db is not None else {},
+        "lock_stats": db.locks.stats.as_dict() if db is not None else {},
+    }
+    problems = validate_result(doc, label=name)
+    assert not problems, f"benchmark emitted invalid result JSON: {problems}"
+    (results_dir / f"{name}.json").write_text(
+        json.dumps(doc, indent=2, default=str) + "\n"
+    )
     return table
+
+
+def _jsonable_series(series):
+    """JSON object keys must be strings; sweep keys are often ints."""
+    return {
+        str(series_name): {str(k): v for k, v in points.items()}
+        if isinstance(points, dict)
+        else points
+        for series_name, points in series.items()
+    }

@@ -3,7 +3,11 @@
 
 Equivalent to ``pytest benchmarks/ --benchmark-only`` but prints the
 experiment tables directly (pytest captures them) and finishes with a
-one-screen summary. Tables are also written to ``benchmarks/results/``.
+one-screen summary. Every experiment writes two artifacts under
+``benchmarks/results/``: the human-readable ``<name>.txt`` table and a
+schema-valid ``<name>.json`` document (params, series, qualitative-claim
+verdict, engine counters — see ``docs/OBSERVABILITY.md``). All JSON
+results are validated against the schema before the run reports success.
 
 Run:  python benchmarks/run_all.py
 """
@@ -47,7 +51,16 @@ def main():
     for name, seconds in timings:
         print(f"  {name:<32} {seconds:6.2f}s")
     print(f"  {'total':<32} {time.perf_counter() - total_start:6.2f}s")
-    print("tables saved under benchmarks/results/")
+    print("tables (.txt) and result documents (.json) saved under "
+          "benchmarks/results/")
+    import check_results
+
+    checked, problems = check_results.check_directory()
+    if problems:
+        for problem in problems:
+            print(f"  FAIL {problem}")
+        raise SystemExit(1)
+    print(f"  {checked} result JSON file(s) schema-valid")
 
 
 if __name__ == "__main__":

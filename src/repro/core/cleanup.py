@@ -110,6 +110,7 @@ class GhostCleaner:
                 ):
                     db.abort(txn)
                     self.skipped_live += 1
+                    self._trace(db, index_name, key, "skipped_live")
                     return False
                 db.acquire_plan(txn, locks_for_update(index, key))
                 record = index.get_record(key, include_ghost=True)
@@ -121,6 +122,7 @@ class GhostCleaner:
                 ):
                     db.abort(txn)
                     self.skipped_live += 1
+                    self._trace(db, index_name, key, "skipped_live")
                     return False
                 index.logical_delete(key)
                 db.log.append(
@@ -142,7 +144,8 @@ class GhostCleaner:
                 db.abort(txn)
                 db.cleanup.enqueue(index_name, key)
                 self.requeued += 1
-                db.stats.incr("cleanup.deferred_for_snapshots")
+                db.counters.incr("cleanup.deferred_for_snapshots")
+                self._trace(db, index_name, key, "deferred")
                 return False
             ghost_row = record.current_row
             index.physical_delete(key)
@@ -150,15 +153,24 @@ class GhostCleaner:
             self._drop_escrow_accounts(db, index_name, key)
             db.commit(txn)
             self.cleaned += 1
-            db.stats.incr("cleanup.removed")
+            db.counters.incr("cleanup.removed")
+            self._trace(db, index_name, key, "removed")
             return True
         except TransactionAborted:
             # Lock contention (NOWAIT) — put it back for a later pass.
             db.abort(txn)
             db.cleanup.enqueue(index_name, key)
             self.requeued += 1
-            db.stats.incr("cleanup.requeued")
+            db.counters.incr("cleanup.requeued")
+            self._trace(db, index_name, key, "requeued")
             return False
+
+    @staticmethod
+    def _trace(db, index_name, key, outcome):
+        if db.tracer.enabled:
+            db.tracer.emit(
+                "ghost_cleanup", index=index_name, key=key, outcome=outcome
+            )
 
     @staticmethod
     def _has_pending(db, index_name, key):

@@ -34,6 +34,7 @@ from repro.locking.keyrange import (
     table_resource,
 )
 from repro.metrics import Counters
+from repro.obs import EngineMetrics, Tracer
 from repro.storage import Index
 from repro.storage.records import VersionedRecord
 from repro.txn import LockPolicy, SnapshotRegistry, TransactionManager
@@ -69,13 +70,15 @@ class Database(RecoveryTarget):
     def __init__(self, config=None):
         self.config = config or EngineConfig()
         self.clock = LogicalClock()
-        self.log = LogManager()
-        self.locks = LockManager()
+        self.tracer = Tracer(clock=self.clock)  # disabled until .enable()
+        self.metrics = EngineMetrics()
+        self.log = LogManager(tracer=self.tracer)
+        self.locks = LockManager(tracer=self.tracer)
         self.latches = LatchSet()
         self.escrow = EscrowRegistry()
         self.snapshots = SnapshotRegistry(self.clock)
         self.catalog = Catalog()
-        self.stats = Counters()
+        self.counters = Counters()
         self.cleanup = CleanupQueue()
         self.cleaner = GhostCleaner(self)
         self.deferred = DeferredMaintainer(self.clock)
@@ -86,7 +89,7 @@ class Database(RecoveryTarget):
         )
         self._txns = TransactionManager(
             self.clock, self.log, self.locks, self.escrow, self.snapshots,
-            undo_target=self,
+            undo_target=self, tracer=self.tracer, metrics=self.metrics,
         )
         self._txns.commit_listener = self._on_commit
         self._indexes = {}
@@ -94,7 +97,9 @@ class Database(RecoveryTarget):
         self.secondary = SecondaryIndexManager(self)
         from repro.locking.escalation import EscalationPolicy
 
-        self.escalation = EscalationPolicy(self.config.escalation_threshold)
+        self.escalation = EscalationPolicy(
+            self.config.escalation_threshold, tracer=self.tracer
+        )
 
     # ==================================================================
     # schema
@@ -322,6 +327,39 @@ class Database(RecoveryTarget):
     def active_transactions(self):
         return self._txns.active_transactions()
 
+    def stats(self):
+        """One nested dict of everything the engine measures.
+
+        Schema documented in ``docs/OBSERVABILITY.md`` (and pinned by
+        ``tests/test_obs.py``): named counters, lock-manager totals,
+        transaction outcomes, WAL volume, per-transaction histograms,
+        tracer buffer health, and cleaner progress.
+        """
+        return {
+            "counters": self.counters.as_dict(),
+            "lock": self.locks.stats.as_dict(),
+            "txns": {
+                "committed": self.committed_count,
+                "aborted": self.aborted_count,
+                "active": len(self._txns.active_transactions()),
+            },
+            "wal": {
+                "records": len(self.log),
+                "bytes": self.log.bytes_estimate,
+                "flushes": self.log.flush_count,
+                "flushed_lsn": self.log.flushed_lsn,
+            },
+            "per_txn": self.metrics.as_dict(),
+            "tracer": self.tracer.summary(),
+            "cleanup": {
+                "backlog": len(self.cleanup),
+                "removed": self.cleaner.cleaned,
+                "requeued": self.cleaner.requeued,
+                "skipped_live": self.cleaner.skipped_live,
+            },
+            "escalations": self.escalation.escalations,
+        }
+
     def _apply_commit_folds(self, txn):
         """commit_fold mode: apply the transaction's accumulated aggregate
         deltas now, one group at a time. Idempotent across WouldWait
@@ -369,7 +407,7 @@ class Database(RecoveryTarget):
                 and not record.is_ghost
             ):
                 self.cleanup.enqueue(index_name, key)
-                self.stats.incr("agg.group_emptied_at_commit")
+                self.counters.incr("agg.group_emptied_at_commit")
         stamped = set()
         for record in records_to_stamp:
             if id(record) in stamped:
@@ -414,7 +452,7 @@ class Database(RecoveryTarget):
                 d.log.append(InsertRecord(t.txn_id, table, key, row))
                 t.touch_record(record)
             t.stats.writes += 1
-            d.stats.incr("dml.insert")
+            d.counters.incr("dml.insert")
 
         base_action = Action(f"base-insert {table}{key!r}", base_plan, apply_base)
         view_actions = self.maintenance.compile(self, txn, table, "insert", after=row)
@@ -441,7 +479,7 @@ class Database(RecoveryTarget):
             t.touch_record(record)
             d.cleanup.enqueue(table, key)
             t.stats.writes += 1
-            d.stats.incr("dml.delete")
+            d.counters.incr("dml.delete")
 
         base_action = Action(f"base-delete {table}{key!r}", [], apply_base)
         view_actions = self.maintenance.compile(
@@ -480,7 +518,7 @@ class Database(RecoveryTarget):
             record.current_row = after
             t.touch_record(record)
             t.stats.writes += 1
-            d.stats.incr("dml.update")
+            d.counters.incr("dml.update")
 
         base_action = Action(f"base-update {table}{key!r}", [], apply_base)
         view_actions = self.maintenance.compile(
@@ -692,7 +730,7 @@ class Database(RecoveryTarget):
         record = CheckpointRecord(self._txns.active_txn_table(), snapshot)
         self.log.append(record)
         self.log.flush()
-        self.stats.incr("checkpoint.taken")
+        self.counters.incr("checkpoint.taken")
         return record
 
     def simulate_crash_and_recover(self):
@@ -737,20 +775,21 @@ class Database(RecoveryTarget):
             self._load_snapshot(checkpoint.snapshot)
         report = recover(self.log, self)
         self._post_recovery()
-        self.stats.incr("recovery.runs")
+        self.counters.incr("recovery.runs")
         return report
 
     def _reset_volatile(self):
         next_txn_id = self._txns._next_txn_id
-        self.locks = LockManager()
+        self.locks = LockManager(tracer=self.tracer)
         self.latches = LatchSet()
         self.escrow = EscrowRegistry()
         self.snapshots = SnapshotRegistry(self.clock)
         self.cleanup = CleanupQueue()
         self.cleaner = GhostCleaner(self)
+        self.log.tracer = self.tracer  # a loaded WAL starts with NULL_TRACER
         self._txns = TransactionManager(
             self.clock, self.log, self.locks, self.escrow, self.snapshots,
-            undo_target=self,
+            undo_target=self, tracer=self.tracer, metrics=self.metrics,
         )
         self._txns._next_txn_id = next_txn_id
         self._txns.commit_listener = self._on_commit

@@ -39,6 +39,34 @@ def waits_for_edges(db):
     return sorted(set(edges))
 
 
+def wait_graph_snapshot(db):
+    """A self-contained snapshot of who waits on whom, right now.
+
+    Returns ``{"edges": [(waiter, blocker), ...], "waiters": [...]}``
+    where each waiter entry names the contested resource and requested
+    mode — enough to reconstruct (and render) the live waits-for graph
+    without touching the lock manager again.
+    """
+    waiters = []
+    for resource in sorted(db.locks.active_resources(), key=repr):
+        for request in db.locks.waiters(resource):
+            waiters.append(
+                {
+                    "txn_id": request.txn_id,
+                    "resource": resource,
+                    "mode": repr(request.mode),
+                    "blocked_by": sorted(db.locks._blockers_of(request.txn_id)),
+                }
+            )
+    return {"edges": waits_for_edges(db), "waiters": waiters}
+
+
+def trace_tail(db, n=20, **filters):
+    """The newest ``n`` buffered tracer events (oldest first), optionally
+    filtered like :meth:`~repro.obs.tracer.Tracer.events`."""
+    return db.tracer.events(**filters)[-n:]
+
+
 def transaction_report(db):
     """One dict per active transaction: state, locks held, waiting on."""
     report = []
@@ -96,7 +124,7 @@ def health_report(db):
         "escalations": db.escalation.escalations,
         "committed": db.committed_count,
         "aborted": db.aborted_count,
-        "counters": db.stats.as_dict(),
+        "counters": db.counters.as_dict(),
     }
 
 

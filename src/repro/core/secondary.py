@@ -187,7 +187,7 @@ class SecondaryIndexManager:
                 record = index.insert(key, ref)
                 d.log.append(InsertRecord(t.txn_id, definition.full_name, key, ref))
                 t.touch_record(record)
-            d.stats.incr("secondary.entry_inserted")
+            d.counters.incr("secondary.entry_inserted")
 
         plan = locks_for_insert(index, key, db.config.serializable)
         return Action(f"sec-insert {definition.full_name}{key!r}", plan, apply)
@@ -207,7 +207,7 @@ class SecondaryIndexManager:
             )
             t.touch_record(record)
             d.cleanup.enqueue(definition.full_name, key)
-            d.stats.incr("secondary.entry_ghosted")
+            d.counters.incr("secondary.entry_ghosted")
 
         plan = locks_for_logical_delete(index, key)
         return Action(f"sec-ghost {definition.full_name}{key!r}", plan, apply)

@@ -22,6 +22,7 @@ locking.
 
 from repro.locking.keyrange import table_resource
 from repro.locking.modes import GapMode, LockMode, RangeMode
+from repro.obs.tracer import NULL_TRACER
 
 
 def _is_read_only_mode(mode):
@@ -52,9 +53,10 @@ class EscalationPolicy:
 
     SCRATCH_KEY = "escalation_state"
 
-    def __init__(self, threshold=None):
+    def __init__(self, threshold=None, tracer=NULL_TRACER):
         self.threshold = threshold
         self.escalations = 0
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -93,6 +95,11 @@ class EscalationPolicy:
                 txn.acquire(table_resource(index_name), LockMode.X)
                 state.escalated_to = LockMode.X
                 state.read_only = False
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lock_escalate", txn_id=txn.txn_id, index=index_name,
+                        mode=LockMode.X, key_locks=state.count,
+                    )
                 continue
             txn.acquire(table_resource(index_name), intent_for(mode))
             if (
@@ -103,6 +110,11 @@ class EscalationPolicy:
                 state.escalated_to = needed_table_mode
                 state.read_only = state.read_only and read_only
                 self.escalations += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lock_escalate", txn_id=txn.txn_id, index=index_name,
+                        mode=needed_table_mode, key_locks=state.count,
+                    )
                 continue
             txn.acquire(resource, mode)
             state.count += 1

@@ -33,6 +33,7 @@ from collections import OrderedDict
 
 from repro.common.errors import DeadlockError
 from repro.locking.modes import mode_compatible, mode_supremum
+from repro.obs.tracer import NULL_TRACER
 
 
 class RequestStatus(enum.Enum):
@@ -108,12 +109,13 @@ class LockStats:
 class LockManager:
     """Grants, queues, converts, and releases locks; detects deadlocks."""
 
-    def __init__(self):
+    def __init__(self, tracer=NULL_TRACER):
         self._queues = {}
         self._held_by_txn = {}  # txn_id -> set of resources
         self._waiting_request = {}  # txn_id -> LockRequest (at most one)
         self.stats = LockStats()
         self.contention = {}  # resource -> cumulative wait count
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # acquisition
@@ -149,6 +151,11 @@ class LockManager:
                 request.status = RequestStatus.GRANTED
                 self.stats.immediate_grants += 1
                 self.stats.conversions += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lock_acquire", txn_id=txn_id, resource=resource,
+                        mode=target, conversion=True,
+                    )
                 return request
             # Conversions wait at the *front* of the queue.
             queue.waiting.insert(0, request)
@@ -163,6 +170,11 @@ class LockManager:
             self._held_by_txn.setdefault(txn_id, set()).add(resource)
             request.status = RequestStatus.GRANTED
             self.stats.immediate_grants += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "lock_acquire", txn_id=txn_id, resource=resource,
+                    mode=mode, conversion=False,
+                )
             return request
         queue.waiting.append(request)
         return self._begin_wait(request, queue)
@@ -173,6 +185,11 @@ class LockManager:
             self.contention.get(request.resource, 0) + 1
         )
         self._waiting_request[request.txn_id] = request
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lock_wait", txn_id=request.txn_id,
+                resource=request.resource, mode=request.mode,
+            )
         victim = self._detect_deadlock(request.txn_id)
         if victim is not None:
             self.stats.deadlocks += 1
@@ -182,6 +199,11 @@ class LockManager:
                 request.status = RequestStatus.DENIED
                 request.deny_error = DeadlockError(victim, cycle)
                 self.stats.denials += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lock_deny", txn_id=request.txn_id,
+                        resource=request.resource, victim=victim, cycle=cycle,
+                    )
                 return request
             victim_request = self._waiting_request.get(victim)
             if victim_request is not None:
@@ -189,6 +211,12 @@ class LockManager:
                 victim_request.status = RequestStatus.DENIED
                 victim_request.deny_error = DeadlockError(victim, cycle)
                 self.stats.denials += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lock_deny", txn_id=victim,
+                        resource=victim_request.resource, victim=victim,
+                        cycle=cycle,
+                    )
                 # The victim's departure from the queue may unblock others
                 # (it aborts next, releasing its locks, which grants more).
                 self._grant_from_queue(self._queues[victim_request.resource])
@@ -230,6 +258,8 @@ class LockManager:
         for resource in resources:
             newly_granted.extend(self.release(txn_id, resource))
         self._held_by_txn.pop(txn_id, None)
+        if resources and self.tracer.enabled:
+            self.tracer.emit("lock_release", txn_id=txn_id, count=len(resources))
         return newly_granted
 
     def cancel_wait(self, txn_id):
@@ -292,6 +322,11 @@ class LockManager:
                 if self._waiting_request.get(request.txn_id) is request:
                     del self._waiting_request[request.txn_id]
                 granted_txns.append(request.txn_id)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lock_grant", txn_id=request.txn_id,
+                        resource=request.resource, mode=request.mode,
+                    )
                 progress = True
         return granted_txns
 

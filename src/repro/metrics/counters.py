@@ -57,13 +57,16 @@ class Histogram:
         return ordered[idx]
 
     def as_dict(self):
+        # Guard on count, not truthiness: a histogram whose only observed
+        # value is 0 (or 0.0) must report it, while an empty histogram
+        # reports None rather than a fabricated 0.
         return {
             "count": self.count,
             "mean": self.mean(),
-            "min": self.min_value or 0,
-            "max": self.max_value or 0,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
+            "min": self.min_value if self.count else None,
+            "max": self.max_value if self.count else None,
+            "p50": self.percentile(50) if self.count else None,
+            "p95": self.percentile(95) if self.count else None,
         }
 
 

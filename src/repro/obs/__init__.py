@@ -1,0 +1,22 @@
+"""Observability: structured event tracing, per-txn metrics, schemas.
+
+See ``docs/OBSERVABILITY.md`` for the event catalogue, the
+``Database.stats()`` schema, and the benchmark result JSON contract.
+"""
+
+from repro.obs.events import CATEGORIES, EVENT_TYPES, Event
+from repro.obs.metrics import EngineMetrics
+from repro.obs.schema import RESULT_SCHEMA_VERSION, VERDICTS, validate_result
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "CATEGORIES",
+    "EVENT_TYPES",
+    "Event",
+    "EngineMetrics",
+    "NULL_TRACER",
+    "RESULT_SCHEMA_VERSION",
+    "Tracer",
+    "VERDICTS",
+    "validate_result",
+]

@@ -1,0 +1,168 @@
+"""The typed event catalogue: the stability contract of the tracer.
+
+Every event the engine can emit is registered here, with its category
+and field schema. :meth:`~repro.obs.tracer.Tracer.emit` rejects names
+that are not in :data:`EVENT_TYPES`, and a test asserts that
+``docs/OBSERVABILITY.md`` documents exactly this catalogue — the doc and
+the code cannot drift apart silently.
+
+Field values are plain Python objects (resources are tuples, modes are
+enum members); :meth:`Event.as_dict` stringifies anything non-JSON so an
+event stream can always be serialized and replayed.
+
+Timestamps are **logical clock ticks** (the engine never reads wall
+time), and ``seq`` is a per-tracer monotonic sequence number: two events
+with the same tick still have a total order.
+"""
+
+#: name -> {"category": str, "fields": {field_name: description}}
+EVENT_TYPES = {
+    # ------------------------------------------------------------ lock
+    "lock_acquire": {
+        "category": "lock",
+        "fields": {
+            "resource": "the locked resource tuple",
+            "mode": "granted mode (LockMode or RangeMode)",
+            "conversion": "True if this upgraded an already-held lock",
+        },
+    },
+    "lock_wait": {
+        "category": "lock",
+        "fields": {
+            "resource": "the contested resource tuple",
+            "mode": "requested mode",
+        },
+    },
+    "lock_grant": {
+        "category": "lock",
+        "fields": {
+            "resource": "the resource a queued request was granted on",
+            "mode": "granted mode",
+        },
+    },
+    "lock_deny": {
+        "category": "lock",
+        "fields": {
+            "resource": "the resource of the denied request",
+            "victim": "txn chosen as deadlock victim",
+            "cycle": "the waits-for cycle, as a txn-id tuple",
+        },
+    },
+    "lock_release": {
+        "category": "lock",
+        "fields": {"count": "number of resources released at commit/abort"},
+    },
+    "lock_escalate": {
+        "category": "lock",
+        "fields": {
+            "index": "index whose key locks were escalated",
+            "mode": "table-level mode escalated to (S or X)",
+            "key_locks": "fine-grained locks held when the threshold tripped",
+        },
+    },
+    # ------------------------------------------------------------- wal
+    "wal_append": {
+        "category": "wal",
+        "fields": {
+            "lsn": "assigned log sequence number",
+            "record": "log record type name",
+            "bytes": "estimated serialized size",
+        },
+    },
+    "wal_flush": {
+        "category": "wal",
+        "fields": {
+            "flushed_lsn": "new durable prefix boundary",
+            "records": "records made durable by this flush",
+        },
+    },
+    # ------------------------------------------------------------- txn
+    "txn_begin": {
+        "category": "txn",
+        "fields": {
+            "isolation": "isolation level",
+            "system": "True for nested top-level (system) transactions",
+        },
+    },
+    "txn_commit": {
+        "category": "txn",
+        "fields": {
+            "commit_ts": "commit timestamp (logical ticks)",
+            "latency": "ticks from begin to commit",
+            "log_bytes": "estimated log bytes this transaction appended",
+            "actions": "maintenance/base actions executed",
+        },
+    },
+    "txn_abort": {
+        "category": "txn",
+        "fields": {"reason": "abort reason string"},
+    },
+    "txn_rollback": {
+        "category": "txn",
+        "fields": {"to_lsn": "savepoint LSN rolled back to (None = full)"},
+    },
+    # ------------------------------------------------------------ view
+    "view_action_compile": {
+        "category": "view",
+        "fields": {
+            "statement": "description of the first (base) action",
+            "actions": "number of actions in the statement",
+            "locks": "total lock-plan entries across the actions",
+        },
+    },
+    "view_action_apply": {
+        "category": "view",
+        "fields": {"action": "description of the applied action"},
+    },
+    # --------------------------------------------------------- cleanup
+    "ghost_cleanup": {
+        "category": "cleanup",
+        "fields": {
+            "index": "index the candidate belongs to",
+            "key": "candidate key",
+            "outcome": "removed | requeued | skipped_live | deferred",
+        },
+    },
+}
+
+#: every category that appears in the catalogue
+CATEGORIES = frozenset(spec["category"] for spec in EVENT_TYPES.values())
+
+
+class Event:
+    """One traced engine event. Immutable by convention."""
+
+    __slots__ = ("seq", "ts", "name", "category", "txn_id", "fields")
+
+    def __init__(self, seq, ts, name, category, txn_id, fields):
+        self.seq = seq
+        self.ts = ts
+        self.name = name
+        self.category = category
+        self.txn_id = txn_id
+        self.fields = fields
+
+    def __repr__(self):
+        txn = f" txn={self.txn_id}" if self.txn_id is not None else ""
+        return f"Event({self.seq}@{self.ts} {self.name}{txn} {self.fields!r})"
+
+    def as_dict(self):
+        """A JSON-safe dict (non-primitive field values are repr()'d)."""
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "name": self.name,
+            "category": self.category,
+            "txn_id": self.txn_id,
+            "fields": {k: _jsonable(v) for k, v in self.fields.items()},
+        }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)

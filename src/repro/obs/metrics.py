@@ -1,0 +1,38 @@
+"""Per-transaction metric aggregation.
+
+:class:`EngineMetrics` owns one :class:`~repro.metrics.Histogram` per
+per-transaction quantity. The transaction manager feeds it at every
+commit and abort; the simulator feeds lock-wait durations (only it knows
+how long a parked session actually slept). Everything here is in
+**logical clock ticks** and estimated log bytes — the same units the
+benchmarks report.
+"""
+
+from repro.metrics import Histogram
+
+
+class EngineMetrics:
+    """Histograms over completed transactions, surfaced by
+    ``Database.stats()["per_txn"]``."""
+
+    def __init__(self):
+        self.txn_latency = Histogram()  # begin -> commit, ticks
+        self.lock_wait = Histogram()  # per parked wait, ticks
+        self.log_bytes = Histogram()  # per committed txn
+        self.actions = Histogram()  # actions executed per committed txn
+
+    def observe_commit(self, latency, log_bytes, actions):
+        self.txn_latency.observe(latency)
+        self.log_bytes.observe(log_bytes)
+        self.actions.observe(actions)
+
+    def observe_lock_wait(self, ticks):
+        self.lock_wait.observe(ticks)
+
+    def as_dict(self):
+        return {
+            "latency": self.txn_latency.as_dict(),
+            "lock_wait": self.lock_wait.as_dict(),
+            "log_bytes": self.log_bytes.as_dict(),
+            "actions": self.actions.as_dict(),
+        }

@@ -1,0 +1,106 @@
+"""The benchmark result JSON schema and its validator.
+
+Every benchmark writes ``benchmarks/results/<name>.json`` through
+:func:`benchmarks.harness.emit`. This module is the single source of
+truth for what that document must contain, so regression tooling
+(``benchmarks/check_results.py``, the golden-file test, future
+dashboards) can rely on the shape without parsing ``.txt`` tables.
+
+The validator is hand-rolled (the repo takes no dependencies); it
+returns a list of problem strings, empty when the document conforms.
+"""
+
+RESULT_SCHEMA_VERSION = 1
+
+#: allowed values for claim.verdict
+VERDICTS = ("pass", "fail", "not-evaluated")
+
+#: top-level required keys -> expected type(s)
+_TOP_LEVEL = {
+    "schema_version": int,
+    "name": str,
+    "title": str,
+    "params": dict,
+    "table": dict,
+    "series": dict,
+    "claim": dict,
+    "counters": dict,
+    "lock_stats": dict,
+}
+
+_CLAIM = {
+    "description": str,
+    "verdict": str,
+    "checks": list,
+}
+
+
+def validate_result(doc, label="result"):
+    """Validate one benchmark result document.
+
+    Returns a list of problem strings (empty = valid).
+    """
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"{label}: document is {type(doc).__name__}, not an object"]
+    for key, expected in _TOP_LEVEL.items():
+        if key not in doc:
+            problems.append(f"{label}: missing key {key!r}")
+        elif not isinstance(doc[key], expected):
+            problems.append(
+                f"{label}: {key!r} is {type(doc[key]).__name__}, "
+                f"expected {expected.__name__}"
+            )
+    for key in doc:
+        if key not in _TOP_LEVEL:
+            problems.append(f"{label}: unexpected extra key {key!r}")
+    if problems:
+        return problems
+    if doc["schema_version"] != RESULT_SCHEMA_VERSION:
+        problems.append(
+            f"{label}: schema_version {doc['schema_version']} != "
+            f"{RESULT_SCHEMA_VERSION}"
+        )
+    table = doc["table"]
+    headers = table.get("headers")
+    rows = table.get("rows")
+    if not isinstance(headers, list) or not all(
+        isinstance(h, str) for h in headers
+    ):
+        problems.append(f"{label}: table.headers must be a list of strings")
+    if not isinstance(rows, list):
+        problems.append(f"{label}: table.rows must be a list")
+    elif isinstance(headers, list):
+        for i, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(headers):
+                problems.append(
+                    f"{label}: table.rows[{i}] does not match headers "
+                    f"(want {len(headers)} cells)"
+                )
+                break
+    claim = doc["claim"]
+    for key, expected in _CLAIM.items():
+        if key not in claim:
+            problems.append(f"{label}: claim missing key {key!r}")
+        elif not isinstance(claim[key], expected):
+            problems.append(f"{label}: claim.{key} must be {expected.__name__}")
+    verdict = claim.get("verdict")
+    if verdict is not None and verdict not in VERDICTS:
+        problems.append(
+            f"{label}: claim.verdict {verdict!r} not in {VERDICTS!r}"
+        )
+    for i, check in enumerate(claim.get("checks") or []):
+        if (
+            not isinstance(check, dict)
+            or not isinstance(check.get("label"), str)
+            or not isinstance(check.get("ok"), bool)
+        ):
+            problems.append(
+                f"{label}: claim.checks[{i}] must be "
+                "{'label': str, 'ok': bool}"
+            )
+    if verdict == "pass" and any(
+        not c.get("ok", False) for c in claim.get("checks") or []
+    ):
+        problems.append(f"{label}: verdict is 'pass' but a check failed")
+    return problems

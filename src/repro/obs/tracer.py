@@ -1,0 +1,154 @@
+"""The structured event bus: a ring buffer of typed engine events.
+
+Design constraints, in order:
+
+1. **Disabled must be (nearly) free.** Tracing is off by default; every
+   instrumentation site guards with ``if tracer.enabled:`` so the hot
+   path pays one attribute read and a branch. :data:`NULL_TRACER` is a
+   permanently disabled singleton for components constructed standalone.
+2. **Bounded memory.** Events land in a ring buffer (``deque(maxlen)``);
+   old events are dropped, and the drop count is reported so a consumer
+   knows the stream is truncated.
+3. **Typed.** Only names registered in
+   :data:`~repro.obs.events.EVENT_TYPES` may be emitted — the catalogue
+   is the contract ``docs/OBSERVABILITY.md`` documents.
+
+Usage::
+
+    db.tracer.enable()                      # everything
+    db.tracer.enable(categories=("lock",))  # just lock traffic
+    ... run transactions ...
+    for e in db.tracer.events(name="lock_wait"):
+        print(e)
+    db.tracer.dump_jsonl("trace.jsonl")     # replayable stream
+"""
+
+import json
+from collections import deque
+
+from repro.obs.events import CATEGORIES, EVENT_TYPES, Event
+
+
+class Tracer:
+    """Collects :class:`~repro.obs.events.Event` objects when enabled."""
+
+    DEFAULT_CAPACITY = 10000
+
+    def __init__(self, clock=None, capacity=DEFAULT_CAPACITY):
+        self.enabled = False
+        self.emitted = 0  # total events accepted since creation
+        self.dropped = 0  # events evicted by the ring buffer
+        self._clock = clock
+        self._categories = None  # None = all categories
+        self._ring = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    # switching
+    # ------------------------------------------------------------------
+
+    def enable(self, categories=None):
+        """Start capturing. ``categories`` restricts to a subset (e.g.
+        ``("lock", "wal")``); ``None`` captures everything."""
+        if categories is not None:
+            categories = frozenset(categories)
+            unknown = categories - CATEGORIES
+            if unknown:
+                raise ValueError(f"unknown trace categories: {sorted(unknown)}")
+        self._categories = categories
+        self.enabled = True
+
+    def disable(self):
+        self.enabled = False
+
+    def clear(self):
+        """Drop buffered events (counters keep running)."""
+        self._ring.clear()
+
+    # ------------------------------------------------------------------
+    # emission (hot path)
+    # ------------------------------------------------------------------
+
+    def emit(self, name, txn_id=None, **fields):
+        """Record one event. No-op when disabled. Callers on hot paths
+        should additionally guard with ``if tracer.enabled:`` to skip
+        building the field dict at all."""
+        if not self.enabled:
+            return
+        spec = EVENT_TYPES.get(name)
+        if spec is None:
+            raise ValueError(f"unregistered event type {name!r}")
+        category = spec["category"]
+        if self._categories is not None and category not in self._categories:
+            return
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self.emitted += 1
+        self._ring.append(
+            Event(
+                self.emitted,
+                self._clock.now() if self._clock is not None else 0,
+                name,
+                category,
+                txn_id,
+                fields,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._ring)
+
+    def events(self, name=None, category=None, txn_id=None):
+        """Buffered events, oldest first, optionally filtered."""
+        out = []
+        for event in self._ring:
+            if name is not None and event.name != name:
+                continue
+            if category is not None and event.category != category:
+                continue
+            if txn_id is not None and event.txn_id != txn_id:
+                continue
+            out.append(event)
+        return out
+
+    def as_dicts(self, **filters):
+        return [e.as_dict() for e in self.events(**filters)]
+
+    def dump_jsonl(self, path, **filters):
+        """Write the (filtered) buffered stream as JSON lines."""
+        with open(path, "w") as f:
+            for event in self.events(**filters):
+                f.write(json.dumps(event.as_dict()) + "\n")
+
+    def summary(self):
+        """Buffer/health counters for :meth:`Database.stats`."""
+        by_category = {}
+        for event in self._ring:
+            by_category[event.category] = by_category.get(event.category, 0) + 1
+        return {
+            "enabled": self.enabled,
+            "categories": (
+                sorted(self._categories) if self._categories is not None else None
+            ),
+            "buffered": len(self._ring),
+            "capacity": self._ring.maxlen,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "buffered_by_category": dict(sorted(by_category.items())),
+        }
+
+
+class _NullTracer(Tracer):
+    """A tracer that cannot be enabled — the default for components
+    constructed outside a Database (standalone tests, tools)."""
+
+    def enable(self, categories=None):
+        raise RuntimeError(
+            "NULL_TRACER cannot be enabled; attach a real Tracer instead"
+        )
+
+
+NULL_TRACER = _NullTracer()

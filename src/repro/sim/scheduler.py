@@ -206,7 +206,7 @@ class Scheduler:
         db.clock.advance_to(makespan_end)
         result.ticks = makespan_end - start_tick
         result.lock_stats = db.locks.stats.as_dict()
-        result.db_stats = db.stats.as_dict()
+        result.db_stats = db.counters.as_dict()
         return result
 
     def run_open(self, program_factory, arrival_rate, duration, seed=0,
@@ -278,7 +278,7 @@ class Scheduler:
         db.clock.advance_to(makespan_end)
         result.ticks = makespan_end - start_tick
         result.lock_stats = db.locks.stats.as_dict()
-        result.db_stats = db.stats.as_dict()
+        result.db_stats = db.counters.as_dict()
         return result
 
     # ------------------------------------------------------------------
@@ -295,7 +295,9 @@ class Scheduler:
                 session.state = "runnable"
                 session.ready_at = max(session.ready_at, self._last_completion)
                 if session.wait_started is not None:
-                    result.wait_time.observe(session.ready_at - session.wait_started)
+                    waited = session.ready_at - session.wait_started
+                    result.wait_time.observe(waited)
+                    self._db.metrics.observe_lock_wait(waited)
                     session.wait_started = None
 
     def _charge(self, session, ticks):

@@ -25,6 +25,7 @@ rollback of the surrounding user transaction.
 """
 
 from repro.common.errors import TransactionStateError
+from repro.obs.tracer import NULL_TRACER
 from repro.txn.transaction import LockPolicy, Transaction, TxnState
 from repro.wal.records import (
     AbortRecord,
@@ -41,7 +42,7 @@ class TransactionManager:
     """Creates transactions and drives their completion."""
 
     def __init__(self, clock, log, lock_manager, escrow_registry, snapshots,
-                 undo_target=None):
+                 undo_target=None, tracer=NULL_TRACER, metrics=None):
         self._clock = clock
         self._log = log
         self._locks = lock_manager
@@ -53,6 +54,8 @@ class TransactionManager:
         self.commit_listener = None  # set by the Database
         self.committed_count = 0
         self.aborted_count = 0
+        self.tracer = tracer
+        self.metrics = metrics  # EngineMetrics, when owned by a Database
 
     def set_undo_target(self, target):
         self._undo_target = target
@@ -74,7 +77,15 @@ class TransactionManager:
             is_system=is_system,
             isolation=isolation,
         )
+        txn.begin_ts = self._clock.now()
         self._active[txn_id] = txn
+        # emit before the BeginRecord lands so txn_begin precedes every
+        # wal_append of the transaction in the trace's causal (seq) order
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "txn_begin", txn_id=txn_id, isolation=isolation,
+                system=is_system,
+            )
         self._log.append(BeginRecord(txn_id, is_system=is_system))
         return txn
 
@@ -104,6 +115,18 @@ class TransactionManager:
         self._log.append(EndRecord(txn.txn_id))
         del self._active[txn.txn_id]
         self.committed_count += 1
+        txn.stats.log_bytes = self._log.bytes_of(txn.txn_id)
+        latency = commit_ts - txn.begin_ts
+        if self.metrics is not None:
+            self.metrics.observe_commit(
+                latency, txn.stats.log_bytes, txn.stats.actions
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "txn_commit", txn_id=txn.txn_id, commit_ts=commit_ts,
+                latency=latency, log_bytes=txn.stats.log_bytes,
+                actions=txn.stats.actions,
+            )
         return commit_ts
 
     def abort(self, txn, reason="user"):
@@ -126,6 +149,9 @@ class TransactionManager:
         self._log.append(EndRecord(txn.txn_id))
         del self._active[txn.txn_id]
         self.aborted_count += 1
+        txn.stats.log_bytes = self._log.bytes_of(txn.txn_id)
+        if self.tracer.enabled:
+            self.tracer.emit("txn_abort", txn_id=txn.txn_id, reason=reason)
 
     def _rollback(self, txn, stop_after_lsn=None):
         """Walk the backchain writing CLRs and applying undo actions.
@@ -188,6 +214,10 @@ class TransactionManager:
             raise TransactionStateError(
                 f"savepoint belongs to transaction {savepoint.txn_id}, "
                 f"not {txn.txn_id}"
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "txn_rollback", txn_id=txn.txn_id, to_lsn=savepoint.lsn
             )
         self._rollback(txn, stop_after_lsn=savepoint.lsn)
 

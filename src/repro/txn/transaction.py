@@ -54,6 +54,7 @@ class Transaction:
         "policy",
         "isolation",
         "read_ts",
+        "begin_ts",
         "commit_ts",
         "touched_records",
         "escrow_touched",
@@ -70,6 +71,7 @@ class Transaction:
         self.policy = policy
         self.isolation = isolation
         self.read_ts = read_ts
+        self.begin_ts = read_ts  # overwritten by the manager's clock
         self.commit_ts = None
         self.touched_records = []  # VersionedRecords to stamp at commit
         self.escrow_touched = {}  # resource -> EscrowAccount
@@ -125,7 +127,15 @@ class Transaction:
 class TxnStats:
     """Per-transaction counters reported to the harness."""
 
-    __slots__ = ("lock_waits", "deadlocks", "reads", "writes", "view_maintenances")
+    __slots__ = (
+        "lock_waits",
+        "deadlocks",
+        "reads",
+        "writes",
+        "view_maintenances",
+        "actions",
+        "log_bytes",
+    )
 
     def __init__(self):
         self.lock_waits = 0
@@ -133,6 +143,8 @@ class TxnStats:
         self.reads = 0
         self.writes = 0
         self.view_maintenances = 0
+        self.actions = 0  # statement actions executed (base + views)
+        self.log_bytes = 0  # filled in at commit/abort from the WAL
 
     def as_dict(self):
         return {
@@ -141,4 +153,6 @@ class TxnStats:
             "reads": self.reads,
             "writes": self.writes,
             "view_maintenances": self.view_maintenances,
+            "actions": self.actions,
+            "log_bytes": self.log_bytes,
         }

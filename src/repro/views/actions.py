@@ -40,7 +40,22 @@ class Action:
 
 def run_actions(db, txn, actions):
     """Acquire every plan, then apply every mutation — in order."""
+    tracer = db.tracer
+    if tracer.enabled:
+        tracer.emit(
+            "view_action_compile",
+            txn_id=txn.txn_id,
+            statement=actions[0].description if actions else "",
+            actions=len(actions),
+            locks=sum(len(a.lock_plan) for a in actions),
+        )
     for action in actions:
         db.acquire_plan(txn, action.lock_plan)
     for action in actions:
         action.apply(db, txn)
+        if tracer.enabled:
+            tracer.emit(
+                "view_action_apply", txn_id=txn.txn_id,
+                action=action.description,
+            )
+    txn.stats.actions += len(actions)

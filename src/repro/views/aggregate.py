@@ -142,7 +142,7 @@ class AggregateMaintainer:
         record = index.insert(group_key, row)
         db.log.append(InsertRecord(txn.txn_id, view.name, group_key, row))
         txn.touch_record(record)
-        db.stats.incr("agg.group_created")
+        db.counters.incr("agg.group_created")
         if self.strategy == ESCROW:
             # The creator holds X, which covers E: apply deltas through
             # the escrow machinery so commit folding is the single
@@ -161,7 +161,7 @@ class AggregateMaintainer:
             ReviveRecord(txn.txn_id, view.name, group_key, row, ghost_row)
         )
         txn.touch_record(record)
-        db.stats.incr("agg.ghost_revived")
+        db.counters.incr("agg.ghost_revived")
         db.cleanup.cancel(view.name, group_key)
         if self.strategy == ESCROW:
             self._apply_escrow(db, txn, view, group_key, deltas, record=record)
@@ -208,7 +208,7 @@ class AggregateMaintainer:
             )
         txn.touch_record(record)
         txn.stats.view_maintenances += 1
-        db.stats.incr("agg.escrow_applied")
+        db.counters.incr("agg.escrow_applied")
 
     def _apply_xlock(self, db, txn, view, group_key, deltas):
         index = db.index(view.name)
@@ -222,13 +222,13 @@ class AggregateMaintainer:
         record.current_row = after
         txn.touch_record(record)
         txn.stats.view_maintenances += 1
-        db.stats.incr("agg.xlock_applied")
+        db.counters.incr("agg.xlock_applied")
         if after[view.count_column] == 0:
             # The X holder knows the group is empty: ghost it inline.
             index.logical_delete(group_key)
             db.log.append(GhostRecord(txn.txn_id, view.name, group_key, after))
             db.cleanup.enqueue(view.name, group_key)
-            db.stats.incr("agg.group_emptied_inline")
+            db.counters.incr("agg.group_emptied_inline")
 
     # ------------------------------------------------------------------
     # MIN/MAX (extreme) views — the non-commutative extension
@@ -288,7 +288,7 @@ class AggregateMaintainer:
             record = index.insert(group_key, base)
             db.log.append(InsertRecord(txn.txn_id, view.name, group_key, base))
             txn.touch_record(record)
-            db.stats.incr("agg.group_created")
+            db.counters.incr("agg.group_created")
         elif record.is_ghost:
             ghost_row = record.current_row
             base = view.zero_row(group_key)
@@ -298,7 +298,7 @@ class AggregateMaintainer:
             )
             txn.touch_record(record)
             db.cleanup.cancel(view.name, group_key)
-            db.stats.incr("agg.ghost_revived")
+            db.counters.incr("agg.ghost_revived")
         before = record.current_row
         changes = {
             spec.out: before[spec.out] + spec.delta_for(row, sign)
@@ -320,7 +320,7 @@ class AggregateMaintainer:
             )
             if hit_extreme:
                 changes.update(self._rescan_extremes(db, view, group_key))
-                db.stats.incr("agg.extreme_rescans")
+                db.counters.incr("agg.extreme_rescans")
         after = before.replace(**changes)
         db.log.append(
             UpdateRecord(txn.txn_id, view.name, group_key, before, after)
@@ -328,12 +328,12 @@ class AggregateMaintainer:
         record.current_row = after
         txn.touch_record(record)
         txn.stats.view_maintenances += 1
-        db.stats.incr("agg.extreme_applied")
+        db.counters.incr("agg.extreme_applied")
         if new_count == 0:
             index.logical_delete(group_key)
             db.log.append(GhostRecord(txn.txn_id, view.name, group_key, after))
             db.cleanup.enqueue(view.name, group_key)
-            db.stats.incr("agg.group_emptied_inline")
+            db.counters.incr("agg.group_emptied_inline")
 
     def _rescan_extremes(self, db, view, group_key):
         """Recompute MIN/MAX over the group's remaining base rows.

@@ -155,7 +155,7 @@ class JoinMaintainer:
                 d, t, secondary_index_name(view.name), secondary, skey, view_row
             )
             t.stats.view_maintenances += 1
-            d.stats.incr("join.row_inserted")
+            d.counters.incr("join.row_inserted")
 
         return [Action(f"join-insert {view.name}{vkey!r}", plan, apply)]
 
@@ -183,7 +183,7 @@ class JoinMaintainer:
                 t.touch_record(srec)
                 d.cleanup.enqueue(sec_name, skey)
             t.stats.view_maintenances += 1
-            d.stats.incr("join.row_ghosted")
+            d.counters.incr("join.row_ghosted")
 
         return [Action(f"join-ghost {view.name}{vkey!r}", plan, apply)]
 
@@ -224,7 +224,7 @@ class JoinMaintainer:
                 srec.current_row = new_view_row
                 t.touch_record(srec)
             t.stats.view_maintenances += 1
-            d.stats.incr("join.row_patched")
+            d.counters.incr("join.row_patched")
 
         return [Action(f"join-patch {view.name}{vkey!r}", plan, apply)]
 

@@ -56,7 +56,7 @@ class ProjectionMaintainer:
             record.current_row = new_view_row
             t.touch_record(record)
             t.stats.view_maintenances += 1
-            d.stats.incr("proj.row_patched")
+            d.counters.incr("proj.row_patched")
 
         return [Action(f"proj-patch {view.name}{vkey!r}", plan, apply)]
 
@@ -82,7 +82,7 @@ class ProjectionMaintainer:
                 d.log.append(InsertRecord(t.txn_id, view.name, vkey, view_row))
                 t.touch_record(record)
             t.stats.view_maintenances += 1
-            d.stats.incr("proj.row_inserted")
+            d.counters.incr("proj.row_inserted")
 
         return Action(f"proj-insert {view.name}{vkey!r}", plan, apply)
 
@@ -99,6 +99,6 @@ class ProjectionMaintainer:
             t.touch_record(record)
             d.cleanup.enqueue(view.name, vkey)
             t.stats.view_maintenances += 1
-            d.stats.incr("proj.row_ghosted")
+            d.counters.incr("proj.row_ghosted")
 
         return [Action(f"proj-ghost {view.name}{vkey!r}", plan, apply)]

@@ -15,19 +15,22 @@ cache.
 import json
 
 from repro.common.errors import WalError
+from repro.obs.tracer import NULL_TRACER
 from repro.wal.records import CheckpointRecord, LogRecord
 
 
 class LogManager:
     """Append-only log with per-transaction backchains."""
 
-    def __init__(self):
+    def __init__(self, tracer=NULL_TRACER):
         self._records = []
         self._next_lsn = 1
         self._txn_last_lsn = {}
+        self._txn_bytes = {}  # txn_id -> estimated bytes appended
         self.flushed_lsn = 0
         self.flush_count = 0
         self.bytes_estimate = 0
+        self.tracer = tracer
 
     def __len__(self):
         return len(self._records)
@@ -46,7 +49,17 @@ class LogManager:
             record.prev_lsn = self._txn_last_lsn.get(record.txn_id)
             self._txn_last_lsn[record.txn_id] = record.lsn
         self._records.append(record)
-        self.bytes_estimate += self._estimate_size(record)
+        size = self._estimate_size(record)
+        self.bytes_estimate += size
+        if record.txn_id is not None:
+            self._txn_bytes[record.txn_id] = (
+                self._txn_bytes.get(record.txn_id, 0) + size
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wal_append", txn_id=record.txn_id, lsn=record.lsn,
+                record=type(record).__name__, bytes=size,
+            )
         return record.lsn
 
     @staticmethod
@@ -58,6 +71,10 @@ class LogManager:
 
     def last_lsn_of(self, txn_id):
         return self._txn_last_lsn.get(txn_id)
+
+    def bytes_of(self, txn_id):
+        """Estimated bytes of every record ``txn_id`` has appended."""
+        return self._txn_bytes.get(txn_id, 0)
 
     def tail_lsn(self):
         return self._next_lsn - 1
@@ -71,8 +88,13 @@ class LogManager:
         durable."""
         target = self.tail_lsn() if up_to_lsn is None else min(up_to_lsn, self.tail_lsn())
         if target > self.flushed_lsn:
+            advanced = target - self.flushed_lsn
             self.flushed_lsn = target
             self.flush_count += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wal_flush", flushed_lsn=target, records=advanced
+                )
 
     def crash(self):
         """Discard the unflushed suffix, as a power failure would.

@@ -1,0 +1,129 @@
+"""Golden-file tests for the benchmark result JSON contract.
+
+The harness must emit documents that satisfy ``repro.obs.schema``; the
+validator must reject malformed documents; and every checked-in
+``benchmarks/results/*.json`` must still conform.
+"""
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.core import Database
+from repro.obs import RESULT_SCHEMA_VERSION, VERDICTS, validate_result
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+import check_results  # noqa: E402
+import harness  # noqa: E402
+
+GOLDEN = {
+    "schema_version": RESULT_SCHEMA_VERSION,
+    "name": "r0_golden",
+    "title": "R0: a golden document",
+    "params": {"mpl": 4},
+    "table": {"headers": ["a", "b"], "rows": [[1, 2], [3, 4]]},
+    "series": {"throughput": {"1": 10.0, "4": 38.0}},
+    "claim": {
+        "description": "throughput scales",
+        "verdict": "pass",
+        "checks": [{"label": "mpl4 > mpl1", "ok": True}],
+    },
+    "counters": {},
+    "lock_stats": {},
+}
+
+
+class TestValidator:
+    def test_golden_document_passes(self):
+        assert validate_result(GOLDEN, "golden") == []
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda d: d.pop("claim"), "claim"),
+            (lambda d: d.__setitem__("schema_version", "1"), "schema_version"),
+            (lambda d: d["table"].__setitem__("rows", [[1]]), "row"),
+            (lambda d: d["claim"].__setitem__("verdict", "maybe"), "verdict"),
+            (lambda d: d["claim"]["checks"].append({"label": 3, "ok": True}),
+             "label"),
+            (lambda d: d["claim"]["checks"].append(
+                {"label": "x", "ok": False}), "pass"),
+            (lambda d: d.__setitem__("extra", 1), "extra"),
+        ],
+    )
+    def test_malformed_documents_rejected(self, mutate, fragment):
+        doc = copy.deepcopy(GOLDEN)
+        mutate(doc)
+        problems = validate_result(doc, "bad")
+        assert problems
+        assert any(fragment in p for p in problems)
+
+    def test_verdicts_enumeration(self):
+        for verdict in VERDICTS:
+            doc = copy.deepcopy(GOLDEN)
+            doc["claim"]["verdict"] = verdict
+            if verdict == "pass":
+                assert validate_result(doc, "v") == []
+            else:
+                # non-pass verdicts are fine regardless of check outcomes
+                doc["claim"]["checks"] = [{"label": "x", "ok": False}]
+                assert validate_result(doc, "v") == []
+
+
+class TestHarnessEmit:
+    def test_emit_writes_schema_valid_json_and_txt(self, tmp_path):
+        db = Database()
+        harness.emit(
+            "r0_smoke",
+            ["x", "y"],
+            [[1, 2.5], ["a", None]],
+            "R0: smoke",
+            params={"n": 2},
+            series={"y": {1: 2.5}},
+            claim=harness.claim("it runs", [("ran", True)]),
+            db=db,
+            results_dir=tmp_path,
+        )
+        doc = json.loads((tmp_path / "r0_smoke.json").read_text())
+        assert validate_result(doc, "r0_smoke.json") == []
+        assert doc["name"] == "r0_smoke"
+        assert doc["claim"]["verdict"] == "pass"
+        assert doc["series"]["y"] == {"1": 2.5}  # keys stringified
+        assert doc["counters"] == db.counters.as_dict()
+        assert (tmp_path / "r0_smoke.txt").exists()
+
+    def test_emit_without_claim_is_not_evaluated(self, tmp_path):
+        harness.emit("r0_bare", ["x"], [[1]], "R0: bare", results_dir=tmp_path)
+        doc = json.loads((tmp_path / "r0_bare.json").read_text())
+        assert validate_result(doc, "r0_bare.json") == []
+        assert doc["claim"]["verdict"] == "not-evaluated"
+
+    def test_claim_helper_fails_on_any_false_check(self):
+        c = harness.claim("d", [("a", True), ("b", False)])
+        assert c["verdict"] == "fail"
+        assert [chk["ok"] for chk in c["checks"]] == [True, False]
+
+
+class TestCheckedInResults:
+    def test_all_results_on_disk_schema_valid(self):
+        results_dir = REPO / "benchmarks" / "results"
+        if not list(results_dir.glob("*.json")):
+            pytest.skip("no generated results present")
+        checked, problems = check_results.check_directory(results_dir)
+        assert problems == []
+        assert checked >= 3  # at least r1/r2/r9 are committed
+
+    def test_check_directory_flags_bad_file(self, tmp_path):
+        (tmp_path / "broken.json").write_text("{not json")
+        good = copy.deepcopy(GOLDEN)
+        good["name"] = "mismatch"
+        (tmp_path / "stemmed.json").write_text(json.dumps(good))
+        checked, problems = check_results.check_directory(tmp_path)
+        assert checked == 2
+        assert any("unreadable" in p for p in problems)
+        assert any("file stem" in p for p in problems)

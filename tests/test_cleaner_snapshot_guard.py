@@ -31,7 +31,7 @@ class TestSnapshotHorizonGuard:
         # the view row must survive: the reader still needs its history
         record = db.index("v").get_record(("a",), include_ghost=True)
         assert record is not None
-        assert db.stats.get("cleanup.deferred_for_snapshots") >= 1
+        assert db.counters.get("cleanup.deferred_for_snapshots") >= 1
         # and the reader indeed still sees the old aggregate
         assert db.read(reader, "v", ("a",)) == Row(product="a", n=1, t=30)
         db.commit(reader)
@@ -48,7 +48,7 @@ class TestSnapshotHorizonGuard:
             db.delete(txn, "sales", (1,))
         db.run_ghost_cleanup()
         assert db.index("v").total_entries() == 0
-        assert db.stats.get("cleanup.deferred_for_snapshots") == 0
+        assert db.counters.get("cleanup.deferred_for_snapshots") == 0
 
     def test_base_row_history_also_protected(self):
         db = sales_db()

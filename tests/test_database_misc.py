@@ -81,9 +81,9 @@ class TestStatsAndCounters:
             db.insert(txn, "sales", {"id": 1, "product": "a", "amount": 1})
             db.update(txn, "sales", (1,), {"amount": 2})
             db.delete(txn, "sales", (1,))
-        assert db.stats.get("dml.insert") == 1
-        assert db.stats.get("dml.update") == 1
-        assert db.stats.get("dml.delete") == 1
+        assert db.counters.get("dml.insert") == 1
+        assert db.counters.get("dml.update") == 1
+        assert db.counters.get("dml.delete") == 1
 
     def test_txn_stats_track_work(self):
         db = sales_db()

@@ -31,6 +31,24 @@ class TestHistogram:
         assert h.percentile(50) == 0.0
         assert h.as_dict()["count"] == 0
 
+    def test_empty_as_dict_reports_none_not_zero(self):
+        d = Histogram().as_dict()
+        assert d["min"] is None
+        assert d["max"] is None
+        assert d["p50"] is None
+        assert d["p95"] is None
+
+    def test_as_dict_observed_zero_is_reported_as_zero(self):
+        # regression: `min_value or 0` turned a falsy-but-observed 0 into
+        # the same value an empty histogram reported; guard on count
+        h = Histogram()
+        h.observe(0)
+        d = h.as_dict()
+        assert d["count"] == 1
+        assert d["min"] == 0
+        assert d["max"] == 0
+        assert d["p50"] == 0
+
     def test_stats(self):
         h = Histogram()
         for v in (1, 2, 3, 4, 100):

@@ -119,11 +119,11 @@ class TestMaintenance:
         txn = db.begin()
         add(db, txn, 1, "oslo", 30)
         db.commit(txn)
-        before = db.stats.get("secondary.entry_inserted")
+        before = db.counters.get("secondary.entry_inserted")
         t2 = db.begin()
         db.update(t2, "people", (1,), {"age": 31})
         db.commit(t2)
-        assert db.stats.get("secondary.entry_inserted") == before
+        assert db.counters.get("secondary.entry_inserted") == before
         reader = db.begin()
         assert db.lookup(reader, "people", "by_city", ("oslo",))[0]["age"] == 31
         db.commit(reader)

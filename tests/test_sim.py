@@ -213,7 +213,7 @@ class TestContention:
         sched.add_session(churn, txns=10)
         result = sched.run()
         assert result.committed == 10
-        assert db.stats.get("cleanup.removed") > 0
+        assert db.counters.get("cleanup.removed") > 0
 
 
 class TestMixedReadersWriters:

@@ -84,7 +84,7 @@ class TestExtremeMaintenance:
         db.commit(t2)
         row = db.read_committed("price_stats", ("ant",))
         assert row["cheapest"] == 10 and row["priciest"] == 50
-        assert db.stats.get("agg.extreme_rescans") == 0
+        assert db.counters.get("agg.extreme_rescans") == 0
 
     def test_delete_min_triggers_rescan(self):
         db = minmax_db()
@@ -98,7 +98,7 @@ class TestExtremeMaintenance:
         db.commit(t2)
         row = db.read_committed("price_stats", ("ant",))
         assert row["cheapest"] == 30
-        assert db.stats.get("agg.extreme_rescans") >= 1
+        assert db.counters.get("agg.extreme_rescans") >= 1
         assert db.check_all_views() == []
 
     def test_delete_last_row_removes_group(self):
