@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test bench bench-smoke check-results
+.PHONY: test bench bench-smoke chaos-smoke check-results
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,13 @@ bench:
 # every result document under benchmarks/results/ against the schema.
 bench-smoke:
 	cd benchmarks && $(PYTHON) -c "import bench_r9_logvolume as b; b.scenario()"
+	$(PYTHON) benchmarks/check_results.py
+
+# Bounded chaos tier: a dozen seeded fault schedules plus the
+# broken-injector negative control and the retry-rescue demo, then the
+# schema + event-catalogue gate. Finishes in well under a minute.
+chaos-smoke:
+	cd benchmarks && $(PYTHON) -c "import chaos; chaos.smoke()"
 	$(PYTHON) benchmarks/check_results.py
 
 check-results:

@@ -1,0 +1,331 @@
+#!/usr/bin/env python
+"""Chaos harness: randomized-but-seeded fault schedules vs the oracle.
+
+Each *schedule* (one seed) builds a banking database under a randomly
+drawn engine configuration, arms a random subset of fault sites with
+random probabilities, and runs a few phases of concurrent transfers
+under the simulator. Injected faults abort transactions (which the
+scheduler retries), delay lock grants, time out waits, and crash the
+process mid-commit or mid-maintenance — after which the harness runs
+crash recovery, exactly as an operator would.
+
+After every phase the **consistency oracle** runs:
+
+* every indexed view equals recomputation from its base tables
+  (``db.check_all_views()``);
+* money is conserved — transfers never create or destroy it
+  (``BankingWorkload.check_conservation``), across any mix of commits,
+  aborts, retries, and crash/recovery cycles.
+
+Two companion demonstrations make the harness's verdict meaningful:
+
+* :func:`broken_injector_demo` arms the deliberately unsound
+  ``wal.append.lost`` site and asserts the oracle **does** flag the
+  resulting corruption — a negative control proving the oracle has teeth;
+* :func:`retry_rescue` shows a contended workload that surfaces
+  deadlock aborts with retries disabled and completes with **zero**
+  user-visible aborts once automatic retry is on, with the retry and
+  backoff histograms landing in ``db.stats()["retries"]``.
+
+Run:  python benchmarks/chaos.py           (full: 50 schedules)
+      make chaos-smoke                     (bounded: 12 schedules)
+"""
+
+import pathlib
+import random
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro import Database, EngineConfig  # noqa: E402
+from repro.common import FaultInjected, SimulatedCrash  # noqa: E402
+from repro.faults import FaultInjector  # noqa: E402
+from repro.sim import Scheduler  # noqa: E402
+from repro.workload.banking import BankingWorkload  # noqa: E402
+
+from harness import claim, emit  # noqa: E402
+
+#: the sites a schedule may arm, with per-hit probability bounds.
+#: ``wal.append.lost`` is deliberately absent — it is unsound by design
+#: and only the negative control (:func:`broken_injector_demo`) arms it.
+FAULT_MENU = [
+    ("wal.append", 0.02),
+    ("wal.flush", 0.05),
+    ("wal.torn_tail", 0.03),
+    ("lock.delay", 0.05),
+    ("lock.deny", 0.03),
+    ("txn.commit.before", 0.01),
+    ("txn.commit.after", 0.01),
+    ("view.midapply", 0.01),
+    ("cleanup.interrupt", 0.2),
+]
+
+PHASES = 2
+SESSIONS = 4
+TXNS_PER_SESSION = 3
+
+
+def run_one_seed(seed):
+    """One chaos schedule. Returns a result dict; ``ok`` is the oracle."""
+    rng = random.Random(seed)
+    config = EngineConfig(
+        aggregate_strategy=rng.choice(["escrow", "escrow", "xlock"]),
+        maintenance_mode=rng.choice(["immediate", "immediate", "commit_fold"]),
+        lock_wait_timeout=rng.choice([None, 5, 25]),
+    )
+    db = Database(config)
+    bank = BankingWorkload(
+        db, n_branches=3, accounts_per_branch=8, seed=seed
+    ).setup()
+    injector = FaultInjector(seed=seed)
+    db.install_fault_injector(injector)
+    armed = rng.sample(FAULT_MENU, rng.randint(1, 3))
+    for site, base_p in armed:
+        injector.arm(site, probability=base_p * rng.uniform(0.5, 2.0))
+
+    crashes = 0
+    problems = []
+    committed = 0
+    gave_up = 0
+    for _ in range(PHASES):
+        sched = Scheduler(
+            db, max_retries=8, cleanup_interval=100,
+            custom_executor=bank.op_executor(),
+        )
+        for _ in range(SESSIONS):
+            sched.add_session(
+                bank.transfer_program(think=rng.randint(0, 4)),
+                txns=TXNS_PER_SESSION,
+            )
+        try:
+            result = sched.run()
+            committed += result.committed
+            gave_up += result.gave_up
+        except SimulatedCrash:
+            crashes += 1
+            db.simulate_crash_and_recover()
+        # Occasional operator actions, under the same fault schedule.
+        if rng.random() < 0.5:
+            db.run_ghost_cleanup()
+        if rng.random() < 0.3:
+            try:
+                db.take_checkpoint()
+            except FaultInjected:
+                pass  # flush fault during the checkpoint: no harm done
+            except SimulatedCrash:
+                crashes += 1
+                db.simulate_crash_and_recover()
+        if rng.random() < 0.25:  # a surprise power failure at quiescence
+            crashes += 1
+            db.simulate_crash_and_recover()
+        # ---- the oracle ----
+        problems.extend(db.check_all_views())
+        try:
+            bank.check_conservation()
+        except AssertionError as exc:
+            problems.append(str(exc))
+    return {
+        "seed": seed,
+        "ok": not problems,
+        "problems": problems,
+        "armed": injector.armed_sites(),
+        "fired": sum(injector.fired.values()),
+        "crashes": crashes,
+        "committed": committed,
+        "gave_up": gave_up,
+        "timeouts": db.locks.stats.timeouts,
+        "deadlocks": db.locks.stats.deadlocks,
+    }
+
+
+def broken_injector_demo(seed=1234):
+    """Negative control: silently dropping escrow-delta WAL records MUST
+    trip the oracle after a crash, or the oracle proves nothing."""
+    db = Database(EngineConfig(aggregate_strategy="escrow"))
+    bank = BankingWorkload(
+        db, n_branches=2, accounts_per_branch=6, seed=seed
+    ).setup()
+    injector = FaultInjector(seed=seed)
+    db.install_fault_injector(injector)
+    injector.arm("wal.append.lost", probability=0.5, match="EscrowDelta")
+    for _ in range(15):
+        with db.transaction() as txn:
+            src = bank._random_aid()
+            dst = bank._random_aid()
+            if src == dst:
+                continue
+            bank.execute_update_balance(txn, (src,), -7)
+            bank.execute_update_balance(txn, (dst,), +7)
+    injector.disarm()
+    dropped = injector.fired.get("wal.append.lost", 0)
+    db.simulate_crash_and_recover()
+    problems = db.check_all_views()
+    conserved = True
+    try:
+        bank.check_conservation()
+    except AssertionError:
+        conserved = False
+    return {
+        "dropped_records": dropped,
+        "detected": bool(problems) or not conserved,
+        "problems": len(problems),
+        "conserved": conserved,
+    }
+
+
+def retry_rescue(seed=99):
+    """Automatic retry turns deadlock aborts into invisible hiccups.
+
+    The same contended transfer workload runs twice from identical
+    seeds: with the scheduler's retry budget at 0, deadlock/timeout
+    victims surface as user-visible aborts (``gave_up``); with a budget
+    of 3 every program completes. A third pass exercises
+    ``Database.run_transaction`` against injected WAL faults so the
+    retry/backoff histograms land in ``db.stats()["retries"]``.
+    """
+
+    def contended_run(max_retries):
+        db = Database(EngineConfig(aggregate_strategy="xlock"))
+        bank = BankingWorkload(
+            db, n_branches=2, accounts_per_branch=10, seed=seed
+        ).setup()
+        sched = Scheduler(
+            db, max_retries=max_retries, custom_executor=bank.op_executor()
+        )
+        for _ in range(6):
+            sched.add_session(bank.transfer_program(think=3), txns=5)
+        result = sched.run()
+        bank.check_conservation()
+        assert db.check_all_views() == []
+        return db, result
+
+    _, no_retry = contended_run(max_retries=0)
+    db_retry, with_retry = contended_run(max_retries=3)
+
+    # run_transaction-level retry against injected faults.
+    db = Database(EngineConfig(aggregate_strategy="escrow"))
+    bank = BankingWorkload(
+        db, n_branches=2, accounts_per_branch=10, seed=seed
+    ).setup()
+    injector = FaultInjector(seed=seed)
+    db.install_fault_injector(injector)
+    injector.arm("wal.append", probability=0.15)
+
+    def transfer(txn):
+        src = bank._random_aid()
+        dst = bank._random_aid()
+        while dst == src:
+            dst = bank._random_aid()
+        bank.execute_update_balance(txn, (src,), -5)
+        bank.execute_update_balance(txn, (dst,), +5)
+
+    for _ in range(25):
+        db.run_transaction(transfer, retries=5)
+    injector.disarm()
+    bank.check_conservation()
+    stats = db.stats()["retries"]
+    return {
+        "aborts_no_retry": no_retry.gave_up,
+        "deadlocks_seen": no_retry.aborted.as_dict().get("deadlock", 0),
+        "aborts_with_retry": with_retry.gave_up,
+        "committed_with_retry": with_retry.committed,
+        "scheduler_retries": with_retry.retries,
+        "run_stats": stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def run_suite(n_seeds, name="chaos"):
+    results = [run_one_seed(seed) for seed in range(n_seeds)]
+    violations = [r for r in results if not r["ok"]]
+    control = broken_injector_demo()
+    rescue = retry_rescue()
+
+    total_fired = sum(r["fired"] for r in results)
+    total_crashes = sum(r["crashes"] for r in results)
+    headers = ["metric", "value"]
+    rows = [
+        ["schedules run", len(results)],
+        ["oracle violations", len(violations)],
+        ["faults fired", total_fired],
+        ["crashes recovered", total_crashes],
+        ["transactions committed", sum(r["committed"] for r in results)],
+        ["lock timeouts", sum(r["timeouts"] for r in results)],
+        ["deadlocks", sum(r["deadlocks"] for r in results)],
+        ["control: WAL records dropped", control["dropped_records"]],
+        ["control: corruption detected", control["detected"]],
+        ["rescue: aborts w/o retry", rescue["aborts_no_retry"]],
+        ["rescue: aborts with retry=3", rescue["aborts_with_retry"]],
+        ["rescue: runs retried (run_transaction)",
+         rescue["run_stats"]["retried"]],
+    ]
+    checks = [
+        ("every seeded schedule passes the consistency oracle",
+         not violations),
+        ("fault schedules actually fired faults", total_fired > 0),
+        ("at least one schedule crashed and recovered", total_crashes > 0),
+        ("lock timeouts and deadlocks were exercised",
+         sum(r["timeouts"] for r in results) > 0
+         and sum(r["deadlocks"] for r in results) > 0),
+        ("broken injector (lost WAL records) is detected by the oracle",
+         control["detected"] and control["dropped_records"] > 0),
+        ("contention surfaces aborts when retry is off",
+         rescue["aborts_no_retry"] > 0),
+        ("retry budget 3 eliminates user-visible aborts",
+         rescue["aborts_with_retry"] == 0),
+        ("retry/backoff histograms populated",
+         rescue["run_stats"]["retried"] > 0
+         and rescue["run_stats"]["backoff"]["count"] > 0
+         and rescue["run_stats"]["gave_up"] == 0),
+    ]
+    the_claim = claim(
+        "randomized fault schedules never break view consistency or "
+        "conservation; a deliberately unsound schedule is detected; "
+        "automatic retry hides deadlock aborts",
+        checks,
+    )
+    emit(
+        name,
+        headers,
+        rows,
+        title=f"Chaos: {len(results)} seeded fault schedules vs the oracle",
+        params={
+            "seeds": len(results),
+            "phases": PHASES,
+            "sessions": SESSIONS,
+            "txns_per_session": TXNS_PER_SESSION,
+            "fault_menu": [site for site, _ in FAULT_MENU],
+        },
+        series={
+            "fired_per_seed": {r["seed"]: r["fired"] for r in results},
+            "crashes_per_seed": {r["seed"]: r["crashes"] for r in results},
+        },
+        claim=the_claim,
+    )
+    if violations:
+        for v in violations[:5]:
+            print(f"  seed {v['seed']}: {v['problems'][:2]}")
+        raise SystemExit(f"{len(violations)} chaos schedule(s) violated the oracle")
+    assert the_claim["verdict"] == "pass", [
+        c for c in the_claim["checks"] if not c["ok"]
+    ]
+    return results
+
+
+def scenario():
+    """The full tier: 50 seeded schedules plus both demonstrations."""
+    return run_suite(50)
+
+
+def smoke():
+    """The bounded tier for ``make chaos-smoke``: 12 schedules, <60 s."""
+    return run_suite(12)
+
+
+if __name__ == "__main__":
+    scenario()

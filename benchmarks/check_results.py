@@ -1,16 +1,19 @@
 #!/usr/bin/env python
 """Validate every ``benchmarks/results/*.json`` against the documented
-result schema (:mod:`repro.obs.schema`, ``docs/OBSERVABILITY.md``).
+result schema (:mod:`repro.obs.schema`, ``docs/OBSERVABILITY.md``), and
+cross-check the documented event catalogue against the code registry.
 
 Exit status 0 when every document parses and conforms; 1 otherwise,
 with one line per problem. This is the regression gate ``make
-bench-smoke`` (and ``run_all.py``) runs after emitting results.
+bench-smoke`` / ``make chaos-smoke`` (and ``run_all.py``) runs after
+emitting results.
 
 Run:  python benchmarks/check_results.py [results_dir]
 """
 
 import json
 import pathlib
+import re
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
@@ -18,6 +21,9 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.obs.schema import validate_result  # noqa: E402
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+OBSERVABILITY_DOC = (
+    pathlib.Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+)
 
 
 def check_directory(results_dir=RESULTS_DIR):
@@ -39,15 +45,73 @@ def check_directory(results_dir=RESULTS_DIR):
     return len(paths), problems
 
 
+def check_event_catalogue(doc_path=OBSERVABILITY_DOC):
+    """The documented event catalogue must match the code registry both
+    ways: every event in :data:`repro.obs.events.EVENT_TYPES` gets a
+    ``#### `name``` section whose field table lists exactly the event's
+    fields, no phantom events are documented, and every event category
+    appears (backticked) in the doc. Returns a list of problem strings.
+    """
+    from repro.obs.events import EVENT_TYPES
+
+    try:
+        text = pathlib.Path(doc_path).read_text()
+    except OSError as exc:
+        return [f"{doc_path.name}: unreadable: {exc}"]
+    label = pathlib.Path(doc_path).name
+    problems = []
+    sections = {}
+    current = None
+    for line in text.splitlines():
+        header = re.match(r"^#### `(\w+)`\s*$", line)
+        if header:
+            current = header.group(1)
+            sections[current] = set()
+            continue
+        if line.startswith("#"):
+            current = None
+            continue
+        if current is not None:
+            field = re.match(r"^\| `(\w+)` \|", line)
+            if field:
+                sections[current].add(field.group(1))
+    for name, spec in sorted(EVENT_TYPES.items()):
+        if name not in sections:
+            problems.append(f"{label}: event `{name}` is not documented")
+            continue
+        missing = sorted(set(spec["fields"]) - sections[name])
+        extra = sorted(sections[name] - set(spec["fields"]))
+        if missing:
+            problems.append(
+                f"{label}: event `{name}` missing field row(s): {missing}"
+            )
+        if extra:
+            problems.append(
+                f"{label}: event `{name}` documents unknown field(s): {extra}"
+            )
+    for name in sorted(set(sections) - set(EVENT_TYPES)):
+        problems.append(
+            f"{label}: documents event `{name}` that the engine never emits"
+        )
+    for category in sorted({s["category"] for s in EVENT_TYPES.values()}):
+        if f"`{category}`" not in text:
+            problems.append(
+                f"{label}: event category `{category}` never mentioned"
+            )
+    return problems
+
+
 def main(argv):
     results_dir = pathlib.Path(argv[1]) if len(argv) > 1 else RESULTS_DIR
     checked, problems = check_directory(results_dir)
+    problems.extend(check_event_catalogue())
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
         print(f"{checked} result file(s) checked, {len(problems)} problem(s)")
         return 1
     print(f"{checked} result file(s) checked, all schema-valid")
+    print("event catalogue in docs/OBSERVABILITY.md matches the registry")
     if checked == 0:
         print("(run `python benchmarks/run_all.py` to generate results)")
     return 0

@@ -35,6 +35,7 @@ BENCHES = [
     ("bench_r13_recovery_scaling", "scenario"),
     ("bench_r14_join_aggregate", "scenario"),
     ("bench_r15_response_time", "scenario"),
+    ("chaos", "scenario"),
 ]
 
 
@@ -56,6 +57,7 @@ def main():
     import check_results
 
     checked, problems = check_results.check_directory()
+    problems.extend(check_results.check_event_catalogue())
     if problems:
         for problem in problems:
             print(f"  FAIL {problem}")

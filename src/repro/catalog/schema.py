@@ -6,7 +6,7 @@ against their base tables so the maintenance engine can find them. Rows
 are validated at the table boundary — deeper layers trust them.
 """
 
-from repro.common.errors import CatalogError
+from repro.common import CatalogError
 
 
 class TableSchema:

@@ -11,9 +11,11 @@ from repro.common.errors import (
     CatalogError,
     DeadlockError,
     EscrowViolationError,
+    FaultInjected,
     LockTimeoutError,
     ReproError,
     SerializationError,
+    SimulatedCrash,
     StorageError,
     TransactionAborted,
     TransactionStateError,
@@ -28,6 +30,7 @@ __all__ = [
     "DeadlockError",
     "DeterministicRng",
     "EscrowViolationError",
+    "FaultInjected",
     "KeyBound",
     "KeyRange",
     "LockTimeoutError",
@@ -35,6 +38,7 @@ __all__ = [
     "ReproError",
     "Row",
     "SerializationError",
+    "SimulatedCrash",
     "StorageError",
     "TransactionAborted",
     "TransactionStateError",

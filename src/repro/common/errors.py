@@ -59,6 +59,36 @@ class LockTimeoutError(TransactionAborted):
         self.resource = resource
 
 
+class FaultInjected(TransactionAborted):
+    """An armed fault site fired (see :mod:`repro.faults`).
+
+    Subclasses :class:`TransactionAborted` because every recoverable
+    fault site is placed where the normal abort path fully cleans up —
+    the transaction rolls back and may simply be retried.
+    """
+
+    def __init__(self, site, txn_id=None):
+        super().__init__(txn_id, reason=f"fault {site}")
+        self.site = site
+
+
+class SimulatedCrash(ReproError):
+    """A crash fault site fired: the simulated process is gone.
+
+    Deliberately *not* a :class:`TransactionAborted` — nothing may roll
+    back online after a crash. The harness that armed the site must call
+    ``Database.simulate_crash_and_recover()`` before touching the
+    database again; ``committed`` records whether the crashing
+    transaction's COMMIT record was durable at the crash point (i.e.
+    whether recovery must replay it as a winner).
+    """
+
+    def __init__(self, site, committed=False):
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+        self.committed = committed
+
+
 class SerializationError(TransactionAborted):
     """The transaction could not be serialized (e.g. write-write conflict
     under snapshot isolation, or an escrow limit would be violated)."""

@@ -25,7 +25,7 @@ ghost, and a cleaner crash never affects user work).
 
 from collections import deque
 
-from repro.common.errors import TransactionAborted
+from repro.common import TransactionAborted
 from repro.locking.keyrange import locks_for_ghost_cleanup, locks_for_update
 from repro.views.definition import is_aggregate_kind
 from repro.wal.records import CleanupRecord, GhostRecord
@@ -99,6 +99,11 @@ class GhostCleaner:
             return False  # already gone
         txn = db.begin_system()
         try:
+            if db.faults.active:
+                # An interrupted cleaner pass must requeue, never lose, the
+                # candidate — the existing contention handler below does
+                # exactly that for any TransactionAborted.
+                db.faults.maybe_raise("cleanup.interrupt", txn_id=txn.txn_id)
             if not record.is_ghost:
                 # A live candidate: only aggregate groups whose committed
                 # count is zero qualify; anything else was revived.

@@ -1,6 +1,6 @@
 """Engine configuration: the knobs the experiments turn."""
 
-from repro.common.errors import ReproError
+from repro.common import ReproError
 
 AGGREGATE_STRATEGIES = ("escrow", "xlock")
 MAINTENANCE_MODES = ("immediate", "commit_fold", "deferred")
@@ -24,6 +24,16 @@ class EngineConfig:
     * ``escalation_threshold`` — escalate a transaction's key locks on one
       index to a table lock past this count (``None`` disables, the
       default; SQL Server uses ~5000).
+    * ``lock_wait_timeout`` — deny a lock request that has waited this
+      many logical ticks with ``LockTimeoutError`` (``None`` disables,
+      the default). Only cooperative (simulator) waiters can wait, so
+      only they can time out; the no-wait policy already denies at once.
+    * ``retry_backoff_base`` / ``retry_backoff_cap`` — the exponential
+      backoff schedule of ``Database.run_transaction``: attempt *n*
+      sleeps ``min(cap, base * 2**(n-1))`` plus seeded jitter in
+      ``[0, base]``, all in logical ticks (see ``docs/ROBUSTNESS.md``).
+    * ``retry_seed`` — seed of the jitter stream, so retry schedules are
+      deterministic per database instance.
     """
 
     def __init__(
@@ -34,6 +44,10 @@ class EngineConfig:
         serializable=True,
         btree_order=32,
         escalation_threshold=None,
+        lock_wait_timeout=None,
+        retry_backoff_base=4,
+        retry_backoff_cap=64,
+        retry_seed=77,
     ):
         if aggregate_strategy not in AGGREGATE_STRATEGIES:
             raise ReproError(f"unknown aggregate_strategy {aggregate_strategy!r}")
@@ -49,6 +63,16 @@ class EngineConfig:
         if escalation_threshold is not None and escalation_threshold < 1:
             raise ReproError("escalation_threshold must be >= 1 (or None)")
         self.escalation_threshold = escalation_threshold
+        if lock_wait_timeout is not None and lock_wait_timeout < 1:
+            raise ReproError("lock_wait_timeout must be >= 1 tick (or None)")
+        self.lock_wait_timeout = lock_wait_timeout
+        if retry_backoff_base < 1:
+            raise ReproError("retry_backoff_base must be >= 1")
+        if retry_backoff_cap < retry_backoff_base:
+            raise ReproError("retry_backoff_cap must be >= retry_backoff_base")
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
+        self.retry_seed = retry_seed
 
     def __repr__(self):
         return (

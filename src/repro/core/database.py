@@ -22,8 +22,16 @@ cooperative policy a lock wait aborts the statement run with
 """
 
 from repro.catalog import Catalog, TableSchema
-from repro.common import LogicalClock, Row, StorageError
+from repro.common import (
+    DeterministicRng,
+    LogicalClock,
+    Row,
+    SimulatedCrash,
+    StorageError,
+    TransactionAborted,
+)
 from repro.common.keys import KeyRange
+from repro.faults import NULL_INJECTOR
 from repro.locking import EscrowRegistry, LatchSet, LockManager, LockMode
 from repro.locking.keyrange import (
     locks_for_logical_delete,
@@ -34,7 +42,7 @@ from repro.locking.keyrange import (
     table_resource,
 )
 from repro.metrics import Counters
-from repro.obs import EngineMetrics, Tracer
+from repro.obs import EngineMetrics, RetryStats, Tracer
 from repro.storage import Index
 from repro.storage.records import VersionedRecord
 from repro.txn import LockPolicy, SnapshotRegistry, TransactionManager
@@ -72,8 +80,14 @@ class Database(RecoveryTarget):
         self.clock = LogicalClock()
         self.tracer = Tracer(clock=self.clock)  # disabled until .enable()
         self.metrics = EngineMetrics()
-        self.log = LogManager(tracer=self.tracer)
-        self.locks = LockManager(tracer=self.tracer)
+        self.faults = NULL_INJECTOR  # see install_fault_injector()
+        self.retries = RetryStats()
+        self._retry_rng = DeterministicRng(self.config.retry_seed)
+        self.log = LogManager(tracer=self.tracer, faults=self.faults)
+        self.locks = LockManager(
+            tracer=self.tracer, clock=self.clock,
+            timeout=self.config.lock_wait_timeout, faults=self.faults,
+        )
         self.latches = LatchSet()
         self.escrow = EscrowRegistry()
         self.snapshots = SnapshotRegistry(self.clock)
@@ -90,6 +104,7 @@ class Database(RecoveryTarget):
         self._txns = TransactionManager(
             self.clock, self.log, self.locks, self.escrow, self.snapshots,
             undo_target=self, tracer=self.tracer, metrics=self.metrics,
+            faults=self.faults,
         )
         self._txns.commit_listener = self._on_commit
         self._indexes = {}
@@ -100,6 +115,26 @@ class Database(RecoveryTarget):
         self.escalation = EscalationPolicy(
             self.config.escalation_threshold, tracer=self.tracer
         )
+
+    # ==================================================================
+    # fault injection
+    # ==================================================================
+
+    def install_fault_injector(self, injector):
+        """Thread a :class:`~repro.faults.FaultInjector` through every
+        fault site (WAL, lock manager, transaction manager, maintenance,
+        cleaner). Pass ``None`` to restore the inert null injector.
+
+        The injector survives :meth:`simulate_crash_and_recover` — real
+        flaky hardware does too — but recovery itself never consults
+        fault sites (it runs on the already-durable log).
+        """
+        self.faults = injector if injector is not None else NULL_INJECTOR
+        self.faults.tracer = self.tracer
+        self.log.faults = self.faults
+        self.locks.faults = self.faults
+        self._txns.faults = self.faults
+        return self.faults
 
     # ==================================================================
     # schema
@@ -304,6 +339,64 @@ class Database(RecoveryTarget):
         transaction stays active with its locks retained."""
         self._txns.rollback_to(txn, savepoint)
 
+    def run_transaction(self, fn, retries=3, policy=LockPolicy.NOWAIT,
+                        isolation="serializable"):
+        """Run ``fn(txn)`` in a transaction, automatically re-executing it
+        when it aborts for a retryable reason (deadlock, lock timeout,
+        injected fault — anything raising
+        :class:`~repro.common.TransactionAborted`).
+
+        ``retries`` bounds *re*-executions: ``retries=3`` allows up to 4
+        attempts. Between attempts the logical clock advances by a seeded
+        exponential backoff with jitter (``docs/ROBUSTNESS.md``), so a
+        herd of retriers decorrelates deterministically. ``fn`` must be
+        safe to re-run from scratch (each attempt gets a fresh
+        transaction). A :class:`~repro.common.SimulatedCrash` is never
+        retried — nothing is running after a crash.
+
+        Returns ``fn``'s result from the successful attempt; commits for
+        ``fn`` unless ``fn`` already resolved the transaction itself.
+        """
+        from repro.txn.transaction import TxnState
+
+        attempt = 0
+        while True:
+            attempt += 1
+            txn = self.begin(policy=policy, isolation=isolation)
+            try:
+                result = fn(txn)
+                if txn.state is TxnState.ACTIVE:
+                    self.commit(txn)
+                self.retries.observe_run(attempt, success=True)
+                return result
+            except TransactionAborted as aborted:
+                if txn.state is TxnState.ACTIVE:
+                    self.abort(txn, reason=aborted.reason or "aborted")
+                if attempt > retries:
+                    self.retries.observe_run(attempt, success=False)
+                    raise
+                backoff = self._retry_backoff(attempt)
+                self.retries.observe_backoff(backoff)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "txn_retry", txn_id=txn.txn_id, attempt=attempt,
+                        backoff=backoff, reason=aborted.reason or "aborted",
+                    )
+                self.clock.tick(backoff)
+            except SimulatedCrash:
+                raise  # volatile state is gone; only recovery may follow
+            except BaseException:
+                if txn.state is TxnState.ACTIVE:
+                    self.abort(txn, reason="error")
+                raise
+
+    def _retry_backoff(self, attempt):
+        """Backoff before re-running attempt ``attempt + 1``, in ticks:
+        ``min(cap, base * 2**(attempt-1))`` plus jitter in ``[0, base]``."""
+        base = self.config.retry_backoff_base
+        cap = self.config.retry_backoff_cap
+        return min(cap, base * 2 ** (attempt - 1)) + self._retry_rng.randint(0, base)
+
     def transaction(self, policy=LockPolicy.NOWAIT, isolation="serializable"):
         """Context manager: commit on clean exit, abort on exception.
 
@@ -358,6 +451,8 @@ class Database(RecoveryTarget):
                 "skipped_live": self.cleaner.skipped_live,
             },
             "escalations": self.escalation.escalations,
+            "retries": self.retries.as_dict(),
+            "faults": self.faults.counts(),
         }
 
     def _apply_commit_folds(self, txn):
@@ -780,16 +875,21 @@ class Database(RecoveryTarget):
 
     def _reset_volatile(self):
         next_txn_id = self._txns._next_txn_id
-        self.locks = LockManager(tracer=self.tracer)
+        self.locks = LockManager(
+            tracer=self.tracer, clock=self.clock,
+            timeout=self.config.lock_wait_timeout, faults=self.faults,
+        )
         self.latches = LatchSet()
         self.escrow = EscrowRegistry()
         self.snapshots = SnapshotRegistry(self.clock)
         self.cleanup = CleanupQueue()
         self.cleaner = GhostCleaner(self)
         self.log.tracer = self.tracer  # a loaded WAL starts with NULL_TRACER
+        self.log.faults = self.faults
         self._txns = TransactionManager(
             self.clock, self.log, self.locks, self.escrow, self.snapshots,
             undo_target=self, tracer=self.tracer, metrics=self.metrics,
+            faults=self.faults,
         )
         self._txns._next_txn_id = next_txn_id
         self._txns.commit_listener = self._on_commit

@@ -18,7 +18,7 @@ Entries are ghosted on delete (the cleaner reclaims them) and logged, so
 recovery rebuilds them with everything else.
 """
 
-from repro.common.errors import CatalogError
+from repro.common import CatalogError
 from repro.common.keys import KeyRange
 from repro.locking.keyrange import (
     locks_for_insert,

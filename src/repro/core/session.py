@@ -17,7 +17,7 @@ mode (its own transaction, committed on success, aborted on failure) —
 the same default as every SQL client library.
 """
 
-from repro.common.errors import TransactionStateError
+from repro.common import SimulatedCrash, TransactionStateError
 from repro.txn.transaction import LockPolicy, TxnState
 
 
@@ -55,8 +55,18 @@ class Session:
     def commit(self):
         if not self.in_transaction():
             raise TransactionStateError("no open transaction to commit")
+        txn = self._txn
         try:
-            return self._db.commit(self._txn)
+            return self._db.commit(txn)
+        except SimulatedCrash:
+            raise  # nothing is running any more; recovery will resolve it
+        except BaseException:
+            # A failed commit (e.g. an injected fault while folding view
+            # deltas) must not leave the transaction holding locks while
+            # the session believes it is idle.
+            if txn.state is TxnState.ACTIVE:
+                self._db.abort(txn, reason="commit failed")
+            raise
         finally:
             self._txn = None
 
@@ -82,18 +92,46 @@ class Session:
     # statements (explicit-txn or autocommit)
     # ------------------------------------------------------------------
 
+    def run(self, fn, retries=3):
+        """Run ``fn(session)`` in one transaction with automatic retry on
+        deadlock / lock timeout / injected fault, via
+        :meth:`Database.run_transaction`. The session's current
+        transaction is set for the duration of each attempt, so ``fn``
+        uses plain session statements::
+
+            session.run(lambda s: s.update("acct", (1,), {"bal": 0}))
+        """
+        if self.in_transaction():
+            raise TransactionStateError(
+                "run() manages its own transaction; commit or roll back first"
+            )
+
+        def body(txn):
+            self._txn = txn
+            return fn(self)
+
+        try:
+            return self._db.run_transaction(
+                body, retries=retries, policy=self.policy,
+                isolation=self.isolation,
+            )
+        finally:
+            self._txn = None
+
     def _run(self, fn):
         if self.in_transaction():
             return fn(self._txn)
         txn = self._db.begin(policy=self.policy, isolation=self.isolation)
         try:
             result = fn(txn)
+            self._db.commit(txn)
+            return result
+        except SimulatedCrash:
+            raise
         except BaseException:
             if txn.state is TxnState.ACTIVE:
                 self._db.abort(txn)
             raise
-        self._db.commit(txn)
-        return result
 
     def insert(self, table, values):
         return self._run(lambda txn: self._db.insert(txn, table, values))

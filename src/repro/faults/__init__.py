@@ -1,0 +1,15 @@
+"""Deterministic fault injection (see ``docs/ROBUSTNESS.md``)."""
+
+from repro.faults.injector import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultSpec,
+    NULL_INJECTOR,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultSpec",
+    "NULL_INJECTOR",
+]

@@ -21,7 +21,7 @@ Commit folds the transaction's delta into the committed value; abort simply
 discards it — logical undo of a commutative operation.
 """
 
-from repro.common.errors import EscrowViolationError
+from repro.common import EscrowViolationError
 
 
 class EscrowAccount:

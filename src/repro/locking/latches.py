@@ -12,7 +12,7 @@ acquisitions so benchmarks can report latch traffic (a proxy for the
 physical cost the paper's design keeps off the critical path).
 """
 
-from repro.common.errors import ReproError
+from repro.common import ReproError
 
 
 class LatchError(ReproError):

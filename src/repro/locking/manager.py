@@ -31,7 +31,8 @@ compatible readers. Conversions of already-granted locks jump the queue
 import enum
 from collections import OrderedDict
 
-from repro.common.errors import DeadlockError
+from repro.common import DeadlockError, FaultInjected, LockTimeoutError
+from repro.faults import NULL_INJECTOR
 from repro.locking.modes import mode_compatible, mode_supremum
 from repro.obs.tracer import NULL_TRACER
 
@@ -45,7 +46,18 @@ class RequestStatus(enum.Enum):
 class LockRequest:
     """One transaction's pending or granted claim on a resource."""
 
-    __slots__ = ("txn_id", "resource", "mode", "status", "is_conversion", "deny_error")
+    __slots__ = (
+        "txn_id",
+        "resource",
+        "mode",
+        "status",
+        "is_conversion",
+        "deny_error",
+        "wait_started",
+        "wait_deadline",
+        "wake_at",
+        "resolved_at",
+    )
 
     def __init__(self, txn_id, resource, mode, is_conversion=False):
         self.txn_id = txn_id
@@ -54,6 +66,10 @@ class LockRequest:
         self.status = RequestStatus.WAITING
         self.is_conversion = is_conversion
         self.deny_error = None
+        self.wait_started = None  # tick the wait began (timeout accounting)
+        self.wait_deadline = None  # tick past which poll() denies the wait
+        self.wake_at = None  # injected lock.delay: grantable no earlier
+        self.resolved_at = None  # tick poll() granted/denied this request
 
     def __repr__(self):
         return (
@@ -85,6 +101,7 @@ class LockStats:
         "conversions",
         "deadlocks",
         "denials",
+        "timeouts",
     )
 
     def __init__(self):
@@ -94,6 +111,7 @@ class LockStats:
         self.conversions = 0
         self.deadlocks = 0
         self.denials = 0
+        self.timeouts = 0
 
     def as_dict(self):
         return {
@@ -103,19 +121,24 @@ class LockStats:
             "conversions": self.conversions,
             "deadlocks": self.deadlocks,
             "denials": self.denials,
+            "timeouts": self.timeouts,
         }
 
 
 class LockManager:
     """Grants, queues, converts, and releases locks; detects deadlocks."""
 
-    def __init__(self, tracer=NULL_TRACER):
+    def __init__(self, tracer=NULL_TRACER, clock=None, timeout=None,
+                 faults=None):
         self._queues = {}
         self._held_by_txn = {}  # txn_id -> set of resources
         self._waiting_request = {}  # txn_id -> LockRequest (at most one)
         self.stats = LockStats()
         self.contention = {}  # resource -> cumulative wait count
         self.tracer = tracer
+        self.clock = clock  # needed for timeouts and injected delays
+        self.timeout = timeout  # ticks a waiter may wait (None = forever)
+        self.faults = faults if faults is not None else NULL_INJECTOR
 
     # ------------------------------------------------------------------
     # acquisition
@@ -134,6 +157,16 @@ class LockManager:
                 f"transaction {txn_id} already has a waiting lock request"
             )
         self.stats.requests += 1
+        if self.faults.active and self.faults.fires(
+            "lock.deny", txn_id=txn_id, detail=repr(resource)
+        ) is not None:
+            # Spurious denial: the request never touches the queues, so
+            # no cleanup beyond the caller's abort is needed.
+            request = LockRequest(txn_id, resource, mode)
+            request.status = RequestStatus.DENIED
+            request.deny_error = FaultInjected("lock.deny", txn_id)
+            self.stats.denials += 1
+            return request
         queue = self._queues.setdefault(resource, _ResourceQueue())
         held = queue.granted.get(txn_id)
 
@@ -162,7 +195,14 @@ class LockManager:
             return self._begin_wait(request, queue)
 
         request = LockRequest(txn_id, resource, mode)
-        if self._compatible_with_granted(queue, txn_id, mode) and not any(
+        delay_spec = None
+        if self.faults.active:
+            delay_spec = self.faults.fires(
+                "lock.delay", txn_id=txn_id, detail=repr(resource)
+            )
+        if delay_spec is None and self._compatible_with_granted(
+            queue, txn_id, mode
+        ) and not any(
             w.txn_id != txn_id and not mode_compatible(mode, w.mode)
             for w in queue.waiting
         ):
@@ -176,6 +216,10 @@ class LockManager:
                     mode=mode, conversion=False,
                 )
             return request
+        if delay_spec is not None:
+            request.wake_at = (
+                self.clock.now() if self.clock is not None else 0
+            ) + delay_spec.delay
         queue.waiting.append(request)
         return self._begin_wait(request, queue)
 
@@ -185,6 +229,10 @@ class LockManager:
             self.contention.get(request.resource, 0) + 1
         )
         self._waiting_request[request.txn_id] = request
+        if self.clock is not None:
+            request.wait_started = self.clock.now()
+            if self.timeout is not None:
+                request.wait_deadline = request.wait_started + self.timeout
         if self.tracer.enabled:
             self.tracer.emit(
                 "lock_wait", txn_id=request.txn_id,
@@ -282,13 +330,87 @@ class LockManager:
         if self._waiting_request.get(request.txn_id) is request:
             del self._waiting_request[request.txn_id]
 
-    def _grant_from_queue(self, queue):
-        """Grant queued requests in order while compatibility allows."""
+    # ------------------------------------------------------------------
+    # time-driven resolution (lock-wait timeouts, injected delays)
+    # ------------------------------------------------------------------
+
+    def poll(self, now):
+        """Resolve every time-triggered state change due by ``now``:
+        deny waiters past their ``lock_wait_timeout`` deadline (with
+        :class:`LockTimeoutError`) and grant requests whose injected
+        ``lock.delay`` elapsed. Returns newly granted txn_ids.
+
+        The simulator calls this whenever it advances the clock to a
+        deadline from :meth:`next_deadline`; plain callers never need
+        to — the no-wait policy cannot produce waiting requests.
+        """
+        granted = []
+        for request in list(self._waiting_request.values()):
+            if request.status is not RequestStatus.WAITING:
+                continue  # resolved by an earlier expiry's queue grant
+            if request.wait_deadline is None or now < request.wait_deadline:
+                continue
+            self._remove_waiting(request)
+            request.status = RequestStatus.DENIED
+            request.deny_error = LockTimeoutError(
+                request.txn_id, request.resource
+            )
+            request.resolved_at = now
+            self.stats.timeouts += 1
+            self.stats.denials += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "lock_timeout", txn_id=request.txn_id,
+                    resource=request.resource,
+                    waited=now - (request.wait_started or now),
+                )
+            queue = self._queues.get(request.resource)
+            if queue is not None:
+                granted.extend(self._grant_from_queue(queue, now=now))
+                if queue.is_idle():
+                    del self._queues[request.resource]
+        for resource, queue in list(self._queues.items()):
+            expired = [
+                w for w in queue.waiting
+                if w.wake_at is not None and w.wake_at <= now
+            ]
+            if not expired:
+                continue
+            for waiter in expired:
+                waiter.wake_at = None
+            granted.extend(self._grant_from_queue(queue, now=now))
+            if queue.is_idle():
+                del self._queues[resource]
+        return granted
+
+    def next_deadline(self):
+        """The earliest future instant at which :meth:`poll` could change
+        state (a wait deadline or an injected-delay expiry), or ``None``."""
+        deadlines = []
+        for request in self._waiting_request.values():
+            if request.wait_deadline is not None:
+                deadlines.append(request.wait_deadline)
+            if request.wake_at is not None:
+                deadlines.append(request.wake_at)
+        return min(deadlines) if deadlines else None
+
+    def _grant_from_queue(self, queue, now=None):
+        """Grant queued requests in order while compatibility allows.
+
+        ``now`` is passed by :meth:`poll` so time-triggered grants can
+        stamp ``resolved_at`` (the simulator resumes the waiter then).
+        """
         granted_txns = []
         progress = True
         while progress:
             progress = False
             for request in list(queue.waiting):
+                if request.wake_at is not None:
+                    # Still serving an injected delay: not grantable, and
+                    # (FIFO) a barrier for later non-conversion requests.
+                    if request.is_conversion:
+                        continue
+                    break
                 if request.is_conversion:
                     compatible = self._compatible_with_granted(
                         queue, request.txn_id, request.mode
@@ -319,6 +441,8 @@ class LockManager:
                     request.resource
                 )
                 request.status = RequestStatus.GRANTED
+                if now is not None:
+                    request.resolved_at = now
                 if self._waiting_request.get(request.txn_id) is request:
                     del self._waiting_request[request.txn_id]
                 granted_txns.append(request.txn_id)

@@ -5,7 +5,7 @@ See ``docs/OBSERVABILITY.md`` for the event catalogue, the
 """
 
 from repro.obs.events import CATEGORIES, EVENT_TYPES, Event
-from repro.obs.metrics import EngineMetrics
+from repro.obs.metrics import EngineMetrics, RetryStats
 from repro.obs.schema import RESULT_SCHEMA_VERSION, VERDICTS, validate_result
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -16,6 +16,7 @@ __all__ = [
     "EngineMetrics",
     "NULL_TRACER",
     "RESULT_SCHEMA_VERSION",
+    "RetryStats",
     "Tracer",
     "VERDICTS",
     "validate_result",

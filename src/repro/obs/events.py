@@ -48,6 +48,13 @@ EVENT_TYPES = {
             "cycle": "the waits-for cycle, as a txn-id tuple",
         },
     },
+    "lock_timeout": {
+        "category": "lock",
+        "fields": {
+            "resource": "the resource the timed-out request waited on",
+            "waited": "ticks spent waiting before the deadline expired",
+        },
+    },
     "lock_release": {
         "category": "lock",
         "fields": {"count": "number of resources released at commit/abort"},
@@ -101,6 +108,14 @@ EVENT_TYPES = {
         "category": "txn",
         "fields": {"to_lsn": "savepoint LSN rolled back to (None = full)"},
     },
+    "txn_retry": {
+        "category": "txn",
+        "fields": {
+            "attempt": "the attempt number that just failed (1 = first run)",
+            "backoff": "ticks of backoff slept before re-executing",
+            "reason": "abort reason that triggered the retry",
+        },
+    },
     # ------------------------------------------------------------ view
     "view_action_compile": {
         "category": "view",
@@ -113,6 +128,15 @@ EVENT_TYPES = {
     "view_action_apply": {
         "category": "view",
         "fields": {"action": "description of the applied action"},
+    },
+    # ----------------------------------------------------------- fault
+    "fault_injected": {
+        "category": "fault",
+        "fields": {
+            "site": "the fault site that fired (see repro.faults.FAULT_SITES)",
+            "hit": "how many times the site had been evaluated when it fired",
+            "action": "failure shape: raise | crash | deny | delay | torn | lost",
+        },
     },
     # --------------------------------------------------------- cleanup
     "ghost_cleanup": {

@@ -36,3 +36,40 @@ class EngineMetrics:
             "log_bytes": self.log_bytes.as_dict(),
             "actions": self.actions.as_dict(),
         }
+
+
+class RetryStats:
+    """Automatic-retry accounting (``Database.run_transaction`` /
+    ``Session.run``), surfaced by ``Database.stats()["retries"]``.
+
+    One *run* is one call to ``run_transaction``; ``attempts`` counts
+    transaction executions per run (1 = committed first try), and
+    ``backoff`` collects the per-retry backoff sleeps in ticks.
+    """
+
+    def __init__(self):
+        self.runs = 0
+        self.retried = 0  # runs that needed more than one attempt
+        self.gave_up = 0  # runs that exhausted their retry budget
+        self.attempts = Histogram()
+        self.backoff = Histogram()
+
+    def observe_run(self, attempts, success):
+        self.runs += 1
+        self.attempts.observe(attempts)
+        if attempts > 1:
+            self.retried += 1
+        if not success:
+            self.gave_up += 1
+
+    def observe_backoff(self, ticks):
+        self.backoff.observe(ticks)
+
+    def as_dict(self):
+        return {
+            "runs": self.runs,
+            "retried": self.retried,
+            "gave_up": self.gave_up,
+            "attempts": self.attempts.as_dict(),
+            "backoff": self.backoff.as_dict(),
+        }

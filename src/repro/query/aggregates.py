@@ -21,7 +21,7 @@ AVG is available as a *derived* column: it is never stored, but
 
 import enum
 
-from repro.common.errors import CatalogError
+from repro.common import CatalogError
 
 
 class AggFunc(enum.Enum):

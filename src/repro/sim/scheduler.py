@@ -31,7 +31,7 @@ and other aborts roll back and restart the program from scratch, up to a
 retry budget. Identical inputs give identical runs, tick for tick.
 """
 
-from repro.common.errors import StorageError, TransactionAborted
+from repro.common import StorageError, TransactionAborted
 from repro.metrics import Counters, Histogram
 from repro.txn import LockPolicy, WouldWait
 
@@ -178,6 +178,9 @@ class Scheduler:
         while True:
             self._wake_ready(result)
             runnable = [s for s in self._sessions if s.state == "runnable"]
+            if self._fire_lock_deadlines(runnable):
+                stall_guard = 0
+                continue
             if not runnable:
                 if all(s.state == "done" for s in self._sessions):
                     break
@@ -244,6 +247,13 @@ class Scheduler:
             next_runnable = min(
                 (s.ready_at for s in runnable), default=None
             )
+            if self._fire_lock_deadlines(
+                runnable,
+                horizon=arrivals[next_arrival]
+                if next_arrival < len(arrivals) else None,
+            ):
+                stall_guard = 0
+                continue
             if next_arrival < len(arrivals) and (
                 next_runnable is None or arrivals[next_arrival] <= next_runnable
             ):
@@ -283,17 +293,40 @@ class Scheduler:
 
     # ------------------------------------------------------------------
 
+    def _fire_lock_deadlines(self, runnable, horizon=None):
+        """Treat the earliest pending lock deadline (wait timeout or
+        injected grant delay) as a discrete event: if it precedes every
+        runnable session (and ``horizon``, when given), advance the clock
+        to it and let the lock manager resolve whatever expired. Returns
+        True when it fired (the caller restarts its loop)."""
+        db = self._db
+        deadline = db.locks.next_deadline()
+        if deadline is None:
+            return False
+        next_runnable = min((s.ready_at for s in runnable), default=None)
+        if next_runnable is not None and next_runnable <= deadline:
+            return False
+        if horizon is not None and horizon <= deadline:
+            return False
+        db.clock.advance_to(deadline)
+        db.locks.poll(db.clock.now())
+        return True
+
     def _wake_ready(self, result):
         """Move sessions whose lock request resolved back to runnable.
 
         A woken session resumes no earlier than the completion time of
-        the event that released the lock."""
+        the event that released the lock (or, for a timed-out / injected
+        delay resolution, the simulated time it resolved at)."""
         for txn_id, session in list(self._waiters.items()):
             request = session._request
             if request is None or request.status.value != "waiting":
                 del self._waiters[txn_id]
                 session.state = "runnable"
-                session.ready_at = max(session.ready_at, self._last_completion)
+                resume_floor = self._last_completion
+                if request is not None and request.resolved_at is not None:
+                    resume_floor = request.resolved_at
+                session.ready_at = max(session.ready_at, resume_floor)
                 if session.wait_started is not None:
                     waited = session.ready_at - session.wait_started
                     result.wait_time.observe(waited)

@@ -20,7 +20,7 @@ VersionedRecord` instances, but the tree does not care).
 
 import bisect
 
-from repro.common.errors import StorageError
+from repro.common import StorageError
 from repro.common.keys import NEG_INF, POS_INF, KeyRange
 
 DEFAULT_ORDER = 32

@@ -6,7 +6,7 @@ deletion leaves holes, and RIDs are never reused, so a RID observed by one
 transaction can never silently come to mean a different row.
 """
 
-from repro.common.errors import StorageError
+from repro.common import StorageError
 from repro.storage.records import VersionedRecord
 
 

@@ -15,7 +15,7 @@ semantics the maintenance and locking layers need:
 * a registry of ghost keys awaiting cleanup.
 """
 
-from repro.common.errors import StorageError
+from repro.common import StorageError
 from repro.common.keys import KeyRange
 from repro.storage.btree import BPlusTree
 from repro.storage.records import VersionedRecord

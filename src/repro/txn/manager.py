@@ -24,7 +24,8 @@ modifications and ghost cleanup in SQL Server. Their commits survive a
 rollback of the surrounding user transaction.
 """
 
-from repro.common.errors import TransactionStateError
+from repro.common import FaultInjected, SimulatedCrash, TransactionStateError
+from repro.faults import NULL_INJECTOR
 from repro.obs.tracer import NULL_TRACER
 from repro.txn.transaction import LockPolicy, Transaction, TxnState
 from repro.wal.records import (
@@ -42,9 +43,11 @@ class TransactionManager:
     """Creates transactions and drives their completion."""
 
     def __init__(self, clock, log, lock_manager, escrow_registry, snapshots,
-                 undo_target=None, tracer=NULL_TRACER, metrics=None):
+                 undo_target=None, tracer=NULL_TRACER, metrics=None,
+                 faults=None):
         self._clock = clock
         self._log = log
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self._locks = lock_manager
         self._escrow = escrow_registry
         self._snapshots = snapshots
@@ -96,10 +99,30 @@ class TransactionManager:
     def commit(self, txn):
         """Make ``txn`` durable and visible; returns the commit timestamp."""
         txn.require_active()
+        if self.faults.active:
+            # Crash on the near side of the commit point: nothing of this
+            # transaction is durable yet, so recovery must roll it back.
+            self.faults.maybe_crash("txn.commit.before", txn_id=txn.txn_id,
+                                    committed=False)
         commit_ts = self._clock.tick()
         txn.commit_ts = commit_ts
         self._log.append(CommitRecord(txn.txn_id, commit_ts))
-        self._log.flush()
+        try:
+            self._log.flush()
+        except FaultInjected as fault:
+            # The COMMIT record is in the append stream but the flush
+            # failed. Online abort is unsound from here: if any prefix
+            # containing the COMMIT record later becomes durable,
+            # recovery declares the transaction a winner, so compensating
+            # it online would corrupt the redo history. Real engines halt
+            # on a log-device failure at the commit point; we escalate to
+            # a simulated crash the harness must recover from.
+            raise SimulatedCrash(fault.site, committed=False) from fault
+        if self.faults.active:
+            # Crash on the far side: COMMIT is flushed, so recovery must
+            # replay the transaction's effects (durability oracle).
+            self.faults.maybe_crash("txn.commit.after", txn_id=txn.txn_id,
+                                    committed=True)
         # Fold escrow deltas into rows and stamp versions. The listener is
         # the Database; it needs the commit timestamp for version stamps.
         if self.commit_listener is not None:

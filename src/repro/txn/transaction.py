@@ -18,7 +18,7 @@ Lock policies decide what happens when a lock request must wait:
 
 import enum
 
-from repro.common.errors import LockTimeoutError, ReproError, TransactionStateError
+from repro.common import LockTimeoutError, ReproError, TransactionStateError
 from repro.locking.manager import RequestStatus
 
 

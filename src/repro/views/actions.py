@@ -51,7 +51,14 @@ def run_actions(db, txn, actions):
         )
     for action in actions:
         db.acquire_plan(txn, action.lock_plan)
-    for action in actions:
+    faults = db.faults
+    check_faults = faults.active
+    for i, action in enumerate(actions):
+        if check_faults and i:
+            # Crash between a statement's actions: the base change landed
+            # but a view maintenance action did not. Recovery must bring
+            # the views back in sync (or roll the loser back entirely).
+            faults.maybe_crash("view.midapply", txn_id=txn.txn_id)
         action.apply(db, txn)
         if tracer.enabled:
             tracer.emit(

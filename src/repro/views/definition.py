@@ -22,7 +22,7 @@ Definitions are immutable descriptions; all machinery lives in the
 maintainers.
 """
 
-from repro.common.errors import CatalogError
+from repro.common import CatalogError
 from repro.query.aggregates import AggFunc
 
 

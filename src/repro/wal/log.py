@@ -14,7 +14,8 @@ cache.
 
 import json
 
-from repro.common.errors import WalError
+from repro.common import FaultInjected, WalError
+from repro.faults import NULL_INJECTOR
 from repro.obs.tracer import NULL_TRACER
 from repro.wal.records import CheckpointRecord, LogRecord
 
@@ -22,7 +23,7 @@ from repro.wal.records import CheckpointRecord, LogRecord
 class LogManager:
     """Append-only log with per-transaction backchains."""
 
-    def __init__(self, tracer=NULL_TRACER):
+    def __init__(self, tracer=NULL_TRACER, faults=None):
         self._records = []
         self._next_lsn = 1
         self._txn_last_lsn = {}
@@ -31,6 +32,7 @@ class LogManager:
         self.flush_count = 0
         self.bytes_estimate = 0
         self.tracer = tracer
+        self.faults = faults if faults is not None else NULL_INJECTOR
 
     def __len__(self):
         return len(self._records)
@@ -43,6 +45,22 @@ class LogManager:
         """Assign an LSN, link the backchain, and append ``record``."""
         if record.lsn is not None:
             raise WalError(f"record already has LSN {record.lsn}")
+        fail_after_append = False
+        if self.faults.active and record.is_undoable():
+            # Fault sites gate on undoable (data) records only: protocol
+            # records (BEGIN/COMMIT/ABORT/END/CLR) must never fail here,
+            # or abort itself could not be made to succeed.
+            record_name = type(record).__name__
+            if self.faults.fires(
+                "wal.append.lost", txn_id=record.txn_id, detail=record_name
+            ) is not None:
+                # Unsound by design: the mutation happened (or will), the
+                # evidence is gone. Exists so the chaos oracle can prove
+                # it detects corruption. The record gets no LSN.
+                return None
+            fail_after_append = self.faults.fires(
+                "wal.append", txn_id=record.txn_id, detail=record_name
+            ) is not None
         record.lsn = self._next_lsn
         self._next_lsn += 1
         if record.txn_id is not None:
@@ -60,6 +78,12 @@ class LogManager:
                 "wal_append", txn_id=record.txn_id, lsn=record.lsn,
                 record=type(record).__name__, bytes=size,
             )
+        if fail_after_append:
+            # The record made it into the append stream before the device
+            # failed on the acknowledgement, so rollback can walk through
+            # it — failing *before* the append would strand any mutation
+            # the caller already applied.
+            raise FaultInjected("wal.append", record.txn_id)
         return record.lsn
 
     @staticmethod
@@ -87,6 +111,21 @@ class LogManager:
         """Make the prefix up to ``up_to_lsn`` (default: everything)
         durable."""
         target = self.tail_lsn() if up_to_lsn is None else min(up_to_lsn, self.tail_lsn())
+        if target > self.flushed_lsn and self.faults.active:
+            if self.faults.fires("wal.torn_tail") is not None:
+                # Torn write: everything but the final record lands.
+                torn = target - 1
+                if torn > self.flushed_lsn:
+                    advanced = torn - self.flushed_lsn
+                    self.flushed_lsn = torn
+                    self.flush_count += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            "wal_flush", flushed_lsn=torn, records=advanced
+                        )
+                raise FaultInjected("wal.torn_tail")
+            if self.faults.fires("wal.flush") is not None:
+                raise FaultInjected("wal.flush")
         if target > self.flushed_lsn:
             advanced = target - self.flushed_lsn
             self.flushed_lsn = target

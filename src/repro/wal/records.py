@@ -24,7 +24,7 @@ interrupted by a crash resumes where it left off, ARIES-style.
 
 import enum
 
-from repro.common.errors import WalError
+from repro.common import WalError
 from repro.common.rows import Row
 
 

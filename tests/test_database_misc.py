@@ -102,7 +102,7 @@ class TestEngineConfigRepr:
         assert "xlock" in repr(cfg)
 
     def test_invalid_values_rejected(self):
-        from repro.common.errors import ReproError
+        from repro.common import ReproError
 
         with pytest.raises(ReproError):
             EngineConfig(aggregate_strategy="nope")

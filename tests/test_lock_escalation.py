@@ -8,7 +8,7 @@ from repro.locking import LockMode
 from repro.locking.escalation import intent_for
 from repro.locking.modes import RangeMode
 from repro.query import AggregateSpec
-from repro.common.errors import ReproError
+from repro.common import ReproError
 
 
 def sales_db(**kwargs):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common import LockTimeoutError, LogicalClock
 from repro.locking import LockManager, LockMode, RangeMode, RequestStatus
 
 M = LockMode
@@ -222,6 +223,134 @@ class TestDeadlockDetection:
         assert lm.request(2, RES, M.E).status is RequestStatus.GRANTED
         assert lm.stats.deadlocks == 0
         assert lm.stats.waits == 0
+
+
+class TestVictimSelectionDeterminism:
+    """Victim choice and reported cycle are pure functions of the request
+    history: the same scenario on a fresh manager yields the identical
+    victim and the identical ``deny_error.cycle`` tuple, for both the
+    requester-denied and the queued-victim paths."""
+
+    @staticmethod
+    def _requester_is_victim(lm):
+        """txn 2 (youngest on the cycle) closes the cycle itself: its own
+        request is DENIED on the spot."""
+        lm.request(1, RES, M.X)
+        lm.request(2, RES2, M.X)
+        assert lm.request(1, RES2, M.X).status is RequestStatus.WAITING
+        return lm.request(2, RES, M.X)
+
+    @staticmethod
+    def _parked_txn_is_victim(lm):
+        """txn 1 (oldest) closes the cycle; the victim is txn 2, already
+        parked on an older request, which is denied while txn 1 keeps
+        waiting. Returns (requester's request, victim's request)."""
+        lm.request(2, RES, M.X)
+        lm.request(1, RES2, M.X)
+        parked = lm.request(2, RES2, M.X)
+        assert parked.status is RequestStatus.WAITING
+        return lm.request(1, RES, M.X), parked
+
+    def test_requester_denied_path(self):
+        for _ in range(2):  # identical on a fresh manager each time
+            lm = LockManager()
+            r = self._requester_is_victim(lm)
+            assert r.status is RequestStatus.DENIED
+            assert r.deny_error.txn_id == 2
+            # cycles are reported starting at the victim
+            assert tuple(r.deny_error.cycle) == (2, 1)
+            assert lm.stats.deadlocks == 1
+            assert lm.waiting_for(1) == RES2  # the survivor still waits
+
+    def test_queued_victim_path(self):
+        for _ in range(2):
+            lm = LockManager()
+            requester, parked = self._parked_txn_is_victim(lm)
+            # The requester survives (it is older) and keeps waiting...
+            assert requester.status is RequestStatus.WAITING
+            assert lm.waiting_for(1) == RES
+            # ...while the parked victim's request was denied in place.
+            assert parked.status is RequestStatus.DENIED
+            assert parked.deny_error.txn_id == 2
+            assert tuple(parked.deny_error.cycle) == (2, 1)
+            assert lm.waiting_for(2) is None
+            assert lm.stats.deadlocks == 1
+
+    def test_three_txn_cycle_victim_and_cycle_stable(self):
+        cycles = []
+        for _ in range(2):
+            lm = LockManager()
+            resources = [("r", i) for i in range(3)]
+            for t in range(3):
+                lm.request(t + 1, resources[t], M.X)
+            lm.request(1, resources[1], M.X)
+            lm.request(2, resources[2], M.X)
+            r = lm.request(3, resources[0], M.X)
+            assert r.status is RequestStatus.DENIED
+            assert r.deny_error.txn_id == 3
+            cycles.append(tuple(r.deny_error.cycle))
+        assert cycles[0] == cycles[1]
+        assert set(cycles[0]) == {1, 2, 3}
+
+
+class TestLockWaitTimeouts:
+    """`lock_wait_timeout` enforcement via poll()/next_deadline()."""
+
+    @staticmethod
+    def timed(timeout=10):
+        clock = LogicalClock()
+        return clock, LockManager(clock=clock, timeout=timeout)
+
+    def test_waiter_denied_after_deadline(self):
+        clock, lm = self.timed(timeout=10)
+        lm.request(1, RES, M.X)
+        r = lm.request(2, RES, M.S)
+        assert r.status is RequestStatus.WAITING
+        assert lm.next_deadline() == 10
+        clock.advance_to(9)
+        assert lm.poll(clock.now()) == []
+        assert r.status is RequestStatus.WAITING  # not yet due
+        clock.advance_to(10)
+        lm.poll(clock.now())
+        assert r.status is RequestStatus.DENIED
+        assert isinstance(r.deny_error, LockTimeoutError)
+        assert r.deny_error.resource == RES
+        assert r.resolved_at == 10
+        assert lm.stats.timeouts == 1
+        assert lm.waiting_for(2) is None
+
+    def test_deadline_accounts_wait_start(self):
+        clock, lm = self.timed(timeout=10)
+        lm.request(1, RES, M.X)
+        clock.advance_to(7)
+        lm.request(2, RES, M.S)
+        assert lm.next_deadline() == 17
+
+    def test_timeout_denial_grants_queue_successor(self):
+        clock, lm = self.timed(timeout=5)
+        lm.request(1, RES, M.S)
+        w = lm.request(2, RES, M.X)  # waits behind the reader
+        r3 = lm.request(3, RES, M.S)  # queued behind the writer (fairness)
+        clock.advance_to(5)
+        granted = lm.poll(clock.now())
+        # Both deadlines fire at 5, but denying the writer makes the
+        # reader behind it grantable, and a grant wins the tie with the
+        # reader's own simultaneous expiry.
+        assert w.status is RequestStatus.DENIED
+        assert r3.status is RequestStatus.GRANTED
+        assert r3.resolved_at == 5
+        assert granted == [3]
+        assert lm.stats.timeouts == 1
+
+    def test_no_timeout_without_configuration(self):
+        clock = LogicalClock()
+        lm = LockManager(clock=clock)  # no timeout configured
+        lm.request(1, RES, M.X)
+        r = lm.request(2, RES, M.S)
+        clock.advance_to(10_000)
+        assert lm.next_deadline() is None
+        assert lm.poll(clock.now()) == []
+        assert r.status is RequestStatus.WAITING
 
 
 class TestIntrospection:
