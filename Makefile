@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test bench bench-smoke chaos-smoke check-results
+.PHONY: test bench bench-smoke bench-r16 chaos-smoke check-results
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,13 @@ bench:
 # every result document under benchmarks/results/ against the schema.
 bench-smoke:
 	cd benchmarks && $(PYTHON) -c "import bench_r9_logvolume as b; b.scenario()"
+	$(PYTHON) benchmarks/check_results.py
+
+# The group-commit experiment alone: committed-txns-per-flush and
+# throughput vs group size at 16 sessions, plus the chaos leg with the
+# wal.group_flush site armed, then the schema gate.
+bench-r16:
+	cd benchmarks && $(PYTHON) -c "import bench_r16_group_commit as b; b.scenario()"
 	$(PYTHON) benchmarks/check_results.py
 
 # Bounded chaos tier: a dozen seeded fault schedules plus the

@@ -13,8 +13,7 @@ think time grows. Expected shape: with folding, reader waits stay flat as
 transactions get longer; without it, they grow with transaction length.
 """
 
-from repro.sim import Scheduler
-from repro.workload import BY_PRODUCT
+from repro.api import BY_PRODUCT, Scheduler
 
 from harness import build_store, emit
 

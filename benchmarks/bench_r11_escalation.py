@@ -9,7 +9,7 @@ Expected shape: lock request volume drops as the threshold falls;
 writer waits rise once scans escalate.
 """
 
-from repro.sim import Scheduler
+from repro.api import Scheduler
 
 from harness import build_store, emit
 

@@ -12,10 +12,13 @@ exactly like the xlock baseline — quantifying why SQL Server's indexed
 views (and this engine's default) restrict aggregates to COUNT/SUM.
 """
 
-from repro import Database, EngineConfig
-from repro.query import AggregateSpec
-from repro.sim import Scheduler
-from repro.workload import OrderEntryWorkload
+from repro.api import (
+    AggregateSpec,
+    Database,
+    EngineConfig,
+    OrderEntryWorkload,
+    Scheduler,
+)
 
 from harness import emit
 

@@ -10,9 +10,7 @@ size.
 
 import time
 
-from repro import Database, EngineConfig
-from repro.query import AggregateSpec
-from repro.workload import OrderEntryWorkload
+from repro.api import AggregateSpec, Database, EngineConfig, OrderEntryWorkload
 
 from harness import emit
 

@@ -13,10 +13,13 @@ view (fewer, hotter rows), and with both views every transaction crosses
 two exclusive hot locks — throughput craters and deadlocks multiply.
 """
 
-from repro import Database, EngineConfig
-from repro.query import AggregateSpec
-from repro.sim import Scheduler
-from repro.workload import OrderEntryWorkload
+from repro.api import (
+    AggregateSpec,
+    Database,
+    EngineConfig,
+    OrderEntryWorkload,
+    Scheduler,
+)
 
 from harness import emit
 

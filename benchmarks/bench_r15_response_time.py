@@ -6,7 +6,7 @@ approaches the X-locked view's serialized capacity, xlock response times
 blow up queueing-theory style while escrow stays flat far longer.
 """
 
-from repro.sim import Scheduler
+from repro.api import Scheduler
 
 from harness import build_store, emit, seed_all_groups
 

@@ -8,9 +8,7 @@ writer funnels through the hot group row); escrow tracks the no-view
 curve closely, paying only the maintenance work itself.
 """
 
-from repro import Database, EngineConfig
-from repro.sim import Scheduler
-from repro.workload import OrderEntryWorkload
+from repro.api import Database, EngineConfig, OrderEntryWorkload, Scheduler
 
 import harness
 from harness import build_store, emit

@@ -11,7 +11,7 @@ commit. Logical delta records are also smaller than full before/after
 images.
 """
 
-from repro import AggregateSpec, Database, EngineConfig
+from repro.api import AggregateSpec, Database, EngineConfig
 
 from harness import emit
 

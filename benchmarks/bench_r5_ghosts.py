@@ -15,7 +15,7 @@ Expected shape: lazy cleanup preserves escrow throughput with bounded
 space overhead that the cleaner reclaims; xlock pays contention instead.
 """
 
-from repro.sim import Scheduler
+from repro.api import Scheduler
 
 from harness import build_store, emit
 

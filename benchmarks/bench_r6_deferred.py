@@ -12,8 +12,7 @@ Expected shape: deferred is cheaper per update and arbitrarily stale;
 immediate pays a per-update premium and is never stale.
 """
 
-from repro.sim import Scheduler
-from repro.workload import BY_PRODUCT
+from repro.api import BY_PRODUCT, Scheduler
 
 from harness import build_store, emit
 

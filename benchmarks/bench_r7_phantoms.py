@@ -12,8 +12,7 @@ behind scanners; without them, violations > 0 and nobody waits — the
 classic isolation/concurrency trade made visible.
 """
 
-from repro.sim import Scheduler
-from repro.workload import BY_PRODUCT, SALES
+from repro.api import BY_PRODUCT, SALES, Scheduler
 
 from harness import build_store, emit
 

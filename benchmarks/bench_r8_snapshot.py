@@ -12,8 +12,7 @@ snapshot readers — zero waits, bounded staleness; locking readers —
 exact values, real waits.
 """
 
-from repro.sim import Scheduler
-from repro.workload import BY_PRODUCT
+from repro.api import BY_PRODUCT, Scheduler
 
 from harness import build_store, emit
 

@@ -11,9 +11,7 @@ auto-created left-fk index entry, so it costs noticeably more per update
 than the aggregate view.
 """
 
-from repro import Database, EngineConfig
-from repro.query import AggregateSpec
-from repro.workload import OrderEntryWorkload
+from repro.api import AggregateSpec, Database, EngineConfig, OrderEntryWorkload
 
 import harness
 from harness import emit

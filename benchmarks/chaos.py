@@ -38,11 +38,15 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-from repro import Database, EngineConfig  # noqa: E402
-from repro.common import FaultInjected, SimulatedCrash  # noqa: E402
-from repro.faults import FaultInjector  # noqa: E402
-from repro.sim import Scheduler  # noqa: E402
-from repro.workload.banking import BankingWorkload  # noqa: E402
+from repro.api import (
+    BankingWorkload,
+    Database,
+    EngineConfig,
+    FaultInjected,
+    FaultInjector,
+    Scheduler,
+    SimulatedCrash,
+)  # noqa: E402
 
 from harness import claim, emit  # noqa: E402
 
@@ -53,6 +57,7 @@ FAULT_MENU = [
     ("wal.append", 0.02),
     ("wal.flush", 0.05),
     ("wal.torn_tail", 0.03),
+    ("wal.group_flush", 0.05),
     ("lock.delay", 0.05),
     ("lock.deny", 0.03),
     ("txn.commit.before", 0.01),
@@ -69,10 +74,14 @@ TXNS_PER_SESSION = 3
 def run_one_seed(seed):
     """One chaos schedule. Returns a result dict; ``ok`` is the oracle."""
     rng = random.Random(seed)
+    group = rng.choice([None, None, ("size", 4), ("latency", 12)])
     config = EngineConfig(
         aggregate_strategy=rng.choice(["escrow", "escrow", "xlock"]),
         maintenance_mode=rng.choice(["immediate", "immediate", "commit_fold"]),
         lock_wait_timeout=rng.choice([None, 5, 25]),
+        group_commit=group[0] if group else None,
+        group_commit_size=group[1] if group and group[0] == "size" else 8,
+        group_commit_latency=group[1] if group and group[0] == "latency" else 16,
     )
     db = Database(config)
     bank = BankingWorkload(
@@ -107,7 +116,13 @@ def run_one_seed(seed):
             db.simulate_crash_and_recover()
         # Occasional operator actions, under the same fault schedule.
         if rng.random() < 0.5:
-            db.run_ghost_cleanup()
+            try:
+                db.run_ghost_cleanup()
+            except FaultInjected:
+                pass  # a retracted system commit: cleanup just requeues
+            except SimulatedCrash:
+                crashes += 1
+                db.simulate_crash_and_recover()
         if rng.random() < 0.3:
             try:
                 db.take_checkpoint()

@@ -1,7 +1,9 @@
 #!/usr/bin/env python
 """Validate every ``benchmarks/results/*.json`` against the documented
-result schema (:mod:`repro.obs.schema`, ``docs/OBSERVABILITY.md``), and
-cross-check the documented event catalogue against the code registry.
+result schema (:mod:`repro.obs.schema`, ``docs/OBSERVABILITY.md``),
+cross-check the documented event catalogue against the code registry,
+and enforce that ``examples/`` and ``benchmarks/`` import only the
+supported ``repro.api`` facade.
 
 Exit status 0 when every document parses and conforms; 1 otherwise,
 with one line per problem. This is the regression gate ``make
@@ -18,7 +20,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.obs.schema import validate_result  # noqa: E402
+from repro.api import validate_result  # noqa: E402
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 OBSERVABILITY_DOC = (
@@ -52,7 +54,7 @@ def check_event_catalogue(doc_path=OBSERVABILITY_DOC):
     fields, no phantom events are documented, and every event category
     appears (backticked) in the doc. Returns a list of problem strings.
     """
-    from repro.obs.events import EVENT_TYPES
+    from repro.api import EVENT_TYPES
 
     try:
         text = pathlib.Path(doc_path).read_text()
@@ -101,10 +103,41 @@ def check_event_catalogue(doc_path=OBSERVABILITY_DOC):
     return problems
 
 
+#: directories whose code must import only the supported facade
+API_CLIENT_DIRS = ("examples", "benchmarks")
+
+#: a deep import: ``from repro.<something> import`` / ``import repro.<x>``
+#: where <something> is not the facade itself.
+DEEP_IMPORT = re.compile(r"^\s*(?:from|import)\s+repro\.(?!api\b)")
+
+
+def check_import_surface(root=None):
+    """``examples/`` and ``benchmarks/`` may import ``repro`` or
+    ``repro.api`` only — deep module paths are not a supported surface.
+    Returns a list of problem strings, one per offending line.
+    """
+    if root is None:
+        root = pathlib.Path(__file__).resolve().parent.parent
+    problems = []
+    for dirname in API_CLIENT_DIRS:
+        for path in sorted(pathlib.Path(root, dirname).rglob("*.py")):
+            if "__pycache__" in path.parts or "results" in path.parts:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if DEEP_IMPORT.match(line):
+                    rel = path.relative_to(root)
+                    problems.append(
+                        f"{rel}:{lineno}: deep import {line.strip()!r} — "
+                        "use `from repro.api import ...`"
+                    )
+    return problems
+
+
 def main(argv):
     results_dir = pathlib.Path(argv[1]) if len(argv) > 1 else RESULTS_DIR
     checked, problems = check_directory(results_dir)
     problems.extend(check_event_catalogue())
+    problems.extend(check_import_surface())
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -112,6 +145,7 @@ def main(argv):
         return 1
     print(f"{checked} result file(s) checked, all schema-valid")
     print("event catalogue in docs/OBSERVABILITY.md matches the registry")
+    print("examples/ and benchmarks/ import only the repro.api facade")
     if checked == 0:
         print("(run `python benchmarks/run_all.py` to generate results)")
     return 0

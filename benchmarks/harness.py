@@ -11,11 +11,15 @@ failing benchmark, not just a different number.
 import json
 import pathlib
 
-from repro import Database, EngineConfig
-from repro.metrics import format_table
-from repro.obs.schema import RESULT_SCHEMA_VERSION, validate_result
-from repro.sim import Scheduler
-from repro.workload import OrderEntryWorkload
+from repro.api import (
+    Database,
+    EngineConfig,
+    format_table,
+    OrderEntryWorkload,
+    RESULT_SCHEMA_VERSION,
+    Scheduler,
+    validate_result,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 

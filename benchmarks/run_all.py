@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate the full R1–R15 evaluation and print every table.
+"""Regenerate the full R1–R16 evaluation and print every table.
 
 Equivalent to ``pytest benchmarks/ --benchmark-only`` but prints the
 experiment tables directly (pytest captures them) and finishes with a
@@ -35,6 +35,7 @@ BENCHES = [
     ("bench_r13_recovery_scaling", "scenario"),
     ("bench_r14_join_aggregate", "scenario"),
     ("bench_r15_response_time", "scenario"),
+    ("bench_r16_group_commit", "scenario"),
     ("chaos", "scenario"),
 ]
 
@@ -58,6 +59,7 @@ def main():
 
     checked, problems = check_results.check_directory()
     problems.extend(check_results.check_event_catalogue())
+    problems.extend(check_results.check_import_surface())
     if problems:
         for problem in problems:
             print(f"  FAIL {problem}")

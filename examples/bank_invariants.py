@@ -11,10 +11,14 @@ about — the money all adds up — at every step.
 Run:  python examples/bank_invariants.py
 """
 
-from repro import Database, EngineConfig
-from repro.core.inspect import health_report
-from repro.sim import Scheduler
-from repro.workload import BRANCH_TOTALS, BankingWorkload
+from repro.api import (
+    BankingWorkload,
+    BRANCH_TOTALS,
+    Database,
+    EngineConfig,
+    health_report,
+    Scheduler,
+)
 
 
 def main():
@@ -52,8 +56,8 @@ def main():
     print("money after crash+recovery:", bank.total_money_in_view(), "— conserved ✔")
 
     print("\n== declarative reserve requirement (escrow bounds) ==")
-    from repro import AggregateSpec
-    from repro.common import EscrowViolationError
+    from repro.api import AggregateSpec
+    from repro.api import EscrowViolationError
 
     db2 = Database(EngineConfig(aggregate_strategy="escrow"))
     db2.create_table("accounts", ("aid", "branch", "balance"), ("aid",))

@@ -18,7 +18,7 @@ bounding the redo work.
 Run:  python examples/crash_recovery_demo.py
 """
 
-from repro import AggregateSpec, Database, EngineConfig
+from repro.api import AggregateSpec, Database, EngineConfig
 
 
 def build(counter_logging):

@@ -13,10 +13,14 @@ with escrow locking (the paper's contribution), and compare:
 Run:  python examples/hot_dashboard.py
 """
 
-from repro import Database, EngineConfig
-from repro.metrics import format_table
-from repro.sim import Scheduler
-from repro.workload import BY_PRODUCT, OrderEntryWorkload
+from repro.api import (
+    BY_PRODUCT,
+    Database,
+    EngineConfig,
+    format_table,
+    OrderEntryWorkload,
+    Scheduler,
+)
 
 
 def run_store(strategy, writers=16, sales_per_writer=25, **_unused):
@@ -69,7 +73,7 @@ def main():
 
     # Where did the xlock run burn its time? The hot-spot report shows
     # the lock waits concentrated on a handful of view rows.
-    from repro.core.inspect import render_hot_resources
+    from repro.api import render_hot_resources
 
     db, _ = run_store("xlock", writers=8, sales_per_writer=10)
     print("\n" + render_hot_resources(db, top_n=5))

@@ -19,9 +19,7 @@ ghost cleanup — and finishes with a crash/recovery round trip.
 Run:  python examples/order_fulfillment.py
 """
 
-from repro import AggregateSpec, Database
-from repro.common import KeyRange
-from repro.query import col_ge
+from repro.api import AggregateSpec, col_ge, Database, KeyRange
 
 
 def build():

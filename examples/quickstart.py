@@ -8,7 +8,7 @@ matches the base data — and survives a crash.
 Run:  python examples/quickstart.py
 """
 
-from repro import AggregateSpec, Database
+from repro.api import AggregateSpec, Database
 
 
 def main():

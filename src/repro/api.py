@@ -1,0 +1,176 @@
+"""The supported public surface, in one import.
+
+``repro.api`` re-exports everything a downstream caller — an application,
+an example, a benchmark — should need, so nothing outside ``src/repro``
+has to reach into deep modules (``repro.core.database``,
+``repro.obs.schema``, …). ``benchmarks/check_results.py`` enforces this:
+``examples/`` and ``benchmarks/`` may import ``repro`` or ``repro.api``
+only. The deep modules stay importable for the engine's own tests, but
+their layout is not a compatibility promise; this module's names are.
+
+Grouped by concern:
+
+* **engine** — :class:`Database`, :class:`EngineConfig`,
+  :class:`Session`, :class:`LockPolicy`, :class:`Row`,
+  :class:`KeyRange`;
+* **views and queries** — the ``ViewDefinition`` family,
+  :class:`AggregateSpec`, and the column predicates (``col_eq`` …);
+* **errors** — the :class:`ReproError` hierarchy plus
+  :class:`SimulatedCrash`;
+* **fault injection** — :class:`FaultInjector`, :class:`FaultSpec`,
+  :data:`FAULT_SITES`;
+* **simulation** — :class:`Scheduler`, :class:`CostModel`,
+  :class:`SimResult`, and the packaged workloads;
+* **observability** — :class:`Tracer`, :data:`EVENT_TYPES`, the result
+  schema (:func:`validate_result`), metrics primitives, and the
+  ``repro.core.inspect`` report helpers.
+"""
+
+from repro.common import (
+    CatalogError,
+    DeadlockError,
+    EscrowViolationError,
+    FaultInjected,
+    KeyRange,
+    LockTimeoutError,
+    ReproError,
+    Row,
+    SerializationError,
+    SimulatedCrash,
+    StorageError,
+    TransactionAborted,
+    TransactionStateError,
+    WalError,
+)
+from repro.core.config import EngineConfig
+from repro.core.database import Database
+from repro.core.inspect import (
+    health_report,
+    hot_resources,
+    lock_table,
+    render_hot_resources,
+    render_lock_table,
+    render_transactions,
+    storage_report,
+    trace_tail,
+    transaction_report,
+    wait_graph_snapshot,
+)
+from repro.core.session import Session
+from repro.faults import FAULT_SITES, FaultInjector, FaultSpec
+from repro.metrics import Counters, Histogram, format_table
+from repro.obs import (
+    EVENT_TYPES,
+    RESULT_SCHEMA_VERSION,
+    EngineMetrics,
+    Tracer,
+    validate_result,
+)
+from repro.query import (
+    AggregateSpec,
+    col_between,
+    col_eq,
+    col_ge,
+    col_gt,
+    col_in,
+    col_le,
+    col_lt,
+    col_ne,
+)
+from repro.sim import CostModel, Scheduler, SimResult
+from repro.txn import LockPolicy
+from repro.views.definition import (
+    AggregateView,
+    JoinAggregateView,
+    JoinView,
+    ProjectionView,
+    ViewDefinition,
+)
+from repro.wal import CommitTicket, GroupCommitCoordinator
+from repro.workload import (
+    ACCOUNTS,
+    BRANCH_TOTALS,
+    BY_PRODUCT,
+    PRODUCTS,
+    SALES,
+    SALES_NAMED,
+    BankingWorkload,
+    OrderEntryWorkload,
+)
+
+__all__ = [
+    # engine
+    "Database",
+    "EngineConfig",
+    "Session",
+    "LockPolicy",
+    "Row",
+    "KeyRange",
+    # views and queries
+    "ViewDefinition",
+    "AggregateView",
+    "JoinView",
+    "JoinAggregateView",
+    "ProjectionView",
+    "AggregateSpec",
+    "col_between",
+    "col_eq",
+    "col_ge",
+    "col_gt",
+    "col_in",
+    "col_le",
+    "col_lt",
+    "col_ne",
+    # errors
+    "ReproError",
+    "CatalogError",
+    "StorageError",
+    "WalError",
+    "TransactionAborted",
+    "TransactionStateError",
+    "DeadlockError",
+    "LockTimeoutError",
+    "SerializationError",
+    "EscrowViolationError",
+    "FaultInjected",
+    "SimulatedCrash",
+    # fault injection
+    "FaultInjector",
+    "FaultSpec",
+    "FAULT_SITES",
+    # group commit
+    "CommitTicket",
+    "GroupCommitCoordinator",
+    # simulation and workloads
+    "Scheduler",
+    "CostModel",
+    "SimResult",
+    "BankingWorkload",
+    "OrderEntryWorkload",
+    "ACCOUNTS",
+    "BRANCH_TOTALS",
+    "BY_PRODUCT",
+    "PRODUCTS",
+    "SALES",
+    "SALES_NAMED",
+    # observability
+    "Tracer",
+    "EVENT_TYPES",
+    "EngineMetrics",
+    "RESULT_SCHEMA_VERSION",
+    "validate_result",
+    "Counters",
+    "Histogram",
+    "format_table",
+    # inspect helpers
+    "health_report",
+    "hot_resources",
+    "lock_table",
+    "render_hot_resources",
+    "render_lock_table",
+    "render_transactions",
+    "storage_report",
+    "trace_tail",
+    "transaction_report",
+    "wait_graph_snapshot",
+]

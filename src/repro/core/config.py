@@ -5,6 +5,7 @@ from repro.common import ReproError
 AGGREGATE_STRATEGIES = ("escrow", "xlock")
 MAINTENANCE_MODES = ("immediate", "commit_fold", "deferred")
 COUNTER_LOGGING = ("logical", "physical")
+GROUP_COMMIT_POLICIES = (None, "size", "latency")
 
 
 class EngineConfig:
@@ -34,6 +35,19 @@ class EngineConfig:
       ``[0, base]``, all in logical ticks (see ``docs/ROBUSTNESS.md``).
     * ``retry_seed`` — seed of the jitter stream, so retry schedules are
       deterministic per database instance.
+    * ``group_commit`` — batch COMMIT-record flushes across transactions:
+      ``None``/``"off"`` forces one flush per commit (the WAL commit
+      rule, today's default); ``"size"`` flushes once the open commit
+      group reaches ``group_commit_size`` members; ``"latency"`` flushes
+      when the group has been open ``group_commit_latency`` logical ticks
+      (the simulator fires the deadline). With grouping on, a committed
+      transaction is *commit-visible* immediately (locks released at
+      commit-record append) but *durable* only once its group's flush
+      completes — see ``docs/ARCHITECTURE.md``.
+    * ``group_commit_size`` — members per group under the size policy
+      (also the cap under the latency policy).
+    * ``group_commit_latency`` — ticks a group may stay open under the
+      latency policy before the flush deadline fires.
     """
 
     def __init__(
@@ -48,6 +62,9 @@ class EngineConfig:
         retry_backoff_base=4,
         retry_backoff_cap=64,
         retry_seed=77,
+        group_commit=None,
+        group_commit_size=8,
+        group_commit_latency=16,
     ):
         if aggregate_strategy not in AGGREGATE_STRATEGIES:
             raise ReproError(f"unknown aggregate_strategy {aggregate_strategy!r}")
@@ -73,6 +90,17 @@ class EngineConfig:
         self.retry_backoff_base = retry_backoff_base
         self.retry_backoff_cap = retry_backoff_cap
         self.retry_seed = retry_seed
+        if group_commit == "off":
+            group_commit = None
+        if group_commit not in GROUP_COMMIT_POLICIES:
+            raise ReproError(f"unknown group_commit policy {group_commit!r}")
+        if group_commit_size < 1:
+            raise ReproError("group_commit_size must be >= 1")
+        if group_commit_latency < 1:
+            raise ReproError("group_commit_latency must be >= 1 tick")
+        self.group_commit = group_commit
+        self.group_commit_size = group_commit_size
+        self.group_commit_latency = group_commit_latency
 
     def __repr__(self):
         return (

@@ -24,6 +24,7 @@ cooperative policy a lock wait aborts the statement run with
 from repro.catalog import Catalog, TableSchema
 from repro.common import (
     DeterministicRng,
+    FaultInjected,
     LogicalClock,
     Row,
     SimulatedCrash,
@@ -67,7 +68,13 @@ from repro.query.executor import (
     recompute_join_view,
     recompute_projection_view,
 )
-from repro.wal import CheckpointRecord, LogManager, recover
+from repro.wal import (
+    CheckpointRecord,
+    CommitTicket,
+    GroupCommitCoordinator,
+    LogManager,
+    recover,
+)
 from repro.wal.records import GhostRecord, InsertRecord, UpdateRecord
 from repro.wal.recovery import RecoveryTarget
 
@@ -107,6 +114,16 @@ class Database(RecoveryTarget):
             faults=self.faults,
         )
         self._txns.commit_listener = self._on_commit
+        self.group_commit = GroupCommitCoordinator(
+            self.log, self.clock,
+            policy=self.config.group_commit,
+            size=self.config.group_commit_size,
+            latency=self.config.group_commit_latency,
+            tracer=self.tracer, faults=self.faults,
+        )
+        self.group_commit.failure_handler = self._on_group_flush_failure
+        self.log.flush_listener = self.group_commit.on_flushed
+        self._txns.group_commit = self.group_commit
         self._indexes = {}
         self._index_views = {}  # index name -> owning view definition
         self.secondary = SecondaryIndexManager(self)
@@ -134,6 +151,7 @@ class Database(RecoveryTarget):
         self.log.faults = self.faults
         self.locks.faults = self.faults
         self._txns.faults = self.faults
+        self.group_commit.faults = self.faults
         return self.faults
 
     # ==================================================================
@@ -152,11 +170,28 @@ class Database(RecoveryTarget):
         return schema
 
     def create_aggregate_view(self, name, base, group_by, aggregates,
-                              where=None, bounds=None):
-        view = AggregateView(name, base, group_by, aggregates, where, bounds)
-        return self.create_view(view)
+                              where=None, bounds=None, *, unique=True,
+                              deferred=False):
+        """Create a GROUP BY view; returns the
+        :class:`~repro.views.definition.ViewDefinition`.
 
-    def create_join_view(self, name, left, right, on, columns, where=None):
+        All four ``create_*_view`` methods share the keyword tail
+        ``where=``, ``unique=``, ``deferred=``: ``where`` filters base
+        rows, ``unique`` records the (always-satisfied) key-uniqueness of
+        the view index for parity with :meth:`create_secondary_index`,
+        and ``deferred=True`` routes this one view's maintenance through
+        the deferred maintainer even when the global
+        ``maintenance_mode`` is immediate (refresh with
+        :meth:`refresh_view`).
+        """
+        view = AggregateView(name, base, group_by, aggregates, where, bounds)
+        return self.create_view(view, unique=unique, deferred=deferred)
+
+    def create_join_view(self, name, left, right, on, columns, where=None,
+                         *, unique=True, deferred=False):
+        """Create a foreign-key join view; returns the
+        :class:`~repro.views.definition.ViewDefinition`. Shares the
+        keyword tail of :meth:`create_aggregate_view`."""
         view = JoinView(
             name,
             left,
@@ -167,16 +202,24 @@ class Database(RecoveryTarget):
             columns=columns,
             where=where,
         )
-        return self.create_view(view)
+        return self.create_view(view, unique=unique, deferred=deferred)
 
-    def create_projection_view(self, name, base, columns, where=None):
+    def create_projection_view(self, name, base, columns, where=None,
+                               *, unique=True, deferred=False):
+        """Create a projection view; returns the
+        :class:`~repro.views.definition.ViewDefinition`. Shares the
+        keyword tail of :meth:`create_aggregate_view`."""
         view = ProjectionView(
             name, base, self.catalog.table(base).primary_key, columns, where
         )
-        return self.create_view(view)
+        return self.create_view(view, unique=unique, deferred=deferred)
 
     def create_join_aggregate_view(self, name, left, right, on, group_by,
-                                   aggregates, where=None, bounds=None):
+                                   aggregates, where=None, bounds=None,
+                                   *, unique=True, deferred=False):
+        """Create a join-aggregate view; returns the
+        :class:`~repro.views.definition.ViewDefinition`. Shares the
+        keyword tail of :meth:`create_aggregate_view`."""
         view = JoinAggregateView(
             name,
             left,
@@ -189,7 +232,7 @@ class Database(RecoveryTarget):
             where=where,
             bounds=bounds,
         )
-        return self.create_view(view)
+        return self.create_view(view, unique=unique, deferred=deferred)
 
     def create_secondary_index(self, table, name, columns, unique=False):
         """Create a secondary index on a base table; ``unique=True``
@@ -201,10 +244,13 @@ class Database(RecoveryTarget):
         txn.require_active()
         return self.secondary.lookup(txn, table, index_name, values)
 
-    def create_view(self, view):
+    def create_view(self, view, *, unique=True, deferred=False):
         """Register ``view``, build its index(es), and materialize it over
-        any existing base data. DDL is not logged: recovery re-creates the
-        schema from the catalog, then replays the data log."""
+        any existing base data. Returns the definition. DDL is not
+        logged: recovery re-creates the schema from the catalog, then
+        replays the data log."""
+        view.unique = unique
+        view.deferred = deferred
         self.catalog.add_view(view)
         order = self.config.btree_order
         self._indexes[view.name] = Index(
@@ -307,15 +353,30 @@ class Database(RecoveryTarget):
     # transactions
     # ==================================================================
 
-    def begin(self, policy=LockPolicy.NOWAIT, isolation="serializable"):
-        return self._txns.begin(policy=policy, isolation=isolation)
-
-    def session(self, isolation="serializable"):
-        """A connection-like wrapper with an implicit current transaction
-        and autocommit statements (see :mod:`repro.core.session`)."""
+    def session(self, isolation="serializable", policy=LockPolicy.NOWAIT):
+        """The canonical entry point: a connection-like wrapper with an
+        implicit current transaction and autocommit statements (see
+        :mod:`repro.core.session`). ``begin()`` and ``transaction()``
+        both route through it and accept the same ``policy=`` /
+        ``isolation=`` keywords."""
         from repro.core.session import Session
 
-        return Session(self, isolation=isolation)
+        return Session(self, isolation=isolation, policy=policy)
+
+    def begin(self, policy=LockPolicy.NOWAIT, isolation="serializable"):
+        """Start and return a bare transaction handle.
+
+        .. deprecated:: prefer ``db.session(...).begin()`` (or
+           :meth:`transaction` / :meth:`run_transaction`); ``begin()``
+           remains as a shorthand and simply routes through
+           :meth:`session`.
+        """
+        return self.session(isolation=isolation, policy=policy).begin()
+
+    def _begin_txn(self, policy=LockPolicy.NOWAIT, isolation="serializable"):
+        """Internal begin, used by Session and the engine's own loops —
+        the one place that talks to the transaction manager directly."""
+        return self._txns.begin(policy=policy, isolation=isolation)
 
     def begin_system(self):
         return self._txns.begin_system()
@@ -362,11 +423,16 @@ class Database(RecoveryTarget):
         attempt = 0
         while True:
             attempt += 1
-            txn = self.begin(policy=policy, isolation=isolation)
+            txn = self._begin_txn(policy=policy, isolation=isolation)
             try:
                 result = fn(txn)
                 if txn.state is TxnState.ACTIVE:
                     self.commit(txn)
+                # With group commit on, wait out the batched flush: a
+                # retracted group surfaces here as a retryable
+                # FaultInjected, so run_transaction re-runs exactly the
+                # members whose COMMIT records never became durable.
+                self.ensure_durable(txn)
                 self.retries.observe_run(attempt, success=True)
                 return result
             except TransactionAborted as aborted:
@@ -400,6 +466,11 @@ class Database(RecoveryTarget):
     def transaction(self, policy=LockPolicy.NOWAIT, isolation="serializable"):
         """Context manager: commit on clean exit, abort on exception.
 
+        .. deprecated:: prefer ``db.session(...)`` and its statement
+           methods, or :meth:`run_transaction` for retry-safe bodies;
+           ``transaction()`` remains as a shorthand and routes through
+           :meth:`session`.
+
         >>> db = Database(); _ = db.create_table("t", ("a",), ("a",))
         >>> with db.transaction() as txn:
         ...     db.insert(txn, "t", {"a": 1})
@@ -407,7 +478,9 @@ class Database(RecoveryTarget):
         >>> db.read_committed("t", (1,))
         Row(a=1)
         """
-        return _TransactionContext(self, policy, isolation)
+        return _TransactionContext(
+            self.session(isolation=isolation, policy=policy)
+        )
 
     @property
     def committed_count(self):
@@ -420,13 +493,110 @@ class Database(RecoveryTarget):
     def active_transactions(self):
         return self._txns.active_transactions()
 
+    # ==================================================================
+    # group commit (durability control)
+    # ==================================================================
+
+    def ensure_durable(self, txn):
+        """Block until ``txn``'s COMMIT record is durable.
+
+        A no-op without group commit (the commit already flushed). With
+        grouping on, a still-pending ticket makes this caller the flush
+        leader for the open group. Raises
+        :class:`~repro.common.FaultInjected` (retryable) when the
+        group was retracted before this member reached durability, and
+        :class:`~repro.common.SimulatedCrash` when the flush failure had
+        to escalate.
+        """
+        ticket = getattr(txn, "commit_ticket", None)
+        if ticket is None:
+            return True
+        if ticket.state == CommitTicket.PENDING:
+            self.group_commit.flush(leader=txn.txn_id)
+        if ticket.state == CommitTicket.DURABLE:
+            return True
+        raise FaultInjected(ticket.reason or "wal.group_flush", txn.txn_id)
+
+    def group_commit_deadline(self):
+        """Tick at which the open commit group must flush (latency
+        policy), or ``None``. The simulator's scheduler watches this."""
+        return self.group_commit.next_deadline()
+
+    def poll_group_commit(self):
+        """Fire the group flush deadline if it has passed; returns True
+        when a flush ran."""
+        return self.group_commit.poll(self.clock.now())
+
+    def flush_group_commit(self):
+        """Force the open commit group out (quiescence / shutdown);
+        returns the number of members flushed."""
+        return self.group_commit.flush_pending()
+
+    def _on_group_flush_failure(self, tickets, member_ids, fault):
+        """The group flush failed before ``tickets`` reached durability.
+
+        Preferred outcome: *retract* the group — discard the unflushed
+        log suffix (a bounded, inline micro-crash: ``log.crash()`` plus
+        an ARIES restart from the durable prefix) and mark every
+        non-durable member aborted-retryable. That is only sound when
+        rollback provably reaches everything the group touched: no
+        transaction is active, and every unflushed record belongs to a
+        group member. Otherwise a reader could have consumed a retracted
+        member's writes under early lock release, so the failure
+        escalates to :class:`~repro.common.SimulatedCrash` — recovery
+        then aborts those dependents wholesale, exactly the
+        dependent-abort story the commit-flush comment in
+        ``txn/manager.py`` documents.
+        """
+        from repro.txn.transaction import TxnState
+
+        if not tickets:
+            return
+        if not self._group_retractable(member_ids):
+            # The members' COMMIT records die with the volatile log; mark
+            # their tickets lost now so nothing waits on them forever.
+            now = self.clock.now()
+            for ticket in tickets:
+                ticket.state = CommitTicket.LOST
+                ticket.reason = fault.site
+                ticket.resolved_at = now
+            self.group_commit.lost_txns += len(tickets)
+            self.group_commit.crash_escalations += 1
+            self.counters.incr("group_commit.crash_escalations")
+            raise SimulatedCrash(fault.site, committed=False) from fault
+        self.log.crash()
+        self._rebuild_from_log()
+        now = self.clock.now()
+        for ticket in tickets:
+            ticket.state = CommitTicket.RETRACTED
+            ticket.reason = fault.site
+            ticket.resolved_at = now
+            # Idempotent abort paths (scheduler, run_transaction) see the
+            # member as already rolled back — which recovery just did.
+            ticket.txn.state = TxnState.ABORTED
+        self.group_commit.retracted_txns += len(tickets)
+        self.counters.incr("group_commit.retractions", len(tickets))
+
+    def _group_retractable(self, member_ids):
+        """True when discarding the unflushed suffix undoes *only* the
+        failed group: no active transactions, and every unflushed record
+        belongs to a group member. (Durable members can only have END
+        records past the boundary — losing an END is always safe.)"""
+        if self._txns.active_transactions():
+            return False
+        for record in self.log.records(self.log.flushed_lsn + 1):
+            if record.txn_id is None or record.txn_id not in member_ids:
+                return False
+        return True
+
     def stats(self):
         """One nested dict of everything the engine measures.
 
         Schema documented in ``docs/OBSERVABILITY.md`` (and pinned by
         ``tests/test_obs.py``): named counters, lock-manager totals,
-        transaction outcomes, WAL volume, per-transaction histograms,
-        tracer buffer health, and cleaner progress.
+        transaction outcomes, WAL volume, group-commit batching,
+        per-transaction histograms, tracer buffer health, and cleaner
+        progress.
         """
         return {
             "counters": self.counters.as_dict(),
@@ -441,7 +611,9 @@ class Database(RecoveryTarget):
                 "bytes": self.log.bytes_estimate,
                 "flushes": self.log.flush_count,
                 "flushed_lsn": self.log.flushed_lsn,
+                "records_per_flush": self.log.flush_records.as_dict(),
             },
+            "group_commit": self.group_commit.stats(),
             "per_txn": self.metrics.as_dict(),
             "tracer": self.tracer.summary(),
             "cleanup": {
@@ -893,6 +1065,15 @@ class Database(RecoveryTarget):
         )
         self._txns._next_txn_id = next_txn_id
         self._txns.commit_listener = self._on_commit
+        self._txns.group_commit = self.group_commit
+        # A crash destroys the open commit group: its members' COMMIT
+        # records were in the lost suffix, so recovery rolls them back as
+        # losers; anyone still waiting on a ticket learns it is lost.
+        # (During a group *retraction* the pending list is already empty,
+        # so this is a no-op there.)
+        self.group_commit.abandon_pending()
+        self.group_commit.log = self.log
+        self.log.flush_listener = self.group_commit.on_flushed
         for name, index in list(self._indexes.items()):
             self._indexes[name] = Index(
                 name,
@@ -999,18 +1180,19 @@ class Database(RecoveryTarget):
 
 
 class _TransactionContext:
-    """``with db.transaction() as txn`` — commit or abort automatically."""
+    """``with db.transaction() as txn`` — commit or abort automatically.
 
-    __slots__ = ("_db", "_policy", "_isolation", "_txn")
+    A thin adapter over a :class:`~repro.core.session.Session`, so the
+    three entry points share one code path."""
 
-    def __init__(self, db, policy, isolation):
-        self._db = db
-        self._policy = policy
-        self._isolation = isolation
+    __slots__ = ("_session", "_txn")
+
+    def __init__(self, session):
+        self._session = session
         self._txn = None
 
     def __enter__(self):
-        self._txn = self._db.begin(policy=self._policy, isolation=self._isolation)
+        self._txn = self._session.begin()
         return self._txn
 
     def __exit__(self, exc_type, exc, tb):
@@ -1020,7 +1202,7 @@ class _TransactionContext:
             # already resolved (e.g. aborted as a deadlock victim)
             return False
         if exc_type is None:
-            self._db.commit(self._txn)
+            self._session.commit()
         else:
-            self._db.abort(self._txn)
+            self._session.rollback()
         return False

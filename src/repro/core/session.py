@@ -49,7 +49,9 @@ class Session:
         """Start an explicit transaction (error if one is open)."""
         if self.in_transaction():
             raise TransactionStateError("session already has an open transaction")
-        self._txn = self._db.begin(policy=self.policy, isolation=self.isolation)
+        self._txn = self._db._begin_txn(
+            policy=self.policy, isolation=self.isolation
+        )
         return self._txn
 
     def commit(self):
@@ -121,7 +123,7 @@ class Session:
     def _run(self, fn):
         if self.in_transaction():
             return fn(self._txn)
-        txn = self._db.begin(policy=self.policy, isolation=self.isolation)
+        txn = self._db._begin_txn(policy=self.policy, isolation=self.isolation)
         try:
             result = fn(txn)
             self._db.commit(txn)

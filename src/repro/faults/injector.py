@@ -59,6 +59,13 @@ FAULT_SITES = {
         "description": "log flush makes all but the final record durable, "
         "then fails — a torn write at the tail",
     },
+    "wal.group_flush": {
+        "action": "raise",
+        "description": "the batched group-commit flush fails before any "
+        "member's COMMIT record reaches the device; when retraction is "
+        "sound the whole group rolls back and members see a retryable "
+        "FaultInjected, otherwise the failure escalates to a crash",
+    },
     "lock.delay": {
         "action": "delay",
         "description": "an immediately-grantable lock request is forced to "

@@ -83,6 +83,15 @@ EVENT_TYPES = {
             "records": "records made durable by this flush",
         },
     },
+    "group_commit": {
+        "category": "wal",
+        "fields": {
+            "members": "committed transactions made durable together",
+            "flushed_lsn": "durable prefix boundary after the group flush",
+            "leader": "txn id of the flush leader (None when an external "
+            "flush, e.g. a checkpoint, settled the group)",
+        },
+    },
     # ------------------------------------------------------------- txn
     "txn_begin": {
         "category": "txn",

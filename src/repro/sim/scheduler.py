@@ -39,13 +39,19 @@ from repro.txn import LockPolicy, WouldWait
 class CostModel:
     """Simulated ticks charged per operation (on the session's timeline)."""
 
-    def __init__(self, read=1, write=2, scan_row=1, commit=5, begin=1, abort=3):
+    def __init__(self, read=1, write=2, scan_row=1, commit=5, begin=1, abort=3,
+                 flush=0):
         self.read = read
         self.write = write
         self.scan_row = scan_row
         self.commit = commit
         self.begin = begin
         self.abort = abort
+        # Ticks charged to the session that performs a WAL flush at its
+        # commit: every committer without group commit, only the group's
+        # flush leader with it. The default 0 keeps historical benchmark
+        # timings; bench_r16 sets it to expose the batching win.
+        self.flush = flush
 
     def cost_of(self, op, result=None):
         kind = op[0]
@@ -78,6 +84,7 @@ class _Session:
         "isolation",
         "arrival",
         "_request",
+        "_ticket",
     )
 
     def __init__(self, session_id, program_factory, txns, retries, isolation):
@@ -87,13 +94,15 @@ class _Session:
         self.generator = None
         self.txn = None
         self.pending_op = None
-        self.state = "runnable"  # runnable | waiting | committing | done
+        # runnable | waiting | committing | durable_wait | done
+        self.state = "runnable"
         self.ready_at = 0
         self.wait_started = None
         self.retries_left = retries
         self.isolation = isolation
         self.arrival = None  # set in open-system mode
         self._request = None
+        self._ticket = None  # CommitTicket while parked in durable_wait
 
 
 class SimResult:
@@ -146,6 +155,7 @@ class Scheduler:
         self._custom_executor = custom_executor
         self._sessions = []
         self._waiters = {}  # txn_id -> session
+        self._durable_waiters = []  # sessions blocked on a commit group
         self._last_completion = 0
 
     def add_session(self, program_factory, txns=1, isolation=None):
@@ -178,12 +188,18 @@ class Scheduler:
         while True:
             self._wake_ready(result)
             runnable = [s for s in self._sessions if s.state == "runnable"]
-            if self._fire_lock_deadlines(runnable):
+            if self._fire_deadlines(runnable):
                 stall_guard = 0
                 continue
             if not runnable:
                 if all(s.state == "done" for s in self._sessions):
                     break
+                if self._durable_waiters and db.flush_group_commit():
+                    # Quiescence with a partial commit group open (e.g.
+                    # the size bound will never fill): force it out so
+                    # the blocked committers resolve.
+                    stall_guard = 0
+                    continue
                 stall_guard += 1
                 if stall_guard > len(self._sessions) + 2:
                     raise RuntimeError(
@@ -247,7 +263,7 @@ class Scheduler:
             next_runnable = min(
                 (s.ready_at for s in runnable), default=None
             )
-            if self._fire_lock_deadlines(
+            if self._fire_deadlines(
                 runnable,
                 horizon=arrivals[next_arrival]
                 if next_arrival < len(arrivals) else None,
@@ -274,6 +290,9 @@ class Scheduler:
                     next_arrival >= len(arrivals)
                 ):
                     break
+                if self._durable_waiters and db.flush_group_commit():
+                    stall_guard = 0
+                    continue
                 stall_guard += 1
                 if stall_guard > len(self._sessions) + 2:
                     raise RuntimeError("open-system scheduler stall")
@@ -293,23 +312,32 @@ class Scheduler:
 
     # ------------------------------------------------------------------
 
-    def _fire_lock_deadlines(self, runnable, horizon=None):
-        """Treat the earliest pending lock deadline (wait timeout or
-        injected grant delay) as a discrete event: if it precedes every
-        runnable session (and ``horizon``, when given), advance the clock
-        to it and let the lock manager resolve whatever expired. Returns
-        True when it fired (the caller restarts its loop)."""
+    def _fire_deadlines(self, runnable, horizon=None):
+        """Treat the earliest pending deadline — a lock wait timeout, an
+        injected grant delay, or a latency-bound commit group's flush
+        deadline — as a discrete event: if it precedes every runnable
+        session (and ``horizon``, when given), advance the clock to it
+        and let the owning component resolve whatever expired. Returns
+        True when one fired (the caller restarts its loop)."""
         db = self._db
-        deadline = db.locks.next_deadline()
-        if deadline is None:
+        lock_deadline = db.locks.next_deadline()
+        group_deadline = db.group_commit_deadline()
+        deadlines = [
+            d for d in (lock_deadline, group_deadline) if d is not None
+        ]
+        if not deadlines:
             return False
+        deadline = min(deadlines)
         next_runnable = min((s.ready_at for s in runnable), default=None)
         if next_runnable is not None and next_runnable <= deadline:
             return False
         if horizon is not None and horizon <= deadline:
             return False
         db.clock.advance_to(deadline)
-        db.locks.poll(db.clock.now())
+        if lock_deadline is not None and lock_deadline <= deadline:
+            db.locks.poll(db.clock.now())
+        if group_deadline is not None and group_deadline <= deadline:
+            db.poll_group_commit()
         return True
 
     def _wake_ready(self, result):
@@ -332,6 +360,41 @@ class Scheduler:
                     result.wait_time.observe(waited)
                     self._db.metrics.observe_lock_wait(waited)
                     session.wait_started = None
+        if self._durable_waiters:
+            self._resolve_durable_waiters(result)
+
+    def _resolve_durable_waiters(self, result):
+        """Sessions parked in ``durable_wait`` block on their commit
+        group's flush, not on the lock table. A durable ticket completes
+        the program (the commit was already visible); a retracted or lost
+        ticket means recovery rolled the member back, so the program
+        retries like any aborted transaction."""
+        still_waiting = []
+        for session in self._durable_waiters:
+            ticket = session._ticket
+            if ticket.state == "pending":
+                still_waiting.append(session)
+                continue
+            session._ticket = None
+            resume = (
+                ticket.resolved_at if ticket.resolved_at is not None
+                else self._last_completion
+            )
+            session.ready_at = max(session.ready_at, resume)
+            session.state = "runnable"
+            if ticket.state == "durable":
+                result.committed += 1
+                if session.arrival is not None:
+                    result.response_time.observe(
+                        session.ready_at - session.arrival
+                    )
+                self._finish_program(session, success=True)
+            else:  # retracted (group flush fault) or lost (crash)
+                self._db.abort(session.txn, reason="group flush")
+                self._charge(session, self._costs.abort)
+                result.aborted.incr("group_flush")
+                self._finish_program(session, success=False, result=result)
+        self._durable_waiters = still_waiting
 
     def _charge(self, session, ticks):
         session.ready_at += ticks
@@ -344,7 +407,7 @@ class Scheduler:
                 session.state = "done"
                 return
             session.generator = session.program_factory()
-            session.txn = db.begin(
+            session.txn = db._begin_txn(
                 policy=LockPolicy.COOPERATIVE, isolation=session.isolation
             )
             session.pending_op = None
@@ -364,6 +427,19 @@ class Scheduler:
             if session.state == "committing":
                 db.commit(session.txn)
                 self._charge(session, self._costs.commit)
+                ticket = session.txn.commit_ticket
+                if ticket is None:
+                    # No group commit: the commit flushed inline.
+                    self._charge(session, self._costs.flush)
+                elif ticket.state == "pending":
+                    # Commit-visible; durability pends on the group flush.
+                    session.state = "durable_wait"
+                    session._ticket = ticket
+                    self._durable_waiters.append(session)
+                    return
+                elif ticket.leader and ticket.state == "durable":
+                    # This committer filled the group and led its flush.
+                    self._charge(session, self._costs.flush)
                 result.committed += 1
                 if session.arrival is not None:
                     result.response_time.observe(session.ready_at - session.arrival)

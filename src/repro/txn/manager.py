@@ -2,10 +2,21 @@
 
 Commit protocol (WAL rule enforced here):
 
-1. append COMMIT record, flush the log — the transaction is now durable;
+1. append COMMIT record; without group commit, flush the log — the
+   transaction is now durable;
 2. fold escrow deltas into their rows and stamp MVCC versions (via the
    registered commit listener — the Database);
 3. release all locks, append END.
+
+With group commit enabled the flush in step 1 is skipped: the commit
+point is the COMMIT-record *append* (early lock release — steps 2–3 run
+immediately), and the transaction then enrolls on the open commit group.
+It is *commit-visible* from here but *durable* only once the group's
+batched flush covers its COMMIT record; ``Database.ensure_durable``
+blocks on that. If the group flush fails before durability the whole
+group is retracted (rolled back, retryable) or, when other transactions
+already depend on the group's writes in ways rollback cannot reach, the
+failure escalates to a simulated crash.
 
 Abort protocol (online rollback):
 
@@ -55,6 +66,7 @@ class TransactionManager:
         self._next_txn_id = 1
         self._active = {}
         self.commit_listener = None  # set by the Database
+        self.group_commit = None  # GroupCommitCoordinator, set by the Database
         self.committed_count = 0
         self.aborted_count = 0
         self.tracer = tracer
@@ -106,23 +118,31 @@ class TransactionManager:
                                     committed=False)
         commit_ts = self._clock.tick()
         txn.commit_ts = commit_ts
-        self._log.append(CommitRecord(txn.txn_id, commit_ts))
-        try:
-            self._log.flush()
-        except FaultInjected as fault:
-            # The COMMIT record is in the append stream but the flush
-            # failed. Online abort is unsound from here: if any prefix
-            # containing the COMMIT record later becomes durable,
-            # recovery declares the transaction a winner, so compensating
-            # it online would corrupt the redo history. Real engines halt
-            # on a log-device failure at the commit point; we escalate to
-            # a simulated crash the harness must recover from.
-            raise SimulatedCrash(fault.site, committed=False) from fault
-        if self.faults.active:
-            # Crash on the far side: COMMIT is flushed, so recovery must
-            # replay the transaction's effects (durability oracle).
-            self.faults.maybe_crash("txn.commit.after", txn_id=txn.txn_id,
-                                    committed=True)
+        commit_lsn = self._log.append(CommitRecord(txn.txn_id, commit_ts))
+        group = self.group_commit
+        grouped = group is not None and group.enabled
+        if not grouped:
+            try:
+                self._log.flush()
+            except FaultInjected as fault:
+                # The COMMIT record is in the append stream but the flush
+                # failed. Online abort is unsound from here: if any prefix
+                # containing the COMMIT record later becomes durable,
+                # recovery declares the transaction a winner, so
+                # compensating it online would corrupt the redo history.
+                # Real engines halt on a log-device failure at the commit
+                # point; we escalate to a simulated crash the harness must
+                # recover from. (Group commit recovers less drastically:
+                # it retracts the group via a bounded log truncation when
+                # nothing outside the group is in the unflushed suffix.)
+                raise SimulatedCrash(fault.site, committed=False) from fault
+            if self.faults.active:
+                # Crash on the far side: COMMIT is flushed, so recovery
+                # must replay the transaction's effects (durability
+                # oracle). With grouping on, the coordinator evaluates
+                # this site after the batched flush instead.
+                self.faults.maybe_crash("txn.commit.after",
+                                        txn_id=txn.txn_id, committed=True)
         # Fold escrow deltas into rows and stamp versions. The listener is
         # the Database; it needs the commit timestamp for version stamps.
         if self.commit_listener is not None:
@@ -150,6 +170,19 @@ class TransactionManager:
                 latency=latency, log_bytes=txn.stats.log_bytes,
                 actions=txn.stats.actions,
             )
+        if grouped:
+            # Enroll only after the END record landed and the active-table
+            # entry is gone: the retraction guard ("nothing but group
+            # members in the unflushed suffix, no active transactions")
+            # must see this transaction as fully quiesced. Under the size
+            # policy this enrolment may flush the group inline — which may
+            # retract it, including this very transaction.
+            end_lsn = self._log.last_lsn_of(txn.txn_id)
+            ticket = group.enroll(txn, commit_lsn, end_lsn)
+            if ticket.state == ticket.RETRACTED:
+                raise FaultInjected(
+                    ticket.reason or "wal.group_flush", txn.txn_id
+                )
         return commit_ts
 
     def abort(self, txn, reason="user"):

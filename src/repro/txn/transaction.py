@@ -60,6 +60,7 @@ class Transaction:
         "escrow_touched",
         "scratch",
         "stats",
+        "commit_ticket",
         "_lock_manager",
     )
 
@@ -77,6 +78,7 @@ class Transaction:
         self.escrow_touched = {}  # resource -> EscrowAccount
         self.scratch = {}  # per-txn scratch space (commit-time delta folding)
         self.stats = TxnStats()
+        self.commit_ticket = None  # CommitTicket once enrolled (group commit)
         self._lock_manager = lock_manager
 
     def __repr__(self):

@@ -42,6 +42,12 @@ class ViewDefinition:
         self.key_columns = tuple(key_columns)
         self.columns = tuple(columns)
         self.where = where
+        # Registration flags, normalized by Database.create_view: every
+        # view index is keyed uniquely by construction (``unique``), and
+        # ``deferred`` routes this view's maintenance through the
+        # deferred maintainer regardless of the global maintenance_mode.
+        self.unique = True
+        self.deferred = False
         missing = [c for c in self.key_columns if c not in self.columns]
         if missing:
             raise CatalogError(

@@ -52,7 +52,11 @@ class MaintenanceEngine:
         """
         actions = []
         for view in self._catalog.views_on(table):
-            if db.config.maintenance_mode == "deferred" and self.deferred is not None:
+            deferred = (
+                db.config.maintenance_mode == "deferred"
+                or getattr(view, "deferred", False)
+            )
+            if deferred and self.deferred is not None:
                 self.deferred.enqueue(view, table, op, before, after)
                 continue
             actions.extend(

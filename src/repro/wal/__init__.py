@@ -7,6 +7,7 @@ from repro.wal.analysis import (
     summarize,
     txn_footprint,
 )
+from repro.wal.group_commit import CommitTicket, GroupCommitCoordinator
 from repro.wal.log import LogManager
 from repro.wal.records import (
     AbortRecord,
@@ -40,11 +41,13 @@ __all__ = [
     "CheckpointRecord",
     "CleanupRecord",
     "CommitRecord",
+    "CommitTicket",
     "CompensationRecord",
     "DeleteRecord",
     "EndRecord",
     "EscrowDeltaRecord",
     "GhostRecord",
+    "GroupCommitCoordinator",
     "InsertRecord",
     "LogManager",
     "LogRecord",

@@ -6,16 +6,20 @@ unflushed suffix. The log lives in memory as record objects; it can also
 be serialized to / replayed from a JSON-lines file for durability tests.
 
 Flushing policy: :meth:`LogManager.flush` advances ``flushed_lsn`` to the
-log tail. The engine forces a flush inside commit (WAL commit rule). A
-simulated crash (:meth:`LogManager.crash`) truncates everything beyond the
-flushed prefix — exactly what a real power failure does to an OS page
-cache.
+log tail. Without group commit the engine forces a flush inside every
+commit (WAL commit rule); with group commit on, the
+:class:`~repro.wal.group_commit.GroupCommitCoordinator` batches many
+commits behind one flush and observes durability progress through the
+``flush_listener`` hook. A simulated crash (:meth:`LogManager.crash`)
+truncates everything beyond the flushed prefix — exactly what a real
+power failure does to an OS page cache.
 """
 
 import json
 
 from repro.common import FaultInjected, WalError
 from repro.faults import NULL_INJECTOR
+from repro.metrics import Histogram
 from repro.obs.tracer import NULL_TRACER
 from repro.wal.records import CheckpointRecord, LogRecord
 
@@ -30,9 +34,14 @@ class LogManager:
         self._txn_bytes = {}  # txn_id -> estimated bytes appended
         self.flushed_lsn = 0
         self.flush_count = 0
+        self.flush_records = Histogram()  # records made durable per flush
         self.bytes_estimate = 0
         self.tracer = tracer
         self.faults = faults if faults is not None else NULL_INJECTOR
+        #: called with the new ``flushed_lsn`` after every advance; the
+        #: group-commit coordinator hangs off this to settle tickets even
+        #: when the flush was triggered elsewhere (checkpoint, dump).
+        self.flush_listener = None
 
     def __len__(self):
         return len(self._records)
@@ -114,26 +123,27 @@ class LogManager:
         if target > self.flushed_lsn and self.faults.active:
             if self.faults.fires("wal.torn_tail") is not None:
                 # Torn write: everything but the final record lands.
-                torn = target - 1
-                if torn > self.flushed_lsn:
-                    advanced = torn - self.flushed_lsn
-                    self.flushed_lsn = torn
-                    self.flush_count += 1
-                    if self.tracer.enabled:
-                        self.tracer.emit(
-                            "wal_flush", flushed_lsn=torn, records=advanced
-                        )
+                self._advance_flushed(target - 1)
                 raise FaultInjected("wal.torn_tail")
             if self.faults.fires("wal.flush") is not None:
                 raise FaultInjected("wal.flush")
-        if target > self.flushed_lsn:
-            advanced = target - self.flushed_lsn
-            self.flushed_lsn = target
-            self.flush_count += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    "wal_flush", flushed_lsn=target, records=advanced
-                )
+        self._advance_flushed(target)
+
+    def _advance_flushed(self, target):
+        """Advance the durable boundary, record the batch size, and notify
+        the flush listener (group-commit settling)."""
+        if target <= self.flushed_lsn:
+            return
+        advanced = target - self.flushed_lsn
+        self.flushed_lsn = target
+        self.flush_count += 1
+        self.flush_records.observe(advanced)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wal_flush", flushed_lsn=target, records=advanced
+            )
+        if self.flush_listener is not None:
+            self.flush_listener(target)
 
     def crash(self):
         """Discard the unflushed suffix, as a power failure would.

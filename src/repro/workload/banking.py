@@ -66,6 +66,11 @@ class BankingWorkload:
                 )
                 aid += 1
         db.commit(txn)
+        # Reference data must survive anything the workload throws at the
+        # engine later: force it out of any open commit group now, before
+        # a caller arms fault sites (a retracted/lost setup transaction
+        # has no retry loop — the money would just vanish).
+        db.flush_group_commit()
         return self
 
     def total_money_expected(self):

@@ -90,6 +90,10 @@ class OrderEntryWorkload:
                     AggregateSpec.sum_of("revenue", "amount"),
                 ],
             )
+        # Seed/reference data must not sit in an open commit group when
+        # the caller starts injecting faults: a retracted setup
+        # transaction has no retry loop.
+        self.db.flush_group_commit()
         return self
 
     def preload_sales(self, count):
@@ -98,6 +102,7 @@ class OrderEntryWorkload:
         for _ in range(count):
             self._insert_sale(txn)
         self.db.commit(txn)
+        self.db.flush_group_commit()
         return self
 
     def seed_groups(self):
@@ -123,6 +128,7 @@ class OrderEntryWorkload:
             )
             self._live_sales.append((sale_id, product))
         self.db.commit(txn)
+        self.db.flush_group_commit()
         return self
 
     # ------------------------------------------------------------------
