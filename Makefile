@@ -1,10 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test bench bench-smoke bench-r16 chaos-smoke check-results
+.PHONY: test bench bench-smoke bench-r16 chaos-smoke check-results \
+	lint sanitize-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The custom AST lint gate: event discipline, determinism,
+# error-hierarchy, bare-except, and the repro.api import surface.
+# See docs/ANALYSIS.md for the rule catalogue.
+lint:
+	$(PYTHON) -m repro.analysis.lint src benchmarks examples
+
+# The protocol sanitizers (2PL / WAL rule / conflict serializability)
+# against the live engine, plus negative controls proving they can fail.
+sanitize-smoke:
+	$(PYTHON) benchmarks/sanitize_smoke.py
+	$(PYTHON) benchmarks/check_results.py
 
 bench:
 	$(PYTHON) benchmarks/run_all.py

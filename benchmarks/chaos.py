@@ -17,6 +17,12 @@ After every phase the **consistency oracle** runs:
   (``BankingWorkload.check_conservation``), across any mix of commits,
   aborts, retries, and crash/recovery cycles.
 
+Every schedule also runs with the ``repro.analysis`` protocol
+sanitizers attached (``EngineConfig(sanitizers=True)``): 2PL, the WAL
+rule, and conflict serializability are checked over the live trace
+stream, and the suite records a ``sanitizers`` verdict block in
+``results/chaos.json`` (see ``docs/ANALYSIS.md``).
+
 Two companion demonstrations make the harness's verdict meaningful:
 
 * :func:`broken_injector_demo` arms the deliberately unsound
@@ -32,7 +38,6 @@ Run:  python benchmarks/chaos.py           (full: 50 schedules)
 """
 
 import pathlib
-import random
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
@@ -41,6 +46,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 from repro.api import (
     BankingWorkload,
     Database,
+    DeterministicRng,
     EngineConfig,
     FaultInjected,
     FaultInjector,
@@ -73,7 +79,7 @@ TXNS_PER_SESSION = 3
 
 def run_one_seed(seed):
     """One chaos schedule. Returns a result dict; ``ok`` is the oracle."""
-    rng = random.Random(seed)
+    rng = DeterministicRng(seed)
     group = rng.choice([None, None, ("size", 4), ("latency", 12)])
     config = EngineConfig(
         aggregate_strategy=rng.choice(["escrow", "escrow", "xlock"]),
@@ -82,6 +88,7 @@ def run_one_seed(seed):
         group_commit=group[0] if group else None,
         group_commit_size=group[1] if group and group[0] == "size" else 8,
         group_commit_latency=group[1] if group and group[0] == "latency" else 16,
+        sanitizers=True,
     )
     db = Database(config)
     bank = BankingWorkload(
@@ -140,10 +147,19 @@ def run_one_seed(seed):
             bank.check_conservation()
         except AssertionError as exc:
             problems.append(str(exc))
+    # ---- the protocol sanitizers (2PL / WAL rule / serializability);
+    # drain any open commit group first so durability is settled, then
+    # hold the run to the quiescence bar too ----
+    injector.disarm()
+    db.flush_group_commit()
+    sanitizer_violations = [
+        str(v) for v in db.sanitizers.check(assume_quiescent=True)
+    ]
     return {
         "seed": seed,
-        "ok": not problems,
+        "ok": not problems and not sanitizer_violations,
         "problems": problems,
+        "sanitizer_violations": sanitizer_violations,
         "armed": injector.armed_sites(),
         "fired": sum(injector.fired.values()),
         "crashes": crashes,
@@ -263,10 +279,21 @@ def run_suite(n_seeds, name="chaos"):
 
     total_fired = sum(r["fired"] for r in results)
     total_crashes = sum(r["crashes"] for r in results)
+    sanitizer_total = sum(len(r["sanitizer_violations"]) for r in results)
+    sanitizers_block = {
+        "enabled": True,
+        "schedules": len(results),
+        "violations": sanitizer_total,
+        "ok": sanitizer_total == 0,
+        "examples": [
+            v for r in results for v in r["sanitizer_violations"]
+        ][:5],
+    }
     headers = ["metric", "value"]
     rows = [
         ["schedules run", len(results)],
         ["oracle violations", len(violations)],
+        ["sanitizer violations", sanitizer_total],
         ["faults fired", total_fired],
         ["crashes recovered", total_crashes],
         ["transactions committed", sum(r["committed"] for r in results)],
@@ -282,6 +309,8 @@ def run_suite(n_seeds, name="chaos"):
     checks = [
         ("every seeded schedule passes the consistency oracle",
          not violations),
+        ("protocol sanitizers (2PL/WAL/serializability) clean on every "
+         "schedule", sanitizer_total == 0),
         ("fault schedules actually fired faults", total_fired > 0),
         ("at least one schedule crashed and recovered", total_crashes > 0),
         ("lock timeouts and deadlocks were exercised",
@@ -321,10 +350,12 @@ def run_suite(n_seeds, name="chaos"):
             "crashes_per_seed": {r["seed"]: r["crashes"] for r in results},
         },
         claim=the_claim,
+        sanitizers=sanitizers_block,
     )
     if violations:
         for v in violations[:5]:
-            print(f"  seed {v['seed']}: {v['problems'][:2]}")
+            print(f"  seed {v['seed']}: "
+                  f"{(v['problems'] + v['sanitizer_violations'])[:2]}")
         raise SystemExit(f"{len(violations)} chaos schedule(s) violated the oracle")
     assert the_claim["verdict"] == "pass", [
         c for c in the_claim["checks"] if not c["ok"]

@@ -103,34 +103,16 @@ def check_event_catalogue(doc_path=OBSERVABILITY_DOC):
     return problems
 
 
-#: directories whose code must import only the supported facade
-API_CLIENT_DIRS = ("examples", "benchmarks")
-
-#: a deep import: ``from repro.<something> import`` / ``import repro.<x>``
-#: where <something> is not the facade itself.
-DEEP_IMPORT = re.compile(r"^\s*(?:from|import)\s+repro\.(?!api\b)")
-
-
 def check_import_surface(root=None):
     """``examples/`` and ``benchmarks/`` may import ``repro`` or
     ``repro.api`` only — deep module paths are not a supported surface.
-    Returns a list of problem strings, one per offending line.
+    The rule itself lives in the lint gate (``repro.analysis.lint``,
+    the single source of truth); this wrapper adapts its findings to
+    problem strings for :func:`main`.
     """
-    if root is None:
-        root = pathlib.Path(__file__).resolve().parent.parent
-    problems = []
-    for dirname in API_CLIENT_DIRS:
-        for path in sorted(pathlib.Path(root, dirname).rglob("*.py")):
-            if "__pycache__" in path.parts or "results" in path.parts:
-                continue
-            for lineno, line in enumerate(path.read_text().splitlines(), 1):
-                if DEEP_IMPORT.match(line):
-                    rel = path.relative_to(root)
-                    problems.append(
-                        f"{rel}:{lineno}: deep import {line.strip()!r} — "
-                        "use `from repro.api import ...`"
-                    )
-    return problems
+    from repro.api import check_import_surface as lint_import_surface
+
+    return [str(finding) for finding in lint_import_surface(root)]
 
 
 def main(argv):

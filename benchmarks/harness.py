@@ -77,7 +77,7 @@ def claim(description, checks):
 
 
 def emit(name, headers, rows, title, params=None, series=None, claim=None,
-         db=None, results_dir=None):
+         db=None, results_dir=None, sanitizers=None):
     """Print the experiment table; save ``<name>.txt`` and ``<name>.json``.
 
     The JSON document follows :mod:`repro.obs.schema` (validated before
@@ -89,7 +89,9 @@ def emit(name, headers, rows, title, params=None, series=None, claim=None,
     * ``claim`` — the qualitative-claim verdict from :func:`claim`
       (``"not-evaluated"`` when the benchmark does not self-judge);
     * ``counters`` / ``lock_stats`` — engine totals from ``db``, when the
-      experiment ran over a single database.
+      experiment ran over a single database;
+    * ``sanitizers`` — optional protocol-sanitizer verdict block, for
+      harnesses that ran the ``repro.analysis`` suite.
     """
     table = format_table(headers, rows, title=title)
     print("\n" + table)
@@ -108,6 +110,8 @@ def emit(name, headers, rows, title, params=None, series=None, claim=None,
         "counters": db.counters.as_dict() if db is not None else {},
         "lock_stats": db.locks.stats.as_dict() if db is not None else {},
     }
+    if sanitizers is not None:
+        doc["sanitizers"] = sanitizers
     problems = validate_result(doc, label=name)
     assert not problems, f"benchmark emitted invalid result JSON: {problems}"
     (results_dir / f"{name}.json").write_text(

@@ -37,6 +37,7 @@ BENCHES = [
     ("bench_r15_response_time", "scenario"),
     ("bench_r16_group_commit", "scenario"),
     ("chaos", "scenario"),
+    ("sanitize_smoke", "scenario"),
 ]
 
 
@@ -65,6 +66,17 @@ def main():
             print(f"  FAIL {problem}")
         raise SystemExit(1)
     print(f"  {checked} result JSON file(s) schema-valid")
+    from repro.api import lint_paths
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    findings = lint_paths(
+        [repo / "src", repo / "benchmarks", repo / "examples"]
+    )
+    if findings:
+        for finding in findings:
+            print(f"  FAIL {finding}")
+        raise SystemExit(1)
+    print("  lint gate clean (python -m repro.analysis.lint)")
 
 
 if __name__ == "__main__":

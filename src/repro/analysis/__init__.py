@@ -1,0 +1,33 @@
+"""Protocol sanitizers and the repo lint gate.
+
+Two halves:
+
+* **Dynamic sanitizers** (:class:`SanitizerSuite`) consume the
+  :mod:`repro.obs` trace stream — live, via
+  ``EngineConfig(sanitizers=True)``, or post hoc over a recorded trace
+  with :func:`check_trace` — and verify the protocol invariants the
+  paper's correctness argument rests on: two-phase locking, the WAL
+  rule, and conflict serializability of the committed history.
+* **A static lint pass** (:mod:`repro.analysis.lint`, runnable as
+  ``python -m repro.analysis.lint``) enforcing repo-specific rules:
+  event-catalogue integrity, determinism (no ambient randomness or wall
+  time), the ``repro.common.errors`` exception hierarchy, no bare
+  ``except:``, and the ``repro.api`` facade for client code.
+
+See ``docs/ANALYSIS.md`` for the full catalogue of rules and invariants.
+"""
+
+from repro.analysis.base import SanitizerSuite, Violation, check_trace
+from repro.analysis.serializability import History, SerializabilitySanitizer
+from repro.analysis.twopl import TwoPhaseLockingSanitizer
+from repro.analysis.walrule import WalRuleSanitizer
+
+__all__ = [
+    "History",
+    "SanitizerSuite",
+    "SerializabilitySanitizer",
+    "TwoPhaseLockingSanitizer",
+    "Violation",
+    "WalRuleSanitizer",
+    "check_trace",
+]

@@ -1,0 +1,418 @@
+"""The repo lint gate: AST rules the engine's conventions depend on.
+
+Run as ``python -m repro.analysis.lint src benchmarks examples`` (exit
+status 1 on any finding), via ``make lint``, or programmatically through
+:func:`lint_paths`. Rules (see ``docs/ANALYSIS.md``):
+
+* **unknown-event** — every ``<expr>.emit("name", ...)`` literal in
+  engine code must be registered in ``repro.obs.events.EVENT_TYPES``.
+* **dead-event** — every catalogue entry must be emitted somewhere
+  (checked only when the scan covers ``repro/obs/events.py``).
+* **determinism** — no ``random`` imports, ``time.time``/``time_ns``,
+  or ``datetime.now/utcnow/today`` outside ``repro/common/rng.py`` and
+  ``repro/faults/``; the engine draws randomness from
+  ``DeterministicRng`` and time from the logical clock.
+* **error-hierarchy** — engine code raises only the
+  ``repro.common.errors`` classes (plus ``NotImplementedError`` stubs
+  and data-model exceptions inside dunder methods).
+* **bare-except** — no ``except:`` anywhere.
+* **import-surface** — ``examples/`` and ``benchmarks/`` import only
+  the ``repro.api`` facade, never engine internals.
+"""
+
+import ast
+import builtins
+import pathlib
+
+RULES = (
+    "unknown-event",
+    "dead-event",
+    "determinism",
+    "error-hierarchy",
+    "bare-except",
+    "import-surface",
+)
+
+#: builtin exception class names (to distinguish ``raise SomeBuiltin``
+#: from re-raising a local variable).
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+#: builtins engine code may raise: abstract-method stubs, generator
+#: protocol, and process exit from ``__main__``-style entry points.
+_ALLOWED_BUILTINS = frozenset(
+    {"NotImplementedError", "StopIteration", "SystemExit"}
+)
+
+_SKIP_DIRS = frozenset({"__pycache__", "results", ".git"})
+
+
+class Finding:
+    """One lint finding."""
+
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def __repr__(self):
+        return f"Finding({self})"
+
+
+def _allowed_error_names():
+    """Exception classes exported by ``repro.common.errors``, resolved
+    dynamically so new hierarchy members are allowed automatically."""
+    import repro.common.errors as errors_mod
+
+    return frozenset(
+        name
+        for name in dir(errors_mod)
+        if isinstance(getattr(errors_mod, name), type)
+        and issubclass(getattr(errors_mod, name), BaseException)
+    )
+
+
+def _event_registry():
+    import repro.obs.events as events_mod
+
+    return events_mod.EVENT_TYPES
+
+
+# ---------------------------------------------------------------------
+# file classification
+# ---------------------------------------------------------------------
+
+
+def _rel_to_repro(path):
+    """Path parts below the last ``repro`` package dir, or ``None``."""
+    parts = path.parts
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    return parts[idx + 1:]
+
+
+def is_engine_file(path):
+    return _rel_to_repro(path) is not None
+
+
+def is_client_file(path):
+    return any(part in ("examples", "benchmarks") for part in path.parts)
+
+
+def _determinism_exempt(path):
+    rel = _rel_to_repro(path)
+    if rel is None:
+        return False
+    return rel[:1] == ("faults",) or rel == ("common", "rng.py")
+
+
+def iter_python_files(paths):
+    for root in paths:
+        root = pathlib.Path(root)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            yield path
+
+
+# ---------------------------------------------------------------------
+# the per-file visitor
+# ---------------------------------------------------------------------
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path, rules, allowed_errors):
+        self.path = path
+        self.rules = rules
+        self.allowed_errors = allowed_errors
+        self.engine = is_engine_file(path)
+        self.client = is_client_file(path)
+        self.check_determinism = (
+            "determinism" in rules and not _determinism_exempt(path)
+        )
+        self.findings = []
+        self.emitted = []  # (name, line) literals seen in .emit() calls
+        self._func_stack = []
+
+    def flag(self, node, rule, message):
+        self.findings.append(Finding(self.path, node.lineno, rule, message))
+
+    # ------------------------------------------------------------ defs
+    def visit_FunctionDef(self, node):
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _in_dunder(self):
+        return any(
+            name.startswith("__") and name.endswith("__")
+            for name in self._func_stack
+        )
+
+    # --------------------------------------------------------- imports
+    def visit_Import(self, node):
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            if self.check_determinism and top == "random":
+                self.flag(
+                    node,
+                    "determinism",
+                    "import of ambient `random` (use "
+                    "repro.common.DeterministicRng)",
+                )
+            self._check_surface(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        module = node.module or ""
+        if self.check_determinism:
+            if node.level == 0 and module.split(".")[0] == "random":
+                self.flag(
+                    node,
+                    "determinism",
+                    "import from ambient `random` (use "
+                    "repro.common.DeterministicRng)",
+                )
+            if node.level == 0 and module == "time":
+                for alias in node.names:
+                    if alias.name in ("time", "time_ns"):
+                        self.flag(
+                            node,
+                            "determinism",
+                            "import of wall-clock `time.time` (use the "
+                            "logical clock)",
+                        )
+        if node.level == 0:
+            self._check_surface(node, module)
+        self.generic_visit(node)
+
+    def _check_surface(self, node, module):
+        if "import-surface" not in self.rules or not self.client:
+            return
+        if module.startswith("repro."):
+            if module != "repro.api" and not module.startswith("repro.api."):
+                self.flag(
+                    node,
+                    "import-surface",
+                    f"client code must import the repro.api facade, "
+                    f"not {module}",
+                )
+
+    # ----------------------------------------------------------- calls
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (
+                func.attr == "emit"
+                and self.engine
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                self.emitted.append((node.args[0].value, node.lineno))
+            if self.check_determinism:
+                self._check_wallclock_call(node, func)
+        self.generic_visit(node)
+
+    def _check_wallclock_call(self, node, func):
+        base = func.value
+        base_name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if base_name == "time" and func.attr in ("time", "time_ns"):
+            self.flag(
+                node,
+                "determinism",
+                "wall-clock time.time() (use the logical clock)",
+            )
+        if base_name == "datetime" and func.attr in ("now", "utcnow", "today"):
+            self.flag(
+                node,
+                "determinism",
+                f"wall-clock datetime.{func.attr}() (use the logical clock)",
+            )
+
+    # ---------------------------------------------------------- raises
+    def visit_Raise(self, node):
+        if "error-hierarchy" in self.rules and self.engine:
+            self._check_raise(node)
+        self.generic_visit(node)
+
+    def _check_raise(self, node):
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            # Re-raising a caught/stored exception object is fine; only
+            # a class reference to a known builtin is a finding.
+            name = exc.id
+            if name not in _BUILTIN_EXCEPTIONS:
+                return
+        else:
+            return  # attribute/expression raises (e.g. request.deny_error)
+        if name in self.allowed_errors or name in _ALLOWED_BUILTINS:
+            return
+        if name in _BUILTIN_EXCEPTIONS:
+            if self._in_dunder():
+                return  # data-model exceptions demanded by the protocol
+            self.flag(
+                node,
+                "error-hierarchy",
+                f"engine code raises builtin {name}; raise a "
+                f"repro.common.errors class instead",
+            )
+        elif isinstance(exc, ast.Call):
+            self.flag(
+                node,
+                "error-hierarchy",
+                f"engine code raises {name}, which is not part of "
+                f"repro.common.errors",
+            )
+
+    # ------------------------------------------------------ except:
+    def visit_ExceptHandler(self, node):
+        if "bare-except" in self.rules and node.type is None:
+            self.flag(
+                node,
+                "bare-except",
+                "bare `except:` swallows SystemExit/KeyboardInterrupt; "
+                "catch a class",
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------
+
+
+def lint_paths(paths, rules=RULES):
+    """Lint every Python file under ``paths``; returns ``[Finding]``."""
+    rules = frozenset(rules)
+    allowed_errors = (
+        _allowed_error_names() if "error-hierarchy" in rules else frozenset()
+    )
+    findings = []
+    emitted = {}  # event name -> first (path, line)
+    events_file = None
+    for path in iter_python_files(paths):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(path, exc.lineno or 1, "syntax", str(exc.msg))
+            )
+            continue
+        linter = _FileLinter(path, rules, allowed_errors)
+        linter.visit(tree)
+        findings.extend(linter.findings)
+        if linter.engine:
+            for name, line in linter.emitted:
+                emitted.setdefault(name, (path, line))
+            if _rel_to_repro(path) == ("obs", "events.py"):
+                events_file = path
+    if "unknown-event" in rules or "dead-event" in rules:
+        findings.extend(_check_events(rules, emitted, events_file))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    return findings
+
+
+def _check_events(rules, emitted, events_file):
+    registry = _event_registry()
+    findings = []
+    if "unknown-event" in rules:
+        for name, (path, line) in sorted(emitted.items()):
+            if name not in registry:
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "unknown-event",
+                        f"emit of {name!r}, which is not registered in "
+                        f"obs.events.EVENT_TYPES",
+                    )
+                )
+    if "dead-event" in rules and events_file is not None:
+        source_lines = events_file.read_text().splitlines()
+        for name in sorted(registry):
+            if name in emitted:
+                continue
+            line = next(
+                (
+                    i + 1
+                    for i, text in enumerate(source_lines)
+                    if f'"{name}"' in text
+                ),
+                1,
+            )
+            findings.append(
+                Finding(
+                    events_file,
+                    line,
+                    "dead-event",
+                    f"catalogue entry {name!r} is never emitted by the "
+                    f"scanned engine code",
+                )
+            )
+    return findings
+
+
+def check_import_surface(root=None):
+    """The facade gate alone, over ``<root>/examples`` and
+    ``<root>/benchmarks`` (default: this repo). One source of truth —
+    ``benchmarks/check_results.py`` calls this."""
+    if root is None:
+        root = pathlib.Path(__file__).resolve().parents[3]
+    root = pathlib.Path(root)
+    paths = [p for p in (root / "examples", root / "benchmarks") if p.is_dir()]
+    return lint_paths(paths, rules=("import-surface",))
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="repo-specific AST lint rules (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories")
+    parser.add_argument(
+        "--rules",
+        default=",".join(RULES),
+        help="comma-separated subset of rules to run",
+    )
+    args = parser.parse_args(argv)
+    rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    unknown = set(rules) - set(RULES)
+    if unknown:
+        parser.error(f"unknown rules: {sorted(unknown)}")
+    findings = lint_paths(args.paths, rules=rules)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

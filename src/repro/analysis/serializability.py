@@ -1,0 +1,266 @@
+"""Conflict-serializability over the committed history.
+
+A :class:`History` is a sequence of operations — reads, writes, escrow
+deltas, inserts (with their gap), scans (keys plus their gaps) — plus
+commit/abort marks. Two operations conflict when they touch the same
+index and key (or an escalated whole-index lock), come from different
+transactions, and their kinds do not commute:
+
+* ``read``/``read`` commutes; ``escrow``/``escrow`` commutes (increments
+  are the paper's point); two ``insert``\\ s into the same gap commute
+  (distinct keys; uniqueness surfaces at the key lock);
+* everything else conflicts — including ``read`` vs ``insert`` on a gap,
+  which is exactly a phantom edge against a scanned range.
+
+The **precedence graph** has an edge ``Ti -> Tj`` for every conflicting
+pair where ``Ti``'s operation came first and both transactions
+committed. A cycle means the history is not conflict-serializable;
+:meth:`History.check` reports one cycle with the offending transaction
+pair(s) and the conflicting keys.
+
+:class:`SerializabilitySanitizer` builds the history from the lock
+event stream: granted key/range locks classify into the kinds above
+(X -> write, E -> escrow, S/U -> read; gap components S -> gap read,
+I -> gap insert, X -> gap write), escalated table locks become
+whole-index claims, and intention locks are ignored. Aborted (or
+retracted/crash-lost) transactions are excised — their effects were
+undone, so they impose no order.
+"""
+
+from repro.analysis.base import Sanitizer, Violation, _freeze
+from repro.locking.modes import GapMode, LockMode, RangeMode
+
+#: kind pairs that commute (no precedence edge)
+_COMMUTES = {
+    ("read", "read"),
+    ("escrow", "escrow"),
+    ("insert", "insert"),
+}
+
+_KEY_KINDS = {"X": "write", "E": "escrow", "S": "read", "U": "read", "SIX": "read"}
+_GAP_KINDS = {"I": "insert", "INS": "insert", "S": "read", "X": "write"}
+
+#: matches every key of an index (an escalated table lock)
+WILDCARD = "__any__"
+
+
+def _kinds_conflict(a, b):
+    return (a, b) not in _COMMUTES
+
+
+def classify_mode(mode):
+    """``(gap_kind, key_kind)`` for a lock mode; either side may be
+    ``None`` (intention/NL components claim nothing). Accepts live
+    ``LockMode``/``RangeMode`` objects or their reprs from a JSON trace
+    (``"LockMode.X"``, ``"Range(S,S)"``) or bare values (``"X"``)."""
+    if isinstance(mode, RangeMode):
+        return _GAP_KINDS.get(mode.gap.value), _KEY_KINDS.get(mode.key_mode.value)
+    if isinstance(mode, (LockMode, GapMode)):
+        return None, _KEY_KINDS.get(mode.value)
+    text = str(mode)
+    if text.startswith("Range(") and text.endswith(")"):
+        gap, key = text[len("Range("):-1].split(",", 1)
+        return _GAP_KINDS.get(gap.strip()), _KEY_KINDS.get(key.strip())
+    if "." in text:
+        text = text.rsplit(".", 1)[1]
+    return None, _KEY_KINDS.get(text)
+
+
+class History:
+    """A hand- or trace-built schedule, checkable for serializability."""
+
+    def __init__(self):
+        self._ops = []  # (seq, txn, index, key, component, kind)
+        self._seq = 0
+        self._committed = set()
+        self._aborted = set()
+
+    # ------------------------------------------------------- building
+    def _add(self, txn, index, key, component, kind):
+        self._seq += 1
+        self._ops.append((self._seq, txn, index, _freeze(key), component, kind))
+
+    def read(self, txn, index, key):
+        self._add(txn, index, key, "key", "read")
+
+    def write(self, txn, index, key):
+        self._add(txn, index, key, "key", "write")
+
+    def escrow(self, txn, index, key):
+        self._add(txn, index, key, "key", "escrow")
+
+    def insert(self, txn, index, key, next_key=None):
+        """An insert writes ``key`` and, when ``next_key`` is given,
+        claims the gap below the next existing key (RangeI-N)."""
+        self._add(txn, index, key, "key", "write")
+        if next_key is not None:
+            self._add(txn, index, next_key, "gap", "insert")
+
+    def delete(self, txn, index, key):
+        self._add(txn, index, key, "key", "write")
+
+    def scan(self, txn, index, keys):
+        """A serializable range scan: each key (including the fencepost
+        above the range) is read with its gap (RangeS-S)."""
+        for key in keys:
+            self._add(txn, index, key, "key", "read")
+            self._add(txn, index, key, "gap", "read")
+
+    def table_claim(self, txn, index, kind):
+        """An escalated whole-index lock (``kind`` read or write)."""
+        self._add(txn, index, WILDCARD, "key", kind)
+
+    def commit(self, txn):
+        self._committed.add(txn)
+
+    def abort(self, txn):
+        self._aborted.add(txn)
+        self._committed.discard(txn)
+
+    # ------------------------------------------------------- checking
+    def precedence_edges(self):
+        """``{(ti, tj): [(index, key, kind_i, kind_j), ...]}`` over the
+        committed transactions, edge direction by operation order."""
+        committed = self._committed
+        groups = {}  # (index, component) -> {key: [ops]}, plus wildcard list
+        for op in self._ops:
+            _, txn, index, key, component, kind = op
+            if txn not in committed:
+                continue
+            slot = groups.setdefault((index, component), ({}, []))
+            if key == WILDCARD:
+                slot[1].append(op)
+            else:
+                slot[0].setdefault(key, []).append(op)
+        edges = {}
+
+        def consider(a, b):
+            seq_a, txn_a, index, key_a, _, kind_a = a
+            seq_b, txn_b, _, key_b, _, kind_b = b
+            if txn_a == txn_b or not _kinds_conflict(kind_a, kind_b):
+                return
+            if seq_a > seq_b:
+                a, b = b, a
+                seq_a, txn_a, _, key_a, _, kind_a = a
+                seq_b, txn_b, _, key_b, _, kind_b = b
+            key = key_a if key_a != WILDCARD else key_b
+            edges.setdefault((txn_a, txn_b), []).append(
+                (index, key, kind_a, kind_b)
+            )
+
+        for (index, _component), (by_key, wildcards) in groups.items():
+            for ops in by_key.values():
+                for i, a in enumerate(ops):
+                    for b in ops[i + 1:]:
+                        consider(a, b)
+                for a in ops:
+                    for b in wildcards:
+                        consider(a, b)
+            for i, a in enumerate(wildcards):
+                for b in wildcards[i + 1:]:
+                    consider(a, b)
+        return edges
+
+    def find_cycle(self):
+        """One cycle in the precedence graph as ``[t1, t2, ..., t1]``,
+        or ``None`` when the committed history is serializable."""
+        edges = self.precedence_edges()
+        graph = {}
+        for (ti, tj) in edges:
+            graph.setdefault(ti, set()).add(tj)
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {}
+        stack = []
+
+        def visit(node):
+            color[node] = GREY
+            stack.append(node)
+            for succ in sorted(graph.get(node, ()), key=repr):
+                state = color.get(succ, WHITE)
+                if state == GREY:
+                    return stack[stack.index(succ):] + [succ]
+                if state == WHITE:
+                    cycle = visit(succ)
+                    if cycle is not None:
+                        return cycle
+            stack.pop()
+            color[node] = BLACK
+            return None
+
+        for node in sorted(graph, key=repr):
+            if color.get(node, WHITE) == WHITE:
+                cycle = visit(node)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def check(self):
+        """``[]`` when serializable, else one :class:`Violation`
+        describing a cycle and its conflicting keys."""
+        cycle = self.find_cycle()
+        if cycle is None:
+            return []
+        edges = self.precedence_edges()
+        legs = []
+        for ti, tj in zip(cycle, cycle[1:]):
+            index, key, kind_i, kind_j = edges[(ti, tj)][0]
+            legs.append(
+                f"T{ti}->T{tj} via {kind_i}/{kind_j} on ({index!r}, {key!r})"
+            )
+        path = " -> ".join(f"T{t}" for t in cycle)
+        return [
+            Violation(
+                "serializability",
+                f"committed history is not conflict-serializable: "
+                f"cycle {path}; " + "; ".join(legs),
+            )
+        ]
+
+
+class SerializabilitySanitizer(Sanitizer):
+    rule = "serializability"
+
+    def __init__(self):
+        super().__init__()
+        self.history = History()
+
+    # ------------------------------------------------------------- locks
+    def _locked(self, txn_id, fields):
+        if txn_id is None:
+            return
+        resource = _freeze(fields.get("resource"))
+        if not isinstance(resource, tuple) or not resource:
+            return
+        gap_kind, key_kind = classify_mode(fields.get("mode"))
+        if resource[0] == "key" and len(resource) == 3:
+            _, index, key = resource
+            if key_kind is not None:
+                self.history._add(txn_id, index, key, "key", key_kind)
+            if gap_kind is not None:
+                self.history._add(txn_id, index, key, "gap", gap_kind)
+        elif resource[0] == "table" and len(resource) == 2:
+            # Escalated table locks claim the whole index; intention
+            # modes (IS/IX) classify to None and impose no order.
+            if key_kind is not None:
+                self.history.table_claim(txn_id, resource[1], key_kind)
+
+    def on_lock_acquire(self, txn_id, seq, fields):
+        self._locked(txn_id, fields)
+
+    def on_lock_grant(self, txn_id, seq, fields):
+        self._locked(txn_id, fields)
+
+    # --------------------------------------------------------- outcomes
+    def on_txn_commit(self, txn_id, seq, fields):
+        self.history.commit(txn_id)
+
+    def on_txn_abort(self, txn_id, seq, fields):
+        self.history.abort(txn_id)
+
+    def mark_lost(self, txn_ids):
+        """Excise retracted/crash-lost commits from the history."""
+        for txn in txn_ids:
+            self.history.abort(txn)
+
+    def finish(self, assume_quiescent=False):
+        return self.history.check()

@@ -1,0 +1,74 @@
+"""The two-phase-locking sanitizer.
+
+Invariants checked over the lock/wal/txn event stream:
+
+* **2PL**: once a transaction has released any lock it never acquires,
+  is granted, or waits for another one (the engine releases everything
+  at once via ``release_all``, so the first ``lock_release`` marks the
+  start of the shrinking phase).
+* **SS2PL**: the shrinking phase begins only after the transaction's
+  COMMIT or ABORT record has been appended to the log. Under group
+  commit this is exactly the documented *early release* point — locks go
+  at COMMIT-record append, not at durability — so the check is on the
+  append, deliberately not on the flush.
+
+The WAL sub-condition is skipped when the stream carries no ``wal``
+events (a trace captured with ``categories=("lock",)`` has nothing to
+anchor the commit point to).
+"""
+
+from repro.analysis.base import Sanitizer
+
+
+class TwoPhaseLockingSanitizer(Sanitizer):
+    rule = "2pl"
+
+    def __init__(self):
+        super().__init__()
+        self._released = set()  # txns past their shrinking point
+        self._decided = set()  # txns with a COMMIT/ABORT record appended
+        self._saw_wal = False
+
+    # ----------------------------------------------------------- growing
+    def _growing(self, verb, txn_id, seq, fields):
+        if txn_id in self._released:
+            self.report(
+                f"{verb} {fields.get('resource')!r} after the transaction "
+                f"released its locks (2PL growing phase violated)",
+                txn_id,
+                seq,
+            )
+
+    def on_lock_acquire(self, txn_id, seq, fields):
+        self._growing("acquired", txn_id, seq, fields)
+
+    def on_lock_grant(self, txn_id, seq, fields):
+        self._growing("was granted", txn_id, seq, fields)
+
+    def on_lock_wait(self, txn_id, seq, fields):
+        self._growing("waited for", txn_id, seq, fields)
+
+    # --------------------------------------------------------- shrinking
+    def on_lock_release(self, txn_id, seq, fields):
+        if self._saw_wal and txn_id not in self._decided:
+            self.report(
+                "locks released before the transaction's COMMIT/ABORT "
+                "record was appended (strict 2PL violated)",
+                txn_id,
+                seq,
+            )
+        self._released.add(txn_id)
+
+    def on_wal_append(self, txn_id, seq, fields):
+        self._saw_wal = True
+        if txn_id is not None and fields.get("record") in (
+            "CommitRecord",
+            "AbortRecord",
+        ):
+            self._decided.add(txn_id)
+
+    def notice_crash(self):
+        # The lock table is volatile: whatever was held is simply gone,
+        # and recovery never reacquires on behalf of dead transactions.
+        self._released.clear()
+        self._decided.clear()

@@ -23,12 +23,19 @@ Grouped by concern:
   :class:`SimResult`, and the packaged workloads;
 * **observability** — :class:`Tracer`, :data:`EVENT_TYPES`, the result
   schema (:func:`validate_result`), metrics primitives, and the
-  ``repro.core.inspect`` report helpers.
+  ``repro.core.inspect`` report helpers;
+* **analysis** — the protocol sanitizers (:class:`SanitizerSuite`,
+  :func:`check_trace`, :class:`History`) and the lint gate
+  (:func:`lint_paths`, :func:`check_import_surface`); see
+  ``docs/ANALYSIS.md``.
 """
 
+from repro.analysis import History, SanitizerSuite, Violation, check_trace
+from repro.analysis.lint import check_import_surface, lint_paths
 from repro.common import (
     CatalogError,
     DeadlockError,
+    DeterministicRng,
     EscrowViolationError,
     FaultInjected,
     KeyRange,
@@ -41,6 +48,7 @@ from repro.common import (
     TransactionAborted,
     TransactionStateError,
     WalError,
+    ZipfGenerator,
 )
 from repro.core.config import EngineConfig
 from repro.core.database import Database
@@ -106,6 +114,8 @@ __all__ = [
     "LockPolicy",
     "Row",
     "KeyRange",
+    "DeterministicRng",
+    "ZipfGenerator",
     # views and queries
     "ViewDefinition",
     "AggregateView",
@@ -173,4 +183,11 @@ __all__ = [
     "trace_tail",
     "transaction_report",
     "wait_graph_snapshot",
+    # analysis
+    "History",
+    "SanitizerSuite",
+    "Violation",
+    "check_trace",
+    "check_import_surface",
+    "lint_paths",
 ]

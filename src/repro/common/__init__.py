@@ -12,6 +12,7 @@ from repro.common.errors import (
     DeadlockError,
     EscrowViolationError,
     FaultInjected,
+    LatchError,
     LockTimeoutError,
     ReproError,
     SerializationError,
@@ -20,6 +21,7 @@ from repro.common.errors import (
     TransactionAborted,
     TransactionStateError,
     WalError,
+    WouldWait,
 )
 from repro.common.keys import KeyBound, KeyRange, composite_key
 from repro.common.rng import DeterministicRng, ZipfGenerator
@@ -33,6 +35,7 @@ __all__ = [
     "FaultInjected",
     "KeyBound",
     "KeyRange",
+    "LatchError",
     "LockTimeoutError",
     "LogicalClock",
     "ReproError",
@@ -43,6 +46,7 @@ __all__ = [
     "TransactionAborted",
     "TransactionStateError",
     "WalError",
+    "WouldWait",
     "ZipfGenerator",
     "composite_key",
 ]

@@ -5,6 +5,8 @@ ordering (commit timestamps, version visibility, simulated time) draws from
 a :class:`LogicalClock`, which makes runs bit-for-bit reproducible.
 """
 
+from repro.common.errors import ReproError
+
 
 class LogicalClock:
     """Monotonically increasing integer clock.
@@ -30,7 +32,7 @@ class LogicalClock:
     def tick(self, amount=1):
         """Advance the clock by ``amount`` and return the new time."""
         if amount < 0:
-            raise ValueError("clock cannot move backwards")
+            raise ReproError("clock cannot move backwards")
         self._now += amount
         return self._now
 

@@ -72,6 +72,23 @@ class FaultInjected(TransactionAborted):
         self.site = site
 
 
+class WouldWait(ReproError):
+    """Control-flow signal: the lock request was queued; park and retry.
+
+    Not an error in the failure sense — it never escapes the scheduler.
+    Raised under the ``COOPERATIVE`` lock policy (see
+    :mod:`repro.txn.transaction`).
+    """
+
+    def __init__(self, request):
+        super().__init__(f"txn {request.txn_id} must wait for {request.resource!r}")
+        self.request = request
+
+
+class LatchError(ReproError):
+    """Latch protocol violation (would self-deadlock in a real engine)."""
+
+
 class SimulatedCrash(ReproError):
     """A crash fault site fired: the simulated process is gone.
 

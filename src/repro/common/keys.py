@@ -8,6 +8,8 @@ vocabulary shared by index scans and key-range locking.
 
 import functools
 
+from repro.common.errors import ReproError
+
 
 def composite_key(*parts):
     """Build an index key from column values.
@@ -222,7 +224,7 @@ class KeyRange:
         prefix_parts = tuple(prefix_parts)
         pad = arity - len(prefix_parts)
         if pad < 0:
-            raise ValueError("prefix longer than key arity")
+            raise ReproError("prefix longer than key arity")
         low = prefix_parts + (NEG_INF,) * pad
         high = prefix_parts + (POS_INF,) * pad
         return cls.between(low, high)

@@ -8,6 +8,8 @@ patterns that create the hot-group contention motivating escrow locking.
 import bisect
 import random
 
+from repro.common.errors import ReproError
+
 
 class DeterministicRng:
     """A thin, explicitly seeded wrapper over :mod:`random`.
@@ -59,9 +61,9 @@ class ZipfGenerator:
 
     def __init__(self, n, theta, seed=0):
         if n <= 0:
-            raise ValueError("n must be positive")
+            raise ReproError("n must be positive")
         if theta < 0:
-            raise ValueError("theta must be non-negative")
+            raise ReproError("theta must be non-negative")
         self.n = n
         self.theta = theta
         self._random = random.Random(seed)

@@ -48,6 +48,11 @@ class EngineConfig:
       (also the cap under the latency policy).
     * ``group_commit_latency`` — ticks a group may stay open under the
       latency policy before the flush deadline fires.
+    * ``sanitizers`` — attach the :mod:`repro.analysis` protocol
+      sanitizers (2PL, WAL rule, conflict serializability) as live
+      observers of the trace stream. Enables the tracer on all
+      categories; collect findings via ``db.sanitizers.check()``. See
+      ``docs/ANALYSIS.md``.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class EngineConfig:
         group_commit=None,
         group_commit_size=8,
         group_commit_latency=16,
+        sanitizers=False,
     ):
         if aggregate_strategy not in AGGREGATE_STRATEGIES:
             raise ReproError(f"unknown aggregate_strategy {aggregate_strategy!r}")
@@ -101,6 +107,7 @@ class EngineConfig:
         self.group_commit = group_commit
         self.group_commit_size = group_commit_size
         self.group_commit_latency = group_commit_latency
+        self.sanitizers = bool(sanitizers)
 
     def __repr__(self):
         return (

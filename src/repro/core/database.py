@@ -132,6 +132,18 @@ class Database(RecoveryTarget):
         self.escalation = EscalationPolicy(
             self.config.escalation_threshold, tracer=self.tracer
         )
+        #: live protocol checkers (EngineConfig(sanitizers=True)), else None
+        self.sanitizers = None
+        if self.config.sanitizers:
+            from repro.analysis import SanitizerSuite
+
+            self.sanitizers = SanitizerSuite(
+                group_commit=self.config.group_commit is not None
+            )
+            # Sanitizers need the whole stream: every category, every
+            # event at emit time (the ring may evict, listeners see all).
+            self.tracer.enable()
+            self.tracer.listeners.append(self.sanitizers.observe)
 
     # ==================================================================
     # fault injection
@@ -576,6 +588,11 @@ class Database(RecoveryTarget):
             ticket.txn.state = TxnState.ABORTED
         self.group_commit.retracted_txns += len(tickets)
         self.counters.incr("group_commit.retractions", len(tickets))
+        if self.sanitizers is not None:
+            # Redundant with the notice_crash inside _rebuild_from_log
+            # for the durability ledger, but the explicit retraction also
+            # excises the members from the committed history.
+            self.sanitizers.notice_retraction(member_ids)
 
     def _group_retractable(self, member_ids):
         """True when discarding the unflushed suffix undoes *only* the
@@ -1026,6 +1043,11 @@ class Database(RecoveryTarget):
         return self._rebuild_from_log()
 
     def _rebuild_from_log(self):
+        if self.sanitizers is not None:
+            # Before recovery appends anything: the volatile suffix is
+            # gone, LSNs legally rewind to flushed_lsn + 1, and commit-
+            # visible-but-not-durable transactions are rolled back.
+            self.sanitizers.notice_crash()
         max_txn = 0
         max_commit_ts = 0
         for record in self.log.records():

@@ -238,7 +238,7 @@ class _NullInjector(FaultInjector):
     component, so unconfigured fault sites stay branch-cheap no-ops."""
 
     def arm(self, site, **kwargs):
-        raise RuntimeError(
+        raise ReproError(
             "NULL_INJECTOR cannot be armed; install a FaultInjector via "
             "Database.install_fault_injector() instead"
         )

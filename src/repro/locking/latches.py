@@ -12,11 +12,9 @@ acquisitions so benchmarks can report latch traffic (a proxy for the
 physical cost the paper's design keeps off the critical path).
 """
 
-from repro.common import ReproError
+from repro.common import LatchError
 
-
-class LatchError(ReproError):
-    """Latch protocol violation (would self-deadlock in a real engine)."""
+__all__ = ["Latch", "LatchError", "LatchSet"]
 
 
 class Latch:

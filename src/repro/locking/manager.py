@@ -31,7 +31,12 @@ compatible readers. Conversions of already-granted locks jump the queue
 import enum
 from collections import OrderedDict
 
-from repro.common import DeadlockError, FaultInjected, LockTimeoutError
+from repro.common import (
+    DeadlockError,
+    FaultInjected,
+    LockTimeoutError,
+    TransactionStateError,
+)
 from repro.faults import NULL_INJECTOR
 from repro.locking.modes import mode_compatible, mode_supremum
 from repro.obs.tracer import NULL_TRACER
@@ -153,7 +158,7 @@ class LockManager:
         is allowed — a transaction is a single thread of control.
         """
         if txn_id in self._waiting_request:
-            raise RuntimeError(
+            raise TransactionStateError(
                 f"transaction {txn_id} already has a waiting lock request"
             )
         self.stats.requests += 1

@@ -28,6 +28,13 @@ _TOP_LEVEL = {
     "lock_stats": dict,
 }
 
+#: optional top-level keys -> expected type(s)
+_OPTIONAL = {
+    # protocol-sanitizer verdict block (harnesses that ran the
+    # repro.analysis suite record it here; see docs/ANALYSIS.md)
+    "sanitizers": dict,
+}
+
 _CLAIM = {
     "description": str,
     "verdict": str,
@@ -52,8 +59,14 @@ def validate_result(doc, label="result"):
                 f"expected {expected.__name__}"
             )
     for key in doc:
-        if key not in _TOP_LEVEL:
+        if key not in _TOP_LEVEL and key not in _OPTIONAL:
             problems.append(f"{label}: unexpected extra key {key!r}")
+    for key, expected in _OPTIONAL.items():
+        if key in doc and not isinstance(doc[key], expected):
+            problems.append(
+                f"{label}: {key!r} is {type(doc[key]).__name__}, "
+                f"expected {expected.__name__}"
+            )
     if problems:
         return problems
     if doc["schema_version"] != RESULT_SCHEMA_VERSION:

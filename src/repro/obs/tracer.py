@@ -26,6 +26,7 @@ Usage::
 import json
 from collections import deque
 
+from repro.common import ReproError
 from repro.obs.events import CATEGORIES, EVENT_TYPES, Event
 
 
@@ -41,6 +42,9 @@ class Tracer:
         self._clock = clock
         self._categories = None  # None = all categories
         self._ring = deque(maxlen=capacity)
+        #: live observers (e.g. repro.analysis sanitizers), called with
+        #: every accepted Event — even ones the ring later evicts.
+        self.listeners = []
 
     # ------------------------------------------------------------------
     # switching
@@ -53,7 +57,7 @@ class Tracer:
             categories = frozenset(categories)
             unknown = categories - CATEGORIES
             if unknown:
-                raise ValueError(f"unknown trace categories: {sorted(unknown)}")
+                raise ReproError(f"unknown trace categories: {sorted(unknown)}")
         self._categories = categories
         self.enabled = True
 
@@ -76,23 +80,24 @@ class Tracer:
             return
         spec = EVENT_TYPES.get(name)
         if spec is None:
-            raise ValueError(f"unregistered event type {name!r}")
+            raise ReproError(f"unregistered event type {name!r}")
         category = spec["category"]
         if self._categories is not None and category not in self._categories:
             return
         if len(self._ring) == self._ring.maxlen:
             self.dropped += 1
         self.emitted += 1
-        self._ring.append(
-            Event(
-                self.emitted,
-                self._clock.now() if self._clock is not None else 0,
-                name,
-                category,
-                txn_id,
-                fields,
-            )
+        event = Event(
+            self.emitted,
+            self._clock.now() if self._clock is not None else 0,
+            name,
+            category,
+            txn_id,
+            fields,
         )
+        self._ring.append(event)
+        for listener in self.listeners:
+            listener(event)
 
     # ------------------------------------------------------------------
     # consumption
@@ -146,7 +151,7 @@ class _NullTracer(Tracer):
     constructed outside a Database (standalone tests, tools)."""
 
     def enable(self, categories=None):
-        raise RuntimeError(
+        raise ReproError(
             "NULL_TRACER cannot be enabled; attach a real Tracer instead"
         )
 

@@ -31,7 +31,7 @@ and other aborts roll back and restart the program from scratch, up to a
 retry budget. Identical inputs give identical runs, tick for tick.
 """
 
-from repro.common import StorageError, TransactionAborted
+from repro.common import DeterministicRng, ReproError, StorageError, TransactionAborted
 from repro.metrics import Counters, Histogram
 from repro.txn import LockPolicy, WouldWait
 
@@ -202,7 +202,7 @@ class Scheduler:
                     continue
                 stall_guard += 1
                 if stall_guard > len(self._sessions) + 2:
-                    raise RuntimeError(
+                    raise ReproError(
                         "scheduler stall: every session waiting, none wakeable; "
                         + repr([(s.session_id, s.state) for s in self._sessions])
                     )
@@ -240,9 +240,7 @@ class Scheduler:
         ``result.response_time``. This is the load/latency view of the
         same engine the closed-system ``run`` measures for throughput.
         """
-        import random as _random
-
-        rng = _random.Random(seed)
+        rng = DeterministicRng(seed)
         db = self._db
         result = SimResult()
         start_tick = db.clock.now()
@@ -295,7 +293,7 @@ class Scheduler:
                     continue
                 stall_guard += 1
                 if stall_guard > len(self._sessions) + 2:
-                    raise RuntimeError("open-system scheduler stall")
+                    raise ReproError("open-system scheduler stall")
                 continue
             stall_guard = 0
             session = min(runnable, key=lambda s: (s.ready_at, s.session_id))
@@ -486,7 +484,7 @@ class Scheduler:
             return db.scan(txn, op[1], op[2] if len(op) > 2 else None)
         if kind == "think":
             return None
-        raise ValueError(f"unknown op {op!r}")
+        raise ReproError(f"unknown op {op!r}")
 
     def _finish_program(self, session, success, result=None):
         session.generator = None

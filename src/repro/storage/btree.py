@@ -72,7 +72,7 @@ class BPlusTree:
 
     def __init__(self, order=DEFAULT_ORDER):
         if order < 4:
-            raise ValueError("order must be at least 4")
+            raise StorageError("order must be at least 4")
         self._order = order
         self._root = _LeafNode()
         self._size = 0
@@ -311,7 +311,7 @@ class BPlusTree:
         ends are supported.
         """
         if not isinstance(key_range, KeyRange):
-            raise TypeError("range_items expects a KeyRange")
+            raise StorageError("range_items expects a KeyRange")
         if key_range.is_empty():
             return
         low = key_range.low

@@ -19,6 +19,9 @@ the right locks before touching ``current_row``.
 """
 
 
+from repro.common import StorageError
+
+
 class Version:
     """One committed state of a record.
 
@@ -64,7 +67,7 @@ class VersionedRecord:
         version).
         """
         if self._versions and self._versions[-1].commit_ts > commit_ts:
-            raise ValueError(
+            raise StorageError(
                 f"version timestamps must be monotonic: "
                 f"{self._versions[-1].commit_ts} > {commit_ts}"
             )

@@ -18,7 +18,7 @@ Lock policies decide what happens when a lock request must wait:
 
 import enum
 
-from repro.common import LockTimeoutError, ReproError, TransactionStateError
+from repro.common import LockTimeoutError, TransactionStateError, WouldWait
 from repro.locking.manager import RequestStatus
 
 
@@ -33,15 +33,7 @@ class TxnState(enum.Enum):
     ABORTED = "aborted"
 
 
-class WouldWait(ReproError):
-    """Control-flow signal: the lock request was queued; park and retry.
-
-    Not an error in the failure sense — it never escapes the scheduler.
-    """
-
-    def __init__(self, request):
-        super().__init__(f"txn {request.txn_id} must wait for {request.resource!r}")
-        self.request = request
+__all__ = ["LockPolicy", "Transaction", "TxnState", "WouldWait"]
 
 
 class Transaction:

@@ -25,6 +25,7 @@ than waiting for cleanup and re-inserting, and it preserves any escrow
 account state attached to the key.
 """
 
+from repro.common import CatalogError
 from repro.locking.keyrange import (
     key_resource,
     locks_for_escrow_update,
@@ -52,7 +53,7 @@ class AggregateMaintainer:
 
     def __init__(self, strategy=ESCROW):
         if strategy not in (ESCROW, XLOCK):
-            raise ValueError(f"unknown aggregate strategy {strategy!r}")
+            raise CatalogError(f"unknown aggregate strategy {strategy!r}")
         self.strategy = strategy
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ defined over that table, honouring the database's maintenance mode:
   drift stale until refreshed (experiment R6's baseline).
 """
 
+from repro.common import CatalogError
 from repro.views.aggregate import AggregateMaintainer
 from repro.views.join import JoinMaintainer
 from repro.views.join_aggregate import JoinAggregateMaintainer
@@ -40,7 +41,7 @@ class MaintenanceEngine:
             return self.join_aggregate
         if view.kind == "projection":
             return self.projection
-        raise TypeError(f"no maintainer for view kind {view.kind!r}")
+        raise CatalogError(f"no maintainer for view kind {view.kind!r}")
 
     # ------------------------------------------------------------------
 

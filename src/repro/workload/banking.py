@@ -18,7 +18,7 @@ the initially deposited amount plus net deposits at every quiescent
 point, under any interleaving, abort pattern, or crash.
 """
 
-from repro.common import DeterministicRng
+from repro.common import DeterministicRng, StorageError
 from repro.query import AggregateSpec
 
 ACCOUNTS = "accounts"
@@ -154,7 +154,7 @@ class BankingWorkload:
         overdraft rules are not this workload's concern)."""
         row = self.db.read(txn, ACCOUNTS, key, for_update=True)
         if row is None:
-            raise KeyError(f"no account {key!r}")
+            raise StorageError(f"no account {key!r}")
         self.db.update(txn, ACCOUNTS, key, {"balance": row["balance"] + delta})
 
     def op_executor(self):

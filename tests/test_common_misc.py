@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import KeyRange, LogicalClock, Row
+from repro.common import KeyRange, LogicalClock, ReproError, Row
 from repro.common.keys import NEG_INF, POS_INF
 from repro.views.delta import NetDelta, TxnViewDeltas
 
@@ -19,7 +19,7 @@ class TestLogicalClock:
         assert LogicalClock(start=100).now() == 100
 
     def test_negative_tick_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             LogicalClock().tick(-1)
 
     def test_advance_to_never_goes_back(self):
@@ -43,7 +43,7 @@ class TestPrefixRanges:
         assert not r.contains((1, 3))
 
     def test_prefix_longer_than_arity_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             KeyRange.prefix((1, 2, 3), 2)
 
     def test_empty_prefix_covers_everything(self):

@@ -14,6 +14,7 @@ import pytest
 from repro.common import (
     FaultInjected,
     LogicalClock,
+    ReproError,
     Row,
     SimulatedCrash,
     TransactionStateError,
@@ -65,7 +66,7 @@ class TestInjectorScheduling:
 
     def test_null_injector_cannot_be_armed(self):
         assert not NULL_INJECTOR.active
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ReproError):
             NULL_INJECTOR.arm("wal.flush")
 
     def test_unarmed_site_never_fires(self):

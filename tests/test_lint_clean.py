@@ -1,0 +1,22 @@
+"""The lint gate holds on the real tree: ``src``, ``benchmarks`` and
+``examples`` produce zero findings, which is exactly what ``make lint``
+and ``benchmarks/run_all.py`` enforce. A finding here means a rule in
+``docs/ANALYSIS.md`` was broken by a code change."""
+
+import pathlib
+
+from repro.analysis.lint import check_import_surface, lint_paths
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_tree_is_lint_clean():
+    findings = lint_paths(
+        [REPO / "src", REPO / "benchmarks", REPO / "examples"]
+    )
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_import_surface_default_root_is_clean():
+    assert check_import_surface() == []
+    assert check_import_surface(REPO) == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import LockTimeoutError, LogicalClock
+from repro.common import LockTimeoutError, LogicalClock, TransactionStateError
 from repro.locking import LockManager, LockMode, RangeMode, RequestStatus
 
 M = LockMode
@@ -162,7 +162,7 @@ class TestConversion:
     def test_only_one_waiting_request_per_txn(self, lm):
         lm.request(1, RES, M.X)
         lm.request(2, RES, M.S)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(TransactionStateError):
             lm.request(2, RES2, M.S)
 
 

@@ -7,6 +7,7 @@ import re
 
 import pytest
 
+from repro.common import ReproError
 from repro.core import Database, EngineConfig
 from repro.core.inspect import trace_tail, wait_graph_snapshot
 from repro.obs import (
@@ -83,13 +84,13 @@ class TestTracerBasics:
         assert db.tracer.events(name="wal_append")
 
     def test_enable_unknown_category_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             Tracer().enable(categories=("nope",))
 
     def test_emit_unregistered_name_rejected(self):
         tracer = Tracer()
         tracer.enable()
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             tracer.emit("made_up_event")
 
     def test_ring_buffer_drops_oldest_and_counts(self):
@@ -114,7 +115,7 @@ class TestTracerBasics:
         assert all(isinstance(e.ts, int) for e in db.tracer.events())
 
     def test_null_tracer_cannot_be_enabled(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ReproError):
             NULL_TRACER.enable()
         assert not NULL_TRACER.enabled
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common import ReproError
 from repro.core import Database, EngineConfig
 from repro.query import AggregateSpec
 from repro.sim import CostModel, Scheduler
@@ -80,7 +81,7 @@ class TestSchedulerBasics:
 
         sched = Scheduler(db)
         sched.add_session(program, txns=1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             sched.run()
 
     def test_max_ticks_stops_run(self):

@@ -84,7 +84,7 @@ class TestBasicOperations:
         assert list(t.items()) == []
 
     def test_order_too_small_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(StorageError):
             BPlusTree(order=3)
 
 
@@ -213,7 +213,7 @@ class TestScans:
         assert list(t.range_items(KeyRange.between((50,), (60,)))) == []
 
     def test_range_scan_requires_keyrange(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(StorageError):
             list(make_tree(3).range_items(((0,), (2,))))
 
     def test_values_iterator(self):

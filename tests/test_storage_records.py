@@ -38,7 +38,7 @@ class TestVersionedRecord:
     def test_non_monotonic_stamp_rejected(self):
         r = VersionedRecord((1,), Row(v=0))
         r.stamp_version(10)
-        with pytest.raises(ValueError):
+        with pytest.raises(StorageError):
             r.stamp_version(5)
 
     def test_ghost_version_invisible(self):

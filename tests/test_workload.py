@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import DeterministicRng, ZipfGenerator
+from repro.common import DeterministicRng, ReproError, ZipfGenerator
 from repro.core import Database, EngineConfig
 from repro.sim import Scheduler
 from repro.workload import BY_PRODUCT, PRODUCTS, SALES, OrderEntryWorkload
@@ -42,9 +42,9 @@ class TestZipf:
         ).draws(100)
 
     def test_invalid_args(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             ZipfGenerator(0, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ReproError):
             ZipfGenerator(5, -1.0)
 
 

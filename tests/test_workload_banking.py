@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common import StorageError
 from repro.core import Database, EngineConfig
 from repro.sim import Scheduler
 from repro.workload import ACCOUNTS, BRANCH_TOTALS, BankingWorkload
@@ -50,7 +51,7 @@ class TestSerialTransfers:
     def test_missing_account_raises(self):
         db, bank = make_bank()
         txn = db.begin()
-        with pytest.raises(KeyError):
+        with pytest.raises(StorageError):
             bank.execute_update_balance(txn, (9999,), 1)
         db.abort(txn)
 
