@@ -1,8 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test bench bench-smoke bench-r16 chaos-smoke check-results \
-	lint sanitize-smoke
+.PHONY: test bench bench-smoke bench-r16 bench-r17 chaos-smoke \
+	check-results lint sanitize-smoke verify
+
+# The PR gate, in dependency-cheapest order: the AST lint rules, the
+# full tier-1 test suite, the protocol sanitizers, then the bounded
+# chaos tier (which includes the crash-storm recovery leg).
+# benchmarks/run_all.py finishes with the same chain.
+verify: lint test sanitize-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +39,13 @@ bench-smoke:
 # wal.group_flush site armed, then the schema gate.
 bench-r16:
 	cd benchmarks && $(PYTHON) -c "import bench_r16_group_commit as b; b.scenario()"
+	$(PYTHON) benchmarks/check_results.py
+
+# The recovery-hardening experiment alone: crash-storm convergence, WAL
+# salvage + its checksums-off negative control, and quarantine/rebuild,
+# then the schema gate.
+bench-r17:
+	cd benchmarks && $(PYTHON) -c "import bench_r17_crash_storm as b; b.scenario()"
 	$(PYTHON) benchmarks/check_results.py
 
 # Bounded chaos tier: a dozen seeded fault schedules plus the

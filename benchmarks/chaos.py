@@ -23,7 +23,15 @@ rule, and conflict serializability are checked over the live trace
 stream, and the suite records a ``sanitizers`` verdict block in
 ``results/chaos.json`` (see ``docs/ANALYSIS.md``).
 
-Two companion demonstrations make the harness's verdict meaningful:
+Recovery is part of the attack surface (PR 5): the menu arms
+``wal.corrupt`` (bit flips in the durable stream, salvaged at the next
+recovery) and the ``recovery.*`` crash sites, so recovery itself can
+die mid-phase — every recovery in the harness runs through
+:func:`recover_with_reentry`, exactly the operator's restart loop.
+:func:`crash_storm_leg` does it deterministically: >= 5 seeded nested
+crashes inside recovery must converge to the single-shot state.
+
+Companion demonstrations make the harness's verdict meaningful:
 
 * :func:`broken_injector_demo` arms the deliberately unsound
   ``wal.append.lost`` site and asserts the oracle **does** flag the
@@ -52,6 +60,7 @@ from repro.api import (
     FaultInjector,
     Scheduler,
     SimulatedCrash,
+    validate_recovery_report,
 )  # noqa: E402
 
 from harness import claim, emit  # noqa: E402
@@ -70,11 +79,45 @@ FAULT_MENU = [
     ("txn.commit.after", 0.01),
     ("view.midapply", 0.01),
     ("cleanup.interrupt", 0.2),
+    ("wal.corrupt", 0.02),
+    ("recovery.analysis", 0.02),
+    ("recovery.redo", 0.02),
+    ("recovery.undo", 0.05),
 ]
+
+RECOVERY_SITES = ("recovery.analysis", "recovery.redo", "recovery.undo")
+#: a schedule may crash recovery this many times before the harness
+#: disarms the recovery.* sites (a livelock cap, not an expectation)
+MAX_NESTED_CRASHES = 25
 
 PHASES = 2
 SESSIONS = 4
 TXNS_PER_SESSION = 3
+
+
+def recover_with_reentry(db, injector, tally):
+    """Run recovery, re-entering it after every nested crash (armed
+    ``recovery.*`` sites can kill recovery itself). Accounts nested
+    crashes, salvage truncations, and report-schema validity in
+    ``tally``; past :data:`MAX_NESTED_CRASHES` the recovery sites are
+    disarmed so a hot schedule converges instead of livelocking."""
+    while True:
+        try:
+            report = db.simulate_crash_and_recover()
+            break
+        except SimulatedCrash:
+            tally["nested_crashes"] += 1
+            if tally["nested_crashes"] >= MAX_NESTED_CRASHES:
+                for site in RECOVERY_SITES:
+                    injector.disarm(site)
+    salvage = report.salvage
+    if salvage is not None:
+        tally["salvaged"] += 1
+        tally["lost_commits"] += len(salvage["lost_commits"])
+    tally["report_problems"].extend(
+        validate_recovery_report(report.as_dict())
+    )
+    return report
 
 
 def run_one_seed(seed):
@@ -104,6 +147,10 @@ def run_one_seed(seed):
     problems = []
     committed = 0
     gave_up = 0
+    tally = {
+        "nested_crashes": 0, "salvaged": 0, "lost_commits": 0,
+        "report_problems": [],
+    }
     for _ in range(PHASES):
         sched = Scheduler(
             db, max_retries=8, cleanup_interval=100,
@@ -120,7 +167,7 @@ def run_one_seed(seed):
             gave_up += result.gave_up
         except SimulatedCrash:
             crashes += 1
-            db.simulate_crash_and_recover()
+            recover_with_reentry(db, injector, tally)
         # Occasional operator actions, under the same fault schedule.
         if rng.random() < 0.5:
             try:
@@ -129,7 +176,7 @@ def run_one_seed(seed):
                 pass  # a retracted system commit: cleanup just requeues
             except SimulatedCrash:
                 crashes += 1
-                db.simulate_crash_and_recover()
+                recover_with_reentry(db, injector, tally)
         if rng.random() < 0.3:
             try:
                 db.take_checkpoint()
@@ -137,10 +184,10 @@ def run_one_seed(seed):
                 pass  # flush fault during the checkpoint: no harm done
             except SimulatedCrash:
                 crashes += 1
-                db.simulate_crash_and_recover()
+                recover_with_reentry(db, injector, tally)
         if rng.random() < 0.25:  # a surprise power failure at quiescence
             crashes += 1
-            db.simulate_crash_and_recover()
+            recover_with_reentry(db, injector, tally)
         # ---- the oracle ----
         problems.extend(db.check_all_views())
         try:
@@ -155,6 +202,7 @@ def run_one_seed(seed):
     sanitizer_violations = [
         str(v) for v in db.sanitizers.check(assume_quiescent=True)
     ]
+    problems.extend(tally["report_problems"])
     return {
         "seed": seed,
         "ok": not problems and not sanitizer_violations,
@@ -163,10 +211,97 @@ def run_one_seed(seed):
         "armed": injector.armed_sites(),
         "fired": sum(injector.fired.values()),
         "crashes": crashes,
+        "nested_crashes": tally["nested_crashes"],
+        "salvaged": tally["salvaged"],
+        "lost_commits": tally["lost_commits"],
         "committed": committed,
         "gave_up": gave_up,
         "timeouts": db.locks.stats.timeouts,
         "deadlocks": db.locks.stats.deadlocks,
+    }
+
+
+def crash_storm_leg(seed=4242):
+    """Recovery hardening: crash recovery *itself* at >= 5 seeded points
+    (analysis / redo / undo) and re-enter until it converges. The final
+    state must equal the single-shot recovery of an identical workload,
+    money must be conserved, and the sanitizers must stay clean."""
+
+    def build(with_sanitizers=False):
+        db = Database(EngineConfig(
+            aggregate_strategy="escrow", sanitizers=with_sanitizers,
+        ))
+        bank = BankingWorkload(
+            db, n_branches=3, accounts_per_branch=6, seed=seed
+        ).setup()
+        for _ in range(20):
+            with db.transaction() as txn:
+                src = bank._random_aid()
+                dst = bank._random_aid()
+                while dst == src:
+                    dst = bank._random_aid()
+                amount = bank.rng.randint(1, 15)
+                bank.execute_update_balance(txn, (src,), -amount)
+                bank.execute_update_balance(txn, (dst,), +amount)
+        loser = db.begin()  # durable-but-uncommitted: undo's workload
+        bank.execute_update_balance(loser, (3,), -100)
+        db.log.flush()
+        return db, bank
+
+    def snapshot(db):
+        return {
+            name: {
+                key: (record.current_row.as_dict(), record.is_ghost)
+                for key, record in db.index(name).scan(include_ghosts=True)
+            }
+            for name in db.index_names()
+        }
+
+    ref_db, ref_bank = build()
+    ref_report = ref_db.simulate_crash_and_recover()
+    ref_state = snapshot(ref_db)
+    ref_bank.check_conservation()
+
+    db, bank = build(with_sanitizers=True)
+    injector = FaultInjector(seed=seed)
+    db.install_fault_injector(injector)
+    schedule = [
+        ("recovery.analysis", 3),
+        ("recovery.redo", 1),
+        ("recovery.undo", 0),
+        ("recovery.analysis", 15),
+        ("recovery.redo", 6),
+        ("recovery.analysis", 30),
+    ]
+    crashes = 0
+    report = None
+    for attempt in range(len(schedule) + 1):
+        injector.disarm()
+        if attempt < len(schedule):
+            site, after = schedule[attempt]
+            injector.arm(site, after=after, times=1)
+        try:
+            report = db.simulate_crash_and_recover()
+            break
+        except SimulatedCrash:
+            crashes += 1
+    conserved = True
+    try:
+        bank.check_conservation()
+    except AssertionError:
+        conserved = False
+    return {
+        "crashes": crashes,
+        "restarts": report.restarts,
+        "converged": snapshot(db) == ref_state
+        and report.winners == ref_report.winners
+        and report.losers == ref_report.losers,
+        "report_valid": validate_recovery_report(report.as_dict()) == [],
+        "conserved": conserved,
+        "view_problems": len(db.check_all_views()),
+        "sanitizer_violations": [
+            str(v) for v in db.sanitizers.check(assume_quiescent=True)
+        ],
     }
 
 
@@ -274,11 +409,14 @@ def retry_rescue(seed=99):
 def run_suite(n_seeds, name="chaos"):
     results = [run_one_seed(seed) for seed in range(n_seeds)]
     violations = [r for r in results if not r["ok"]]
+    storm = crash_storm_leg()
     control = broken_injector_demo()
     rescue = retry_rescue()
 
     total_fired = sum(r["fired"] for r in results)
     total_crashes = sum(r["crashes"] for r in results)
+    total_nested = sum(r["nested_crashes"] for r in results)
+    total_salvaged = sum(r["salvaged"] for r in results)
     sanitizer_total = sum(len(r["sanitizer_violations"]) for r in results)
     sanitizers_block = {
         "enabled": True,
@@ -296,6 +434,10 @@ def run_suite(n_seeds, name="chaos"):
         ["sanitizer violations", sanitizer_total],
         ["faults fired", total_fired],
         ["crashes recovered", total_crashes],
+        ["nested crashes inside recovery", total_nested],
+        ["recoveries that salvaged a corrupt log", total_salvaged],
+        ["storm: seeded nested crashes", storm["crashes"]],
+        ["storm: converged to single-shot state", storm["converged"]],
         ["transactions committed", sum(r["committed"] for r in results)],
         ["lock timeouts", sum(r["timeouts"] for r in results)],
         ["deadlocks", sum(r["deadlocks"] for r in results)],
@@ -318,6 +460,15 @@ def run_suite(n_seeds, name="chaos"):
          and sum(r["deadlocks"] for r in results) > 0),
         ("broken injector (lost WAL records) is detected by the oracle",
          control["detected"] and control["dropped_records"] > 0),
+        ("crash storm: recovery survived >= 5 seeded nested crashes and "
+         "converged to the single-shot state",
+         storm["crashes"] >= 5 and storm["converged"]
+         and storm["restarts"] == storm["crashes"]),
+        ("crash storm: conservation, views, report schema, and "
+         "sanitizers all clean",
+         storm["conserved"] and storm["view_problems"] == 0
+         and storm["report_valid"]
+         and not storm["sanitizer_violations"]),
         ("contention surfaces aborts when retry is off",
          rescue["aborts_no_retry"] > 0),
         ("retry budget 3 eliminates user-visible aborts",
@@ -329,7 +480,8 @@ def run_suite(n_seeds, name="chaos"):
     ]
     the_claim = claim(
         "randomized fault schedules never break view consistency or "
-        "conservation; a deliberately unsound schedule is detected; "
+        "conservation, even when recovery itself is crashed or the log "
+        "is corrupted; a deliberately unsound schedule is detected; "
         "automatic retry hides deadlock aborts",
         checks,
     )

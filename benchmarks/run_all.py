@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate the full R1–R16 evaluation and print every table.
+"""Regenerate the full R1–R17 evaluation and print every table.
 
 Equivalent to ``pytest benchmarks/ --benchmark-only`` but prints the
 experiment tables directly (pytest captures them) and finishes with a
@@ -36,6 +36,7 @@ BENCHES = [
     ("bench_r14_join_aggregate", "scenario"),
     ("bench_r15_response_time", "scenario"),
     ("bench_r16_group_commit", "scenario"),
+    ("bench_r17_crash_storm", "scenario"),
     ("chaos", "scenario"),
     ("sanitize_smoke", "scenario"),
 ]
@@ -77,6 +78,19 @@ def main():
             print(f"  FAIL {finding}")
         raise SystemExit(1)
     print("  lint gate clean (python -m repro.analysis.lint)")
+    # Finish with the tier-1 suite so a full evaluation run ends with
+    # the complete `make verify` chain: the chaos + sanitizer tiers ran
+    # above as benches, lint and the schema gate just passed, and this
+    # is the remaining leg.
+    import subprocess
+
+    code = subprocess.call(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=str(pathlib.Path(__file__).resolve().parent.parent),
+    )
+    if code != 0:
+        raise SystemExit(code)
+    print("  tier-1 suite green — verify chain complete")
 
 
 if __name__ == "__main__":

@@ -262,5 +262,13 @@ class SerializabilitySanitizer(Sanitizer):
         for txn in txn_ids:
             self.history.abort(txn)
 
+    def on_wal_salvage(self, txn_id, seq, fields):
+        # Commits dropped by a salvage truncation were rolled back by
+        # the recovery that follows: excise them from the committed
+        # history, like retracted group-commit members.
+        lost = fields.get("lost_commits") or ()
+        if lost:
+            self.mark_lost(lost)
+
     def finish(self, assume_quiescent=False):
         return self.history.check()

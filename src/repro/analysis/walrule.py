@@ -2,11 +2,14 @@
 
 Invariants checked over the wal/txn event stream:
 
-* **Monotone LSNs**: appended LSNs strictly increase. The one legal
-  rewind is a crash — the unflushed suffix is truncated and appends
+* **Monotone LSNs**: appended LSNs strictly increase. The two legal
+  rewinds: a crash — the unflushed suffix is truncated and appends
   resume at ``flushed_lsn + 1`` (live harnesses signal this through
   :meth:`notice_crash`; post-hoc traces are recognized by the
-  ``flushed + 1`` resumption point).
+  ``flushed + 1`` resumption point) — and a salvage truncation — a
+  ``wal_salvage`` event announces that the durable prefix itself was
+  cut at the first corrupt record, so the boundary regresses to
+  ``truncated_lsn - 1`` and the commits past the cut are rolled back.
 * **Flush sanity**: the durable boundary never regresses and never runs
   ahead of the append tail; a ``group_commit`` settlement never claims a
   boundary beyond what a flush established.
@@ -80,6 +83,18 @@ class WalRuleSanitizer(Sanitizer):
         self._pending = {
             txn: lsn for txn, lsn in self._pending.items() if lsn > self._flushed
         }
+
+    def on_wal_salvage(self, txn_id, seq, fields):
+        # The salvage pass truncated the *durable* log at the first
+        # corrupt record: the boundary legally regresses to the cut and
+        # every record past it (commits included) is gone. With
+        # truncated_lsn None only an undecodable file tail was dropped —
+        # it never made it into the loaded log, so nothing rewinds.
+        cut = fields.get("truncated_lsn")
+        if cut is None:
+            return
+        self._flushed = min(self._flushed, cut - 1)
+        self._rewind()
 
     def on_group_commit(self, txn_id, seq, fields):
         flushed = fields.get("flushed_lsn")

@@ -19,6 +19,11 @@ Grouped by concern:
   :class:`SimulatedCrash`;
 * **fault injection** — :class:`FaultInjector`, :class:`FaultSpec`,
   :data:`FAULT_SITES`;
+* **integrity and recovery hardening** — the online checker
+  (:class:`IntegrityReport`, :class:`Damage`), the recovery report and
+  its pinned schema (:class:`RecoveryReport`,
+  :func:`validate_recovery_report`), and the corruption error
+  (:class:`WalCorruptionError`); see ``docs/ROBUSTNESS.md``;
 * **simulation** — :class:`Scheduler`, :class:`CostModel`,
   :class:`SimResult`, and the packaged workloads;
 * **observability** — :class:`Tracer`, :data:`EVENT_TYPES`, the result
@@ -38,6 +43,7 @@ from repro.common import (
     DeterministicRng,
     EscrowViolationError,
     FaultInjected,
+    IntegrityError,
     KeyRange,
     LockTimeoutError,
     ReproError,
@@ -47,6 +53,7 @@ from repro.common import (
     StorageError,
     TransactionAborted,
     TransactionStateError,
+    WalCorruptionError,
     WalError,
     ZipfGenerator,
 )
@@ -66,12 +73,16 @@ from repro.core.inspect import (
 )
 from repro.core.session import Session
 from repro.faults import FAULT_SITES, FaultInjector, FaultSpec
+from repro.integrity import Damage, IntegrityReport, check_database
 from repro.metrics import Counters, Histogram, format_table
 from repro.obs import (
     EVENT_TYPES,
+    RECOVERY_REPORT_FIELDS,
     RESULT_SCHEMA_VERSION,
+    SALVAGE_REPORT_FIELDS,
     EngineMetrics,
     Tracer,
+    validate_recovery_report,
     validate_result,
 )
 from repro.query import (
@@ -94,7 +105,7 @@ from repro.views.definition import (
     ProjectionView,
     ViewDefinition,
 )
-from repro.wal import CommitTicket, GroupCommitCoordinator
+from repro.wal import CommitTicket, GroupCommitCoordinator, RecoveryReport
 from repro.workload import (
     ACCOUNTS,
     BRANCH_TOTALS,
@@ -143,11 +154,21 @@ __all__ = [
     "SerializationError",
     "EscrowViolationError",
     "FaultInjected",
+    "IntegrityError",
     "SimulatedCrash",
+    "WalCorruptionError",
     # fault injection
     "FaultInjector",
     "FaultSpec",
     "FAULT_SITES",
+    # integrity and recovery hardening
+    "Damage",
+    "IntegrityReport",
+    "check_database",
+    "RecoveryReport",
+    "RECOVERY_REPORT_FIELDS",
+    "SALVAGE_REPORT_FIELDS",
+    "validate_recovery_report",
     # group commit
     "CommitTicket",
     "GroupCommitCoordinator",

@@ -12,6 +12,7 @@ from repro.common.errors import (
     DeadlockError,
     EscrowViolationError,
     FaultInjected,
+    IntegrityError,
     LatchError,
     LockTimeoutError,
     ReproError,
@@ -20,6 +21,7 @@ from repro.common.errors import (
     StorageError,
     TransactionAborted,
     TransactionStateError,
+    WalCorruptionError,
     WalError,
     WouldWait,
 )
@@ -33,6 +35,7 @@ __all__ = [
     "DeterministicRng",
     "EscrowViolationError",
     "FaultInjected",
+    "IntegrityError",
     "KeyBound",
     "KeyRange",
     "LatchError",
@@ -45,6 +48,7 @@ __all__ = [
     "StorageError",
     "TransactionAborted",
     "TransactionStateError",
+    "WalCorruptionError",
     "WalError",
     "WouldWait",
     "ZipfGenerator",

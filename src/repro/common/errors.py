@@ -18,6 +18,26 @@ class WalError(ReproError):
     """The write-ahead log was used incorrectly or is corrupt."""
 
 
+class WalCorruptionError(WalError):
+    """The durable log failed its checksum scan and committed work was
+    lost past the salvage truncation point.
+
+    Raised only under ``EngineConfig(salvage_policy="strict")``; the
+    default ``"report"`` policy completes recovery and enumerates the
+    loss in ``RecoveryReport.salvage`` instead. Either way the loss is
+    never silent. Carries the salvage report dict as ``salvage``.
+    """
+
+    def __init__(self, message, salvage=None):
+        super().__init__(message)
+        self.salvage = salvage
+
+
+class IntegrityError(ReproError):
+    """The online integrity checker found structural damage, or a
+    repair operation (quarantine / rebuild) was used incorrectly."""
+
+
 class CatalogError(ReproError):
     """A schema object is missing, duplicated, or ill-formed."""
 

@@ -6,6 +6,7 @@ AGGREGATE_STRATEGIES = ("escrow", "xlock")
 MAINTENANCE_MODES = ("immediate", "commit_fold", "deferred")
 COUNTER_LOGGING = ("logical", "physical")
 GROUP_COMMIT_POLICIES = (None, "size", "latency")
+SALVAGE_POLICIES = ("report", "strict")
 
 
 class EngineConfig:
@@ -53,6 +54,17 @@ class EngineConfig:
       observers of the trace stream. Enables the tracer on all
       categories; collect findings via ``db.sanitizers.check()``. See
       ``docs/ANALYSIS.md``.
+    * ``wal_checksums`` — stamp a CRC on every log record as it becomes
+      durable, so recovery's salvage pass can detect a corrupted durable
+      stream and truncate at it. ``False`` is the negative control for
+      salvage honesty: corruption then flows into recovery undetected
+      and must be caught by the integrity checker instead.
+    * ``salvage_policy`` — what recovery does when salvage finds that
+      *committed* work fell past the truncation point: ``"report"``
+      (default) completes recovery and enumerates the loss in
+      ``RecoveryReport.salvage``; ``"strict"`` raises
+      :class:`~repro.common.errors.WalCorruptionError` instead of
+      silently serving a state missing committed transactions.
     """
 
     def __init__(
@@ -71,6 +83,8 @@ class EngineConfig:
         group_commit_size=8,
         group_commit_latency=16,
         sanitizers=False,
+        wal_checksums=True,
+        salvage_policy="report",
     ):
         if aggregate_strategy not in AGGREGATE_STRATEGIES:
             raise ReproError(f"unknown aggregate_strategy {aggregate_strategy!r}")
@@ -108,6 +122,10 @@ class EngineConfig:
         self.group_commit_size = group_commit_size
         self.group_commit_latency = group_commit_latency
         self.sanitizers = bool(sanitizers)
+        self.wal_checksums = bool(wal_checksums)
+        if salvage_policy not in SALVAGE_POLICIES:
+            raise ReproError(f"unknown salvage_policy {salvage_policy!r}")
+        self.salvage_policy = salvage_policy
 
     def __repr__(self):
         return (

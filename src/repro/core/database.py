@@ -30,6 +30,7 @@ from repro.common import (
     SimulatedCrash,
     StorageError,
     TransactionAborted,
+    WalCorruptionError,
 )
 from repro.common.keys import KeyRange
 from repro.faults import NULL_INJECTOR
@@ -74,6 +75,7 @@ from repro.wal import (
     GroupCommitCoordinator,
     LogManager,
     recover,
+    salvage,
 )
 from repro.wal.records import GhostRecord, InsertRecord, UpdateRecord
 from repro.wal.recovery import RecoveryTarget
@@ -90,7 +92,10 @@ class Database(RecoveryTarget):
         self.faults = NULL_INJECTOR  # see install_fault_injector()
         self.retries = RetryStats()
         self._retry_rng = DeterministicRng(self.config.retry_seed)
-        self.log = LogManager(tracer=self.tracer, faults=self.faults)
+        self.log = LogManager(
+            tracer=self.tracer, faults=self.faults,
+            checksums=self.config.wal_checksums,
+        )
         self.locks = LockManager(
             tracer=self.tracer, clock=self.clock,
             timeout=self.config.lock_wait_timeout, faults=self.faults,
@@ -127,6 +132,18 @@ class Database(RecoveryTarget):
         self._indexes = {}
         self._index_views = {}  # index name -> owning view definition
         self.secondary = SecondaryIndexManager(self)
+        from repro.integrity import QuarantineManager
+
+        #: damaged-view registry; reads on quarantined views degrade to
+        #: recomputation and their maintenance pauses until rebuild.
+        self.quarantine = QuarantineManager(self)
+        self.maintenance.suppressed = self.quarantine.is_quarantined
+        #: recovery attempts since the last completed recovery — nonzero
+        #: while a crash storm is interrupting recovery itself.
+        self._recovery_attempts = 0
+        self._pending_salvage = None  # carried across recovery re-entries
+        self._integrity_checks = 0
+        self._integrity_damage = 0
         from repro.locking.escalation import EscalationPolicy
 
         self.escalation = EscalationPolicy(
@@ -155,8 +172,12 @@ class Database(RecoveryTarget):
         cleaner). Pass ``None`` to restore the inert null injector.
 
         The injector survives :meth:`simulate_crash_and_recover` — real
-        flaky hardware does too — but recovery itself never consults
-        fault sites (it runs on the already-durable log).
+        flaky hardware does too. Recovery evaluates its own crash sites
+        (``recovery.analysis`` / ``recovery.redo`` / ``recovery.undo``)
+        and the log evaluates ``wal.corrupt`` at the durability boundary,
+        so a crash storm can interrupt recovery itself; re-enter by
+        calling :meth:`simulate_crash_and_recover` again. The retryable
+        flush/append sites are never evaluated from inside recovery.
         """
         self.faults = injector if injector is not None else NULL_INJECTOR
         self.faults.tracer = self.tracer
@@ -642,6 +663,13 @@ class Database(RecoveryTarget):
             "escalations": self.escalation.escalations,
             "retries": self.retries.as_dict(),
             "faults": self.faults.counts(),
+            "integrity": {
+                "checks": self._integrity_checks,
+                "damage_found": self._integrity_damage,
+                "quarantined": self.quarantine.quarantined(),
+                "degraded_reads": self.quarantine.degraded_reads,
+                "rebuilds": self.quarantine.rebuilds,
+            },
         }
 
     def _apply_commit_folds(self, txn):
@@ -654,6 +682,10 @@ class Database(RecoveryTarget):
         applied = txn.scratch.setdefault("folds_applied", set())
         maintainer = self.maintenance.aggregate
         for view_name in sorted(nets):
+            if self.quarantine.is_quarantined(view_name):
+                # Quarantined mid-transaction: deltas accumulated before
+                # the quarantine are dropped — the rebuild recomputes.
+                continue
             view = self.catalog.view(view_name)
             for group_key, deltas in nets[view_name].items():
                 tag = (view_name, group_key)
@@ -837,9 +869,18 @@ class Database(RecoveryTarget):
         Serializable transactions take an S (or U) key lock — which waits
         behind in-flight escrow writers. Snapshot transactions read the
         version chain at their read timestamp, lock-free.
+
+        A quarantined view answers from a fresh recomputation of its base
+        tables instead of its (presumed damaged) maintained index.
         """
         txn.require_active()
         key = tuple(key)
+        if self.quarantine.active and self.quarantine.is_quarantined(name):
+            contents = self.quarantine.degraded_contents(
+                self.catalog.view(name), txn
+            )
+            txn.stats.reads += 1
+            return contents.get(key)
         index = self.index(name)
         if txn.isolation in ("snapshot", "read_committed"):
             # snapshot: frozen at the transaction's start timestamp.
@@ -861,6 +902,15 @@ class Database(RecoveryTarget):
         request converts any E the reader holds into X (E ∨ S = X)."""
         txn.require_active()
         key = tuple(key)
+        if self.quarantine.active and self.quarantine.is_quarantined(name):
+            # Quarantine pauses the view's maintenance, so this txn holds
+            # no pending escrow deltas against it — the degraded
+            # recomputation already is the exact answer.
+            contents = self.quarantine.degraded_contents(
+                self.catalog.view(name), txn
+            )
+            txn.stats.reads += 1
+            return contents.get(key)
         index = self.index(name)
         self.acquire_plan(txn, locks_for_point_read(index, key))
         txn.stats.reads += 1
@@ -886,9 +936,19 @@ class Database(RecoveryTarget):
         read versions lock-free.
         """
         txn.require_active()
-        index = self.index(name)
         if key_range is None:
             key_range = KeyRange.all()
+        if self.quarantine.active and self.quarantine.is_quarantined(name):
+            contents = self.quarantine.degraded_contents(
+                self.catalog.view(name), txn
+            )
+            rows = [
+                contents[key] for key in sorted(contents)
+                if key_range.contains(key)
+            ]
+            txn.stats.reads += len(rows)
+            return rows
+        index = self.index(name)
         if txn.isolation in ("snapshot", "read_committed"):
             as_of = txn.read_ts if txn.isolation == "snapshot" else self.clock.now()
             rows = []
@@ -912,6 +972,11 @@ class Database(RecoveryTarget):
     def read_committed(self, name, key):
         """Latest committed row outside any transaction (convenience for
         tests and examples; equivalent to a fresh snapshot read)."""
+        if self.quarantine.active and self.quarantine.is_quarantined(name):
+            contents = self.quarantine.degraded_contents(
+                self.catalog.view(name), None
+            )
+            return contents.get(tuple(key))
         record = self.index(name).get_record(tuple(key), include_ghost=True)
         if record is None:
             return None
@@ -987,6 +1052,53 @@ class Database(RecoveryTarget):
         return problems
 
     # ==================================================================
+    # integrity: check, quarantine, rebuild
+    # ==================================================================
+
+    def check_integrity(self, quarantine=False):
+        """Run the online integrity checker (see
+        :mod:`repro.integrity.checker`): B-tree structural invariants of
+        every index, secondary-index agreement with the heap, and every
+        view against fresh recomputation. Returns the
+        :class:`~repro.integrity.IntegrityReport`.
+
+        ``quarantine=True`` additionally quarantines every view the
+        checker found damaged, flipping its reads to degraded
+        recomputation until :meth:`rebuild_view`. Only meaningful at
+        quiescence, like :meth:`check_view_consistency`.
+        """
+        from repro.integrity import check_database
+
+        report = check_database(self)
+        self._integrity_checks += 1
+        self._integrity_damage += len(report.damage)
+        self.counters.incr("integrity.checks")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "integrity_check", indexes=report.indexes_checked,
+                views=report.views_checked, damage=len(report.damage),
+            )
+        if quarantine:
+            for view_name in report.damaged_views():
+                if not self.quarantine.is_quarantined(view_name):
+                    self.quarantine.quarantine(
+                        view_name, reason=report.reason_for(view_name)
+                    )
+        return report
+
+    def quarantine_view(self, view_name, reason="operator"):
+        """Quarantine one view by hand (reads degrade, maintenance
+        pauses); :meth:`check_integrity(quarantine=True)` is the
+        automatic route."""
+        return self.quarantine.quarantine(view_name, reason=reason)
+
+    def rebuild_view(self, view_name):
+        """Online rebuild of a quarantined view: one system transaction
+        re-materializes it from the base tables under locks and lifts the
+        quarantine. Returns the number of corrections applied."""
+        return self.quarantine.rebuild(view_name)
+
+    # ==================================================================
     # checkpoints, crash, recovery
     # ==================================================================
 
@@ -1021,6 +1133,12 @@ class Database(RecoveryTarget):
         """Lose all volatile state, then rebuild from the durable log.
 
         Returns the :class:`~repro.wal.recovery.RecoveryReport`.
+
+        Re-entrant: if an armed ``recovery.*`` site crashes recovery
+        itself (:class:`~repro.common.SimulatedCrash` propagates), call
+        this again — repeated partial recoveries converge because undo's
+        CLRs are hardened as written. The completed report's
+        ``restarts`` counts the interrupted attempts.
         """
         self.log.crash()
         return self._rebuild_from_log()
@@ -1039,15 +1157,52 @@ class Database(RecoveryTarget):
         database must already have the same tables and views registered —
         the usual pattern is: build the schema, then restore.
         """
-        self.log = LogManager.load(path)
+        self.log = LogManager.load(
+            path, checksums=self.config.wal_checksums
+        )
         return self._rebuild_from_log()
 
     def _rebuild_from_log(self):
+        restarted = self._recovery_attempts > 0
+        self._recovery_attempts += 1
+        if restarted:
+            self.counters.incr("recovery.restarts")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "recovery_restarted", attempt=self._recovery_attempts
+                )
         if self.sanitizers is not None:
             # Before recovery appends anything: the volatile suffix is
             # gone, LSNs legally rewind to flushed_lsn + 1, and commit-
             # visible-but-not-durable transactions are rolled back.
             self.sanitizers.notice_crash()
+        # Salvage before anything reads the log: a corrupt record's
+        # payload (even its txn_id) cannot be trusted. On re-entry after a
+        # mid-recovery crash the log is already clean; the first attempt's
+        # report is carried in _pending_salvage so the loss still lands on
+        # the completed report.
+        fresh = salvage(self.log, verify=self.log.checksums)
+        if fresh is not None:
+            self._pending_salvage = fresh
+            self.counters.incr("wal.salvage")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "wal_salvage",
+                    truncated_lsn=fresh["truncated_lsn"],
+                    dropped=fresh["dropped_records"],
+                    lost_commits=fresh["lost_commits"],
+                    tail_garbage=fresh["tail_garbage"],
+                )
+            if fresh["lost_commits"] and self.config.salvage_policy == "strict":
+                # The log is already truncated (garbage must never be
+                # replayed); the loss is in the raised error. A subsequent
+                # recovery call proceeds and still carries the report.
+                raise WalCorruptionError(
+                    "durable log corrupt: committed transactions "
+                    f"{fresh['lost_commits']} lost past LSN "
+                    f"{fresh['truncated_lsn']}",
+                    salvage=fresh,
+                )
         max_txn = 0
         max_commit_ts = 0
         for record in self.log.records():
@@ -1062,8 +1217,14 @@ class Database(RecoveryTarget):
         checkpoint = self.log.latest_checkpoint()
         if checkpoint is not None and checkpoint.snapshot is not None:
             self._load_snapshot(checkpoint.snapshot)
-        report = recover(self.log, self)
+        report = recover(
+            self.log, self, faults=self.faults,
+            salvage_report=self._pending_salvage,
+        )
         self._post_recovery()
+        report.restarts = self._recovery_attempts - 1
+        self._recovery_attempts = 0
+        self._pending_salvage = None
         self.counters.incr("recovery.runs")
         return report
 

@@ -97,6 +97,30 @@ FAULT_SITES = {
         "description": "the ghost cleaner's system transaction is aborted "
         "mid-candidate; the candidate must be requeued, user data untouched",
     },
+    "wal.corrupt": {
+        "action": "corrupt",
+        "description": "a record's payload is flipped in the durable stream "
+        "just after its checksum stamp — a bit flip on the device; the "
+        "salvage scan must truncate at it and report what was lost",
+    },
+    "recovery.analysis": {
+        "action": "crash",
+        "description": "crash during the recovery analysis pass, evaluated "
+        "once per scanned record — recovery itself dies and must be "
+        "re-entered from the top",
+    },
+    "recovery.redo": {
+        "action": "crash",
+        "description": "crash during the redo pass, evaluated before each "
+        "data record is replayed — a half-repeated history that the next "
+        "recovery attempt must complete",
+    },
+    "recovery.undo": {
+        "action": "crash",
+        "description": "crash during the undo pass, evaluated before each "
+        "loser record is examined — durable CLRs make the next attempt "
+        "skip already-compensated work instead of undoing twice",
+    },
 }
 
 
@@ -227,9 +251,9 @@ class FaultInjector:
         if self.fires(site, txn_id=txn_id, detail=detail) is not None:
             raise FaultInjected(site, txn_id)
 
-    def maybe_crash(self, site, txn_id=None, committed=False):
+    def maybe_crash(self, site, txn_id=None, committed=False, detail=None):
         """Raise :class:`SimulatedCrash` when ``site`` fires."""
-        if self.fires(site, txn_id=txn_id) is not None:
+        if self.fires(site, txn_id=txn_id, detail=detail) is not None:
             raise SimulatedCrash(site, committed=committed)
 
 

@@ -1,0 +1,229 @@
+"""The online integrity checker.
+
+:func:`check_database` sweeps three layers of invariants and returns a
+structured :class:`IntegrityReport`:
+
+1. **structure** — every index's B-tree ordering/fanout invariants and
+   ghost-registry consistency (``Index.check_invariants``);
+2. **secondary** — every secondary index agrees with its base table:
+   each live base row has exactly its entry (with the right reference
+   row), no orphan entries exist, and unique indexes hold no duplicate
+   values;
+3. **view** — every indexed view (main index *and* its auxiliary
+   ``#secondary`` / ``#leftfk`` indexes) matches a fresh recomputation
+   from the base tables, with the usual zero-count-group allowance for
+   aggregate views.
+
+Like ``Database.check_view_consistency``, the sweep is only meaningful
+at quiescence — in-flight transactions legitimately leave views ahead of
+or behind their bases mid-statement. The checker never repairs anything;
+pair it with ``Database.check_integrity(quarantine=True)`` and
+``Database.rebuild_view`` for the repair path (see
+:mod:`repro.integrity.quarantine`).
+"""
+
+from repro.common import StorageError
+from repro.query.executor import (
+    recompute_aggregate_view,
+    recompute_join_aggregate_view,
+    recompute_join_view,
+    recompute_projection_view,
+)
+from repro.views.definition import is_aggregate_kind
+from repro.views.join import leftfk_index_name, secondary_index_name
+
+
+class Damage:
+    """One integrity finding, anchored to an index (and maybe a key)."""
+
+    __slots__ = ("kind", "index", "key", "detail", "view")
+
+    def __init__(self, kind, index, key=None, detail="", view=None):
+        self.kind = kind  # "structure" | "secondary" | "view"
+        self.index = index
+        self.key = key
+        self.detail = detail
+        self.view = view  # owning view name, when one is damaged
+
+    def __repr__(self):
+        where = f"{self.index}{self.key!r}" if self.key is not None else self.index
+        return f"Damage({self.kind} @ {where}: {self.detail})"
+
+    def as_dict(self):
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "key": list(self.key) if self.key is not None else None,
+            "detail": self.detail,
+            "view": self.view,
+        }
+
+
+class IntegrityReport:
+    """What :func:`check_database` found."""
+
+    def __init__(self):
+        self.indexes_checked = 0
+        self.views_checked = 0
+        self.damage = []  # list of Damage
+
+    @property
+    def clean(self):
+        return not self.damage
+
+    def damaged_views(self):
+        """Names of views with at least one finding (quarantine set)."""
+        return sorted({d.view for d in self.damage if d.view is not None})
+
+    def reason_for(self, view_name):
+        """The first finding against ``view_name``, as a reason string."""
+        for damage in self.damage:
+            if damage.view == view_name:
+                return repr(damage)
+        return "damaged"
+
+    def as_dict(self):
+        return {
+            "indexes_checked": self.indexes_checked,
+            "views_checked": self.views_checked,
+            "clean": self.clean,
+            "damage": [d.as_dict() for d in self.damage],
+        }
+
+    def __repr__(self):
+        state = "clean" if self.clean else f"{len(self.damage)} findings"
+        return (
+            f"IntegrityReport({state}, indexes={self.indexes_checked}, "
+            f"views={self.views_checked})"
+        )
+
+
+def expected_index_contents(db, view):
+    """Freshly recomputed contents of every index ``view`` owns.
+
+    Returns ``{index_name: {key: row}}`` — the main view index plus the
+    ``#secondary`` (join) and ``#leftfk`` (join / join_aggregate)
+    auxiliary indexes, built exactly as first materialization builds
+    them. Shared by the checker (diff) and the rebuild (reconcile).
+    """
+    contents = {}
+    if view.kind == "aggregate":
+        contents[view.name] = recompute_aggregate_view(
+            list(db.index(view.base).rows()), view
+        )
+        return contents
+    if view.kind == "projection":
+        contents[view.name] = recompute_projection_view(
+            list(db.index(view.base).rows()), view
+        )
+        return contents
+    left_rows = list(db.index(view.left).rows())
+    right_rows = list(db.index(view.right).rows())
+    if view.kind == "join":
+        main = recompute_join_view(left_rows, right_rows, view)
+        contents[view.name] = main
+        maintainer = db.maintenance.join
+        contents[secondary_index_name(view.name)] = {
+            maintainer._secondary_key(db, view, row): row
+            for row in main.values()
+        }
+    else:  # join_aggregate
+        contents[view.name] = recompute_join_aggregate_view(
+            left_rows, right_rows, view
+        )
+    fk_name = leftfk_index_name(view.name)
+    fk_index = db.index(fk_name)
+    contents[fk_name] = {
+        view.left_fk_of(row) + db.table_key(view.left, row):
+            row.project(fk_index.key_columns)
+        for row in left_rows
+    }
+    return contents
+
+
+def check_database(db):
+    """Run the full three-layer sweep; returns an :class:`IntegrityReport`."""
+    report = IntegrityReport()
+    _check_structure(db, report)
+    _check_secondary(db, report)
+    _check_views(db, report)
+    return report
+
+
+def _check_structure(db, report):
+    for name in db.index_names():
+        report.indexes_checked += 1
+        try:
+            db.index(name).check_invariants()
+        except StorageError as err:
+            view = db.view_of_index(name)
+            report.damage.append(
+                Damage(
+                    "structure", name, detail=str(err),
+                    view=view.name if view is not None else None,
+                )
+            )
+
+
+def _check_secondary(db, report):
+    for schema in db.catalog.tables():
+        for definition in db.secondary.indexes_on(schema.name):
+            _check_one_secondary(db, report, definition)
+
+
+def _check_one_secondary(db, report, definition):
+    base = db.index(definition.table)
+    sec = db.index(definition.full_name)
+    expected = {}
+    for _, record in base.scan():
+        key = db.secondary._entry_key(definition, record.current_row)
+        if definition.unique and key in expected:
+            report.damage.append(
+                Damage(
+                    "secondary", definition.full_name, key=key,
+                    detail="duplicate value under a unique index",
+                )
+            )
+            continue
+        expected[key] = db.secondary._ref_row(definition, record.current_row)
+    actual = {key: record.current_row for key, record in sec.scan()}
+    for key in sorted(set(expected) | set(actual), key=repr):
+        want, got = expected.get(key), actual.get(key)
+        if want == got:
+            continue
+        if want is None:
+            detail = f"orphan entry {got!r} with no live base row"
+        elif got is None:
+            detail = f"missing entry for base row (expected {want!r})"
+        else:
+            detail = f"entry disagrees with base row: {got!r} != {want!r}"
+        report.damage.append(
+            Damage("secondary", definition.full_name, key=key, detail=detail)
+        )
+
+
+def _check_views(db, report):
+    for view in db.catalog.views():
+        report.views_checked += 1
+        for index_name, expected in expected_index_contents(db, view).items():
+            actual = {
+                key: record.current_row
+                for key, record in db.index(index_name).scan()
+            }
+            if index_name == view.name and is_aggregate_kind(view):
+                # Zero-count groups are logically deleted but may linger
+                # until the ghost cleaner runs; treat them as absent.
+                actual = {
+                    k: r for k, r in actual.items()
+                    if r[view.count_column] != 0
+                }
+            for key in sorted(set(expected) | set(actual), key=repr):
+                want, got = expected.get(key), actual.get(key)
+                if want != got:
+                    report.damage.append(
+                        Damage(
+                            "view", index_name, key=key,
+                            detail=f"expected {want!r}, got {got!r}",
+                            view=view.name,
+                        )
+                    )

@@ -1,0 +1,244 @@
+"""View quarantine and online rebuild.
+
+A view the integrity checker condemned (or an operator distrusts) is
+*quarantined*: its maintained contents are presumed damaged, so
+
+* **reads degrade** — ``Database.read`` / ``scan`` / ``read_committed``
+  against the view transparently recompute the answer from the base
+  tables under the caller's isolation level (serializable readers take
+  table-level S locks on the bases; snapshot readers use their version
+  timestamp), and
+* **maintenance pauses** — base-table DML stops compiling maintenance
+  actions for the view (its contents will be thrown away anyway), so
+  damaged state cannot make maintainers fail user statements.
+
+The quarantine lifts when :meth:`QuarantineManager.rebuild` runs: a
+system transaction takes S locks on the base tables and an X lock on
+each view-owned index, reconciles the maintained contents against a
+fresh recomputation (logging every correction, so a crash mid-rebuild
+replays or rolls back cleanly), and commits. Quarantine state is part of
+the *operator's* knowledge, not the engine's volatile state: it survives
+``simulate_crash_and_recover`` until explicitly lifted.
+"""
+
+from repro.common import IntegrityError
+from repro.integrity.checker import expected_index_contents
+from repro.locking import LockMode
+from repro.locking.keyrange import table_resource
+from repro.query.executor import (
+    recompute_aggregate_view,
+    recompute_join_aggregate_view,
+    recompute_join_view,
+    recompute_projection_view,
+)
+from repro.views.definition import is_aggregate_kind
+from repro.views.join import leftfk_index_name, secondary_index_name
+from repro.wal.records import (
+    GhostRecord,
+    InsertRecord,
+    ReviveRecord,
+    UpdateRecord,
+)
+
+
+class QuarantineManager:
+    """Tracks quarantined views; serves degraded reads; rebuilds."""
+
+    def __init__(self, db):
+        self._db = db
+        self._reasons = {}  # view name -> reason string
+        self.degraded_reads = 0
+        self.rebuilds = 0
+
+    @property
+    def active(self):
+        """Cheap guard for the read hot path."""
+        return bool(self._reasons)
+
+    def is_quarantined(self, name):
+        return name in self._reasons
+
+    def quarantined(self):
+        return sorted(self._reasons)
+
+    def reason(self, name):
+        return self._reasons.get(name)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def quarantine(self, view_name, reason="operator"):
+        """Put ``view_name`` under quarantine; returns the definition."""
+        db = self._db
+        view = db.catalog.view(view_name)  # CatalogError on unknown names
+        self._reasons[view.name] = reason
+        db.counters.incr("integrity.quarantines")
+        if db.tracer.enabled:
+            db.tracer.emit("view_quarantined", view=view.name, reason=reason)
+        return view
+
+    def lift(self, view_name):
+        """Drop the quarantine without rebuilding (operator override —
+        asserts the maintained contents are actually trustworthy)."""
+        if view_name not in self._reasons:
+            raise IntegrityError(f"view {view_name!r} is not quarantined")
+        del self._reasons[view_name]
+
+    # ------------------------------------------------------------------
+    # degraded reads
+    # ------------------------------------------------------------------
+
+    def degraded_contents(self, view, txn=None):
+        """The view's visible contents recomputed from its base tables,
+        as ``{key: row}``, under ``txn``'s isolation (``None`` = a fresh
+        committed read)."""
+        self.degraded_reads += 1
+        self._db.counters.incr("integrity.degraded_reads")
+        return self._recompute(view, txn)
+
+    def _recompute(self, view, txn):
+        db = self._db
+        if txn is None or txn.isolation in ("snapshot", "read_committed"):
+            if txn is not None and txn.isolation == "snapshot":
+                as_of = txn.read_ts
+            else:
+                as_of = db.clock.now()
+
+            def rows_of(table):
+                out = []
+                for _, record in db.index(table).scan(include_ghosts=True):
+                    row = record.read_as_of(as_of)
+                    if row is not None:
+                        out.append(row)
+                return out
+        else:
+            # Serializable: a table-level S lock on each base table makes
+            # the recomputation as repeatable as the maintained view index
+            # would have been. Base tables cannot be quarantined, so this
+            # never recurses.
+            def rows_of(table):
+                txn.acquire(table_resource(table), LockMode.S)
+                return list(db.index(table).rows())
+
+        if view.kind == "aggregate":
+            return recompute_aggregate_view(rows_of(view.base), view)
+        if view.kind == "projection":
+            return recompute_projection_view(rows_of(view.base), view)
+        left_rows, right_rows = rows_of(view.left), rows_of(view.right)
+        if view.kind == "join":
+            return recompute_join_view(left_rows, right_rows, view)
+        return recompute_join_aggregate_view(left_rows, right_rows, view)
+
+    # ------------------------------------------------------------------
+    # rebuild
+    # ------------------------------------------------------------------
+
+    def rebuild(self, view_name):
+        """Re-materialize a quarantined view online and lift the
+        quarantine. Returns the number of corrections applied.
+
+        Runs as one system transaction: S locks on the base tables (the
+        recomputation source must hold still), X locks on every
+        view-owned index, then a reconcile of maintained contents against
+        the fresh recomputation. Every correction is logged through the
+        normal WAL records, so recovery replays a committed rebuild and
+        rolls back an interrupted one — after which the view is simply
+        still quarantined.
+        """
+        db = self._db
+        view = db.catalog.view(view_name)
+        if view.name not in self._reasons:
+            raise IntegrityError(
+                f"view {view_name!r} is not quarantined; quarantine it "
+                "before rebuilding (rebuild is the quarantine exit path)"
+            )
+        txn = db.begin_system()
+        corrections = 0
+        try:
+            for base in view.base_tables():
+                txn.acquire(table_resource(base), LockMode.S)
+            owned = [view.name]
+            if view.kind == "join":
+                owned.append(secondary_index_name(view.name))
+            if view.kind in ("join", "join_aggregate"):
+                owned.append(leftfk_index_name(view.name))
+            for index_name in owned:
+                txn.acquire(table_resource(index_name), LockMode.X)
+            for index_name, expected in sorted(
+                expected_index_contents(db, view).items()
+            ):
+                corrections += self._reconcile(txn, index_name, expected)
+            db.commit(txn)
+        except BaseException:
+            from repro.txn.transaction import TxnState
+
+            if txn.state is TxnState.ACTIVE:
+                db.abort(txn, reason="rebuild interrupted")
+            raise
+        del self._reasons[view.name]
+        self.rebuilds += 1
+        db.counters.incr("integrity.rebuilds")
+        if db.tracer.enabled:
+            db.tracer.emit(
+                "view_rebuilt", txn_id=txn.txn_id, view=view.name,
+                corrections=corrections,
+            )
+        return corrections
+
+    def _reconcile(self, txn, index_name, expected):
+        """Make ``index_name`` hold exactly ``expected``, logging each
+        correction; returns how many were needed."""
+        db = self._db
+        index = db.index(index_name)
+        actual = dict(index.scan(include_ghosts=True))
+        view = db.view_of_index(index_name)
+        # Escrow accounts are created lazily from the row's current value;
+        # correcting a counter row must drop any stale account or the next
+        # escrow update would resume from the damaged value. Safe here: the
+        # X lock on the view index excludes every escrow holder.
+        counter_cols = (
+            view.counter_columns()
+            if view is not None and is_aggregate_kind(view)
+            and index_name == view.name
+            else ()
+        )
+        corrections = 0
+        for key in sorted(set(expected) | set(actual), key=repr):
+            want = expected.get(key)
+            record = actual.get(key)
+            if want is None:
+                if record is None or record.is_ghost:
+                    continue  # ghosts are the cleaner's business
+                db.log.append(
+                    GhostRecord(txn.txn_id, index_name, key,
+                                record.current_row)
+                )
+                index.logical_delete(key)
+                db.cleanup.enqueue(index_name, key)
+                txn.touch_record(record)
+            elif record is None:
+                fresh = index.insert(key, want)
+                db.log.append(InsertRecord(txn.txn_id, index_name, key, want))
+                txn.touch_record(fresh)
+            elif record.is_ghost:
+                ghost_row = record.current_row
+                index.insert(key, want)
+                db.log.append(
+                    ReviveRecord(txn.txn_id, index_name, key, want, ghost_row)
+                )
+                db.cleanup.cancel(index_name, key)
+                txn.touch_record(record)
+            elif record.current_row != want:
+                db.log.append(
+                    UpdateRecord(txn.txn_id, index_name, key,
+                                 record.current_row, want)
+                )
+                record.current_row = want
+                txn.touch_record(record)
+            else:
+                continue
+            for column in counter_cols:
+                db.escrow.drop((index_name, key, column))
+            corrections += 1
+        return corrections

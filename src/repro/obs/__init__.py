@@ -6,7 +6,14 @@ See ``docs/OBSERVABILITY.md`` for the event catalogue, the
 
 from repro.obs.events import CATEGORIES, EVENT_TYPES, Event
 from repro.obs.metrics import EngineMetrics, RetryStats
-from repro.obs.schema import RESULT_SCHEMA_VERSION, VERDICTS, validate_result
+from repro.obs.schema import (
+    RECOVERY_REPORT_FIELDS,
+    RESULT_SCHEMA_VERSION,
+    SALVAGE_REPORT_FIELDS,
+    VERDICTS,
+    validate_recovery_report,
+    validate_result,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
@@ -15,9 +22,12 @@ __all__ = [
     "Event",
     "EngineMetrics",
     "NULL_TRACER",
+    "RECOVERY_REPORT_FIELDS",
     "RESULT_SCHEMA_VERSION",
     "RetryStats",
+    "SALVAGE_REPORT_FIELDS",
     "Tracer",
     "VERDICTS",
+    "validate_recovery_report",
     "validate_result",
 ]

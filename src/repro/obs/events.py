@@ -144,7 +144,8 @@ EVENT_TYPES = {
         "fields": {
             "site": "the fault site that fired (see repro.faults.FAULT_SITES)",
             "hit": "how many times the site had been evaluated when it fired",
-            "action": "failure shape: raise | crash | deny | delay | torn | lost",
+            "action": "failure shape: raise | crash | deny | delay | torn | "
+            "lost | corrupt",
         },
     },
     # --------------------------------------------------------- cleanup
@@ -154,6 +155,48 @@ EVENT_TYPES = {
             "index": "index the candidate belongs to",
             "key": "candidate key",
             "outcome": "removed | requeued | skipped_live | deferred",
+        },
+    },
+    # -------------------------------------------------------- recovery
+    "recovery_restarted": {
+        "category": "recovery",
+        "fields": {
+            "attempt": "1-based number of this recovery attempt (2 = first "
+            "re-entry after a crash inside recovery)",
+        },
+    },
+    "wal_salvage": {
+        "category": "recovery",
+        "fields": {
+            "truncated_lsn": "LSN of the first corrupt record, where the "
+            "log was cut (None when only the file tail was undecodable)",
+            "dropped": "records discarded by the truncation",
+            "lost_commits": "txn ids whose committed work was rolled back",
+            "tail_garbage": "dropped records belonging to no lost commit",
+        },
+    },
+    # ------------------------------------------------------- integrity
+    "integrity_check": {
+        "category": "integrity",
+        "fields": {
+            "indexes": "indexes structurally checked",
+            "views": "views diffed against fresh recomputation",
+            "damage": "damage findings (0 = clean)",
+        },
+    },
+    "view_quarantined": {
+        "category": "integrity",
+        "fields": {
+            "view": "the quarantined view",
+            "reason": "why (checker finding or operator-supplied)",
+        },
+    },
+    "view_rebuilt": {
+        "category": "integrity",
+        "fields": {
+            "view": "the rebuilt view",
+            "corrections": "index entries inserted/updated/ghosted/revived "
+            "to re-materialize it",
         },
     },
 }

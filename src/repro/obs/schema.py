@@ -41,6 +41,59 @@ _CLAIM = {
     "checks": list,
 }
 
+#: pinned shape of ``RecoveryReport.as_dict()`` — key -> expected type.
+#: Chaos/crash-storm harnesses assert against this so the report cannot
+#: silently drop the salvage/restart accounting.
+RECOVERY_REPORT_FIELDS = {
+    "winners": list,
+    "losers": list,
+    "redo_count": int,
+    "undo_count": int,
+    "clrs_written": int,
+    "analyzed_records": int,
+    "salvage": (dict, type(None)),
+    "restarts": int,
+}
+
+#: pinned shape of the salvage sub-report (``RecoveryReport.salvage``
+#: when not None; also carried by WalCorruptionError.salvage).
+SALVAGE_REPORT_FIELDS = {
+    "truncated_lsn": (int, type(None)),
+    "corrupt_record": (str, type(None)),
+    "dropped_records": int,
+    "lost_commits": list,
+    "tail_garbage": int,
+    "undecodable_lines": int,
+}
+
+
+def validate_recovery_report(doc, label="recovery_report"):
+    """Validate a ``RecoveryReport.as_dict()`` document (including its
+    salvage sub-report, when present). Returns problem strings."""
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"{label}: document is {type(doc).__name__}, not an object"]
+    for fields, target, where in (
+        (RECOVERY_REPORT_FIELDS, doc, label),
+        (SALVAGE_REPORT_FIELDS, doc.get("salvage"), f"{label}.salvage"),
+    ):
+        if target is None:
+            continue
+        if not isinstance(target, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, expected in fields.items():
+            if key not in target:
+                problems.append(f"{where}: missing key {key!r}")
+            elif not isinstance(target[key], expected):
+                problems.append(
+                    f"{where}: {key!r} is {type(target[key]).__name__}"
+                )
+        for key in target:
+            if key not in fields:
+                problems.append(f"{where}: unexpected extra key {key!r}")
+    return problems
+
 
 def validate_result(doc, label="result"):
     """Validate one benchmark result document.

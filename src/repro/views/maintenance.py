@@ -31,6 +31,11 @@ class MaintenanceEngine:
         self.join_aggregate = JoinAggregateMaintainer(self.aggregate)
         self.projection = ProjectionMaintainer()
         self.deferred = deferred  # a DeferredMaintainer, or None
+        #: optional predicate(view_name) -> bool; True pauses maintenance
+        #: for that view (set to the quarantine check by Database — a
+        #: quarantined view's contents will be rebuilt wholesale, so
+        #: incrementally maintaining damaged state is wasted and risky)
+        self.suppressed = None
 
     def _maintainer_for(self, view):
         if view.kind == "aggregate":
@@ -53,6 +58,8 @@ class MaintenanceEngine:
         """
         actions = []
         for view in self._catalog.views_on(table):
+            if self.suppressed is not None and self.suppressed(view.name):
+                continue
             deferred = (
                 db.config.maintenance_mode == "deferred"
                 or getattr(view, "deferred", False)

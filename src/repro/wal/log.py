@@ -27,7 +27,7 @@ from repro.wal.records import CheckpointRecord, LogRecord
 class LogManager:
     """Append-only log with per-transaction backchains."""
 
-    def __init__(self, tracer=NULL_TRACER, faults=None):
+    def __init__(self, tracer=NULL_TRACER, faults=None, checksums=True):
         self._records = []
         self._next_lsn = 1
         self._txn_last_lsn = {}
@@ -38,6 +38,14 @@ class LogManager:
         self.bytes_estimate = 0
         self.tracer = tracer
         self.faults = faults if faults is not None else NULL_INJECTOR
+        #: stamp a CRC on every record as it becomes durable, so the
+        #: salvage scan (repro.wal.recovery.salvage) can detect a
+        #: corrupted durable stream. EngineConfig(wal_checksums=False)
+        #: turns this off — the negative control for salvage honesty.
+        self.checksums = checksums
+        #: JSON lines load() could not decode (a torn / garbage file
+        #: tail); reported by the salvage pass, never silently dropped.
+        self.undecodable_tail = 0
         #: called with the new ``flushed_lsn`` after every advance; the
         #: group-commit coordinator hangs off this to settle tickets even
         #: when the flush was triggered elsewhere (checkpoint, dump).
@@ -134,8 +142,11 @@ class LogManager:
         the flush listener (group-commit settling)."""
         if target <= self.flushed_lsn:
             return
-        advanced = target - self.flushed_lsn
+        previous = self.flushed_lsn
+        advanced = target - previous
         self.flushed_lsn = target
+        if self.checksums or self.faults.active:
+            self._harden_records(previous, target)
         self.flush_count += 1
         self.flush_records.observe(advanced)
         if self.tracer.enabled:
@@ -144,6 +155,80 @@ class LogManager:
             )
         if self.flush_listener is not None:
             self.flush_listener(target)
+
+    def _harden_records(self, previous, target):
+        """Stamp the checksum of every record that just became durable
+        (``previous < lsn <= target``) and evaluate the ``wal.corrupt``
+        fault site on each — a fired site flips the record's payload
+        *after* the stamp, modelling a bit flip in the durable stream."""
+        newly = []
+        for record in reversed(self._records):
+            if record.lsn > target:
+                continue
+            if record.lsn <= previous:
+                break
+            newly.append(record)
+        for record in reversed(newly):
+            if self.checksums:
+                record.stored_crc = record.checksum()
+            if self.faults.active and self.faults.fires(
+                "wal.corrupt", txn_id=record.txn_id,
+                detail=type(record).__name__,
+            ) is not None:
+                self._corrupt_record(record)
+
+    def _corrupt_record(self, record):
+        """Flip the record's payload in place, leaving any checksum stamp
+        stale. Numeric payload fields get +1000 (silently poisonous when
+        checksums are off); records with no mutable numeric payload get a
+        damaged stamp instead (detectable, never silently wrong)."""
+        deltas = getattr(record, "deltas", None)
+        if deltas:
+            column = sorted(deltas)[0]
+            deltas[column] += 1000
+            return
+        for attr in ("row", "after", "new_row", "before", "ghost_row"):
+            row = getattr(record, attr, None)
+            if row is None:
+                continue
+            for column in row:
+                value = row[column]
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                setattr(record, attr, row.replace(**{column: value + 1000}))
+                return
+        if record.stored_crc is not None:
+            record.stored_crc ^= 0x5A5A5A5A
+
+    def corrupt(self, lsn):
+        """Deliberately corrupt the durable record at ``lsn`` (test /
+        harness helper; the ``wal.corrupt`` fault site does the same from
+        a seeded schedule)."""
+        self._corrupt_record(self.record_at(lsn))
+
+    def truncate_from(self, lsn):
+        """Drop every record with ``lsn >= lsn`` — the salvage cut after
+        a failed checksum. Returns the dropped records (newest-last).
+        LSNs restart at the cut, exactly as after :meth:`crash`."""
+        dropped = [r for r in self._records if r.lsn >= lsn]
+        self._records = [r for r in self._records if r.lsn < lsn]
+        self._next_lsn = lsn
+        if self.flushed_lsn >= lsn:
+            self.flushed_lsn = lsn - 1
+        self._txn_last_lsn = {}
+        for record in self._records:
+            if record.txn_id is not None:
+                self._txn_last_lsn[record.txn_id] = record.lsn
+        return dropped
+
+    def flush_no_faults(self):
+        """Advance durability to the tail without evaluating the flush
+        fault sites. Recovery hardens its CLRs through this: a crashed
+        recovery is *re-entered*, never retried, so surfacing a
+        retryable flush fault from inside it would be meaningless."""
+        self._advance_flushed(self.tail_lsn())
 
     def crash(self):
         """Discard the unflushed suffix, as a power failure would.
@@ -194,26 +279,44 @@ class LogManager:
     # ------------------------------------------------------------------
 
     def dump(self, path):
-        """Write the flushed prefix as JSON lines."""
+        """Write the flushed prefix as JSON lines, carrying each record's
+        durable checksum stamp (so a flip made after the stamp — in
+        memory or in the file — stays detectable after a round trip)."""
         with open(path, "w") as f:
             for record in self._records:
                 if record.lsn > self.flushed_lsn:
                     break
-                f.write(json.dumps(record.to_dict()) + "\n")
+                d = record.to_dict()
+                if self.checksums:
+                    crc = record.stored_crc
+                    d["crc"] = record.checksum() if crc is None else crc
+                f.write(json.dumps(d) + "\n")
 
     @classmethod
-    def load(cls, path):
-        """Rebuild a log manager from a JSON-lines dump."""
-        manager = cls()
+    def load(cls, path, checksums=True):
+        """Rebuild a log manager from a JSON-lines dump.
+
+        An undecodable line ends the load — everything from it on is a
+        torn or garbage tail. The count of dropped lines lands in
+        ``undecodable_tail`` so the salvage pass can report the loss;
+        checksum-invalid (but decodable) records are loaded as-is and
+        left for the salvage scan to find and classify.
+        """
+        manager = cls(checksums=checksums)
         with open(path) as f:
-            for line in f:
-                line = line.strip()
-                if not line:
-                    continue
+            lines = f.readlines()
+        for position, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
                 record = LogRecord.from_dict(json.loads(line))
-                manager._records.append(record)
-                if record.txn_id is not None:
-                    manager._txn_last_lsn[record.txn_id] = record.lsn
+            except (ValueError, KeyError, TypeError):
+                manager.undecodable_tail = len(lines) - position
+                break
+            manager._records.append(record)
+            if record.txn_id is not None:
+                manager._txn_last_lsn[record.txn_id] = record.lsn
         if manager._records:
             manager._next_lsn = manager._records[-1].lsn + 1
             manager.flushed_lsn = manager._records[-1].lsn

@@ -23,6 +23,8 @@ interrupted by a crash resumes where it left off, ARIES-style.
 """
 
 import enum
+import json
+import zlib
 
 from repro.common import WalError
 from repro.common.rows import Row
@@ -46,9 +48,16 @@ class RecordType(enum.Enum):
 
 
 class LogRecord:
-    """Base class: LSN plus the per-transaction backchain."""
+    """Base class: LSN plus the per-transaction backchain.
 
-    __slots__ = ("lsn", "txn_id", "prev_lsn")
+    ``stored_crc`` is the checksum the durable stream carries for this
+    record: the log manager stamps it when the record becomes durable
+    (and ``dump``/``load`` round-trip it), so any later divergence
+    between the payload and the stamp — a bit flip "on disk" — is
+    detectable by :meth:`verify_checksum` during the salvage scan.
+    """
+
+    __slots__ = ("lsn", "txn_id", "prev_lsn", "stored_crc")
 
     type = None  # overridden
 
@@ -56,6 +65,7 @@ class LogRecord:
         self.lsn = None  # assigned by the log manager
         self.txn_id = txn_id
         self.prev_lsn = None  # assigned by the log manager
+        self.stored_crc = None  # stamped at flush / loaded from disk
 
     def __repr__(self):
         return (
@@ -93,12 +103,26 @@ class LogRecord:
     def _payload(self):
         return {}
 
+    def checksum(self):
+        """CRC-32 over the canonical JSON encoding (lsn, backchain, and
+        payload — everything :meth:`to_dict` covers, which is everything
+        recovery consumes)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return zlib.crc32(canonical.encode("utf-8"))
+
+    def verify_checksum(self):
+        """True when the stored checksum matches the payload (records
+        that were never stamped — e.g. with checksums disabled — are
+        vacuously valid; nothing can vouch for them)."""
+        return self.stored_crc is None or self.stored_crc == self.checksum()
+
     @staticmethod
     def from_dict(d):
         cls = _RECORD_CLASSES[RecordType(d["type"])]
         record = cls._from_payload(d)
         record.lsn = d["lsn"]
         record.prev_lsn = d["prev_lsn"]
+        record.stored_crc = d.get("crc")
         return record
 
 

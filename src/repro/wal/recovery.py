@@ -21,6 +21,24 @@ are relative (+delta / -delta), so the interleaved histories that escrow
 locking permits recover to exactly the committed sums. Physical
 before/after-image records cannot promise that — the R4 experiment runs
 both through this same recovery driver and shows the divergence.
+
+Two hardening layers sit on top of the classic pipeline:
+
+* **Salvage** (:func:`salvage`) runs before analysis: it scans the
+  durable prefix for the first record whose checksum stamp no longer
+  matches its payload, truncates the log there, and classifies the loss
+  — committed transactions whose COMMIT fell past the cut
+  (``lost_commits``) versus uncommitted tail garbage. The loss is never
+  silent: it lands in ``RecoveryReport.salvage`` (or, under
+  ``salvage_policy="strict"``, in a raised
+  :class:`~repro.common.errors.WalCorruptionError`).
+* **Restartability**: each phase evaluates a per-record crash fault site
+  (``recovery.analysis`` / ``recovery.redo`` / ``recovery.undo``), and
+  undo hardens every CLR it writes (``durable=True``), so a crash *inside
+  recovery* is survivable — the next attempt repeats history and resumes
+  rollback from the durable CLRs' ``undo_next_lsn`` chain instead of
+  compensating twice. Repeated partial recoveries converge to the same
+  state as one uninterrupted run.
 """
 
 from repro.wal.records import (
@@ -71,6 +89,12 @@ class RecoveryReport:
         self.undo_count = 0
         self.clrs_written = 0
         self.analyzed_records = 0
+        #: salvage report dict from the pre-analysis checksum scan, or
+        #: ``None`` when the durable log was clean (see :func:`salvage`).
+        self.salvage = None
+        #: recovery attempts that crashed before this one completed — 0
+        #: for a single-shot recovery, N after a crash storm of N.
+        self.restarts = 0
 
     def as_dict(self):
         return {
@@ -80,6 +104,8 @@ class RecoveryReport:
             "undo_count": self.undo_count,
             "clrs_written": self.clrs_written,
             "analyzed_records": self.analyzed_records,
+            "salvage": self.salvage,
+            "restarts": self.restarts,
         }
 
 
@@ -96,7 +122,63 @@ _DATA_TYPES = {
 }
 
 
-def analyze(log, from_lsn=1):
+def salvage(log, verify=True):
+    """Pre-analysis checksum scan: truncate at the first bad record.
+
+    Scans the log for the first record whose payload no longer matches
+    its durable checksum stamp and truncates the log there (recovery must
+    not replay garbage, and nothing after a corrupt record can be
+    trusted). Returns a report dict classifying the loss, or ``None``
+    when there was nothing to salvage:
+
+    * ``truncated_lsn`` / ``corrupt_record`` — where the cut happened and
+      the record type found corrupt (``None`` if only the file tail was
+      undecodable);
+    * ``dropped_records`` — records discarded by the cut;
+    * ``lost_commits`` — txn ids whose COMMIT record fell past the cut:
+      *committed work was rolled back*, the honest-loss case;
+    * ``tail_garbage`` — dropped records belonging to no lost commit
+      (uncommitted tail work recovery would have undone anyway);
+    * ``undecodable_lines`` — file lines ``LogManager.load`` could not
+      decode at all (torn tail of a dumped log).
+
+    With ``verify=False`` (checksums disabled) the scan is skipped — the
+    negative control proving corruption then goes undetected here and
+    must be caught downstream by the integrity checker.
+    """
+    bad = None
+    if verify:
+        for record in log.records():
+            if not record.verify_checksum():
+                bad = record
+                break
+    if bad is None and not log.undecodable_tail:
+        return None
+    report = {
+        "truncated_lsn": None,
+        "corrupt_record": None,
+        "dropped_records": 0,
+        "lost_commits": [],
+        "tail_garbage": 0,
+        "undecodable_lines": log.undecodable_tail,
+    }
+    if bad is not None:
+        dropped = log.truncate_from(bad.lsn)
+        lost = {
+            r.txn_id for r in dropped
+            if isinstance(r, CommitRecord) and r.txn_id is not None
+        }
+        report["truncated_lsn"] = bad.lsn
+        report["corrupt_record"] = type(bad).__name__
+        report["dropped_records"] = len(dropped)
+        report["lost_commits"] = sorted(lost)
+        report["tail_garbage"] = sum(
+            1 for r in dropped if r.txn_id not in lost
+        )
+    return report
+
+
+def analyze(log, from_lsn=1, faults=None):
     """Phase 1: classify transactions.
 
     Returns ``(winners, losers, last_lsn_map)`` where ``losers`` maps
@@ -106,6 +188,11 @@ def analyze(log, from_lsn=1):
     open_txns = {}
     count = 0
     for record in log.records(from_lsn):
+        if faults is not None and faults.active:
+            faults.maybe_crash(
+                "recovery.analysis", txn_id=record.txn_id,
+                detail=type(record).__name__,
+            )
         count += 1
         if isinstance(record, BeginRecord):
             open_txns[record.txn_id] = record.lsn
@@ -129,23 +216,42 @@ def analyze(log, from_lsn=1):
     return winners, losers, count
 
 
-def redo(log, target, from_lsn=1, report=None):
+def redo(log, target, from_lsn=1, report=None, faults=None):
     """Phase 2: repeat history — replay every data record in LSN order."""
     for record in log.records(from_lsn):
         if record.type in _DATA_TYPES:
+            if faults is not None and faults.active:
+                faults.maybe_crash(
+                    "recovery.redo", txn_id=record.txn_id,
+                    detail=type(record).__name__,
+                )
             record.redo(target)
             if report is not None:
                 report.redo_count += 1
 
 
-def undo(log, target, losers, report=None, write_clrs=True):
+def undo(log, target, losers, report=None, write_clrs=True, faults=None,
+         durable=False):
     """Phase 3: roll back losers, newest record first across all losers
-    (single combined pass in descending LSN order, as ARIES does)."""
+    (single combined pass in descending LSN order, as ARIES does).
+
+    ``durable=True`` (recovery's setting) flushes each CLR / END as it is
+    written, bypassing the flush fault sites (a crashed recovery is
+    re-entered, never retried) — the point of CLRs is lost if a crash
+    mid-undo discards them and the next attempt compensates twice.
+    Online rollback leaves ``durable=False``: its CLRs ride the normal
+    commit-time flush.
+    """
     # Each loser's cursor: the LSN of the next record to examine.
     cursors = {t: lsn for t, lsn in losers.items() if lsn is not None}
     while cursors:
         txn_id, lsn = max(cursors.items(), key=lambda item: item[1])
         record = log.record_at(lsn)
+        if faults is not None and faults.active:
+            faults.maybe_crash(
+                "recovery.undo", txn_id=txn_id,
+                detail=type(record).__name__,
+            )
         if isinstance(record, CompensationRecord):
             # Already-compensated work: skip to undo_next.
             next_lsn = record.undo_next_lsn
@@ -163,28 +269,36 @@ def undo(log, target, losers, report=None, write_clrs=True):
                 log.append(clr)
                 if report is not None:
                     report.clrs_written += 1
+                if durable:
+                    log.flush_no_faults()
             next_lsn = record.prev_lsn
         else:
             next_lsn = record.prev_lsn
         if next_lsn is None:
             if write_clrs:
                 log.append(EndRecord(txn_id))
+                if durable:
+                    log.flush_no_faults()
             del cursors[txn_id]
         else:
             cursors[txn_id] = next_lsn
 
 
-def recover(log, target):
+def recover(log, target, faults=None, salvage_report=None):
     """Run full recovery against ``target``; returns a RecoveryReport.
 
     If a sharp checkpoint exists, the caller is expected to have restored
     the snapshot into ``target`` already; redo then starts just after the
-    checkpoint.
+    checkpoint. ``faults`` (when armed) exposes the per-record crash
+    sites ``recovery.analysis`` / ``recovery.redo`` / ``recovery.undo``;
+    ``salvage_report`` — the result of the caller's :func:`salvage` pass
+    — is carried through onto the returned report.
     """
     report = RecoveryReport()
+    report.salvage = salvage_report
     checkpoint = log.latest_checkpoint()
     from_lsn = checkpoint.lsn + 1 if checkpoint is not None else 1
-    winners, losers, analyzed = analyze(log, from_lsn)
+    winners, losers, analyzed = analyze(log, from_lsn, faults=faults)
     if checkpoint is not None:
         # Transactions active at the checkpoint may have no records after
         # it; they are losers unless a later COMMIT appeared.
@@ -194,7 +308,9 @@ def recover(log, target):
     report.winners = winners
     report.losers = set(losers)
     report.analyzed_records = analyzed
-    redo(log, target, from_lsn, report)
-    undo(log, target, losers, report)
-    log.flush()
+    redo(log, target, from_lsn, report, faults=faults)
+    undo(log, target, losers, report, faults=faults, durable=True)
+    # Recovery's own durability point bypasses the flush fault sites:
+    # nothing retries a failed recovery flush, it just re-enters.
+    log.flush_no_faults()
     return report

@@ -14,7 +14,10 @@ from repro.obs import (
     CATEGORIES,
     EVENT_TYPES,
     NULL_TRACER,
+    RECOVERY_REPORT_FIELDS,
+    SALVAGE_REPORT_FIELDS,
     Tracer,
+    validate_recovery_report,
 )
 from repro.query import AggregateSpec
 from repro.sim import Scheduler
@@ -280,3 +283,45 @@ class TestDocContract:
             assert section, f"missing section for {name}"
             rows = set(re.findall(r"^\| `(\w+)` \|", section.group(1), re.MULTILINE))
             assert rows == set(spec["fields"]), f"field mismatch for {name}"
+
+
+class TestRecoveryReportContract:
+    """``RecoveryReport.as_dict()`` is a pinned schema, like the result
+    JSON: the salvage/restart accounting cannot silently drop fields."""
+
+    def test_live_report_matches_pinned_fields(self):
+        db = sales_db()
+        with db.transaction() as txn:
+            db.insert(txn, SALES, {"id": 1, "product": "a", "customer": 1, "amount": 2})
+        report = db.simulate_crash_and_recover()
+        doc = report.as_dict()
+        assert set(doc) == set(RECOVERY_REPORT_FIELDS)
+        assert validate_recovery_report(doc) == []
+        assert doc["salvage"] is None
+        assert doc["restarts"] == 0
+
+    def test_salvaged_report_matches_pinned_fields(self):
+        db = sales_db()
+        for i in range(1, 4):
+            with db.transaction() as txn:
+                db.insert(txn, SALES, {"id": i, "product": "a", "customer": 1, "amount": 2})
+        db.log.flush()
+        db.log.corrupt(db.log.tail_lsn() - 1)
+        doc = db.simulate_crash_and_recover().as_dict()
+        assert doc["salvage"] is not None
+        assert set(doc["salvage"]) == set(SALVAGE_REPORT_FIELDS)
+        assert validate_recovery_report(doc) == []
+
+    def test_validator_rejects_drift(self):
+        db = sales_db()
+        with db.transaction() as txn:
+            db.insert(txn, SALES, {"id": 1, "product": "a", "customer": 1, "amount": 2})
+        doc = db.simulate_crash_and_recover().as_dict()
+        doc.pop("restarts")
+        doc["extra"] = 1
+        problems = validate_recovery_report(doc)
+        assert any("missing key 'restarts'" in p for p in problems)
+        assert any("extra key 'extra'" in p for p in problems)
+        bad_salvage = dict(doc, restarts=0, salvage={"truncated_lsn": "x"})
+        bad_salvage.pop("extra")
+        assert validate_recovery_report(bad_salvage) != []
