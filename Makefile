@@ -2,13 +2,13 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
 .PHONY: test bench bench-smoke bench-r16 bench-r17 chaos-smoke \
-	check-results lint sanitize-smoke verify
+	check-results lint sanitize-smoke storage-smoke verify
 
 # The PR gate, in dependency-cheapest order: the AST lint rules, the
-# full tier-1 test suite, the protocol sanitizers, then the bounded
-# chaos tier (which includes the crash-storm recovery leg).
-# benchmarks/run_all.py finishes with the same chain.
-verify: lint test sanitize-smoke chaos-smoke
+# full tier-1 test suite, the protocol sanitizers, the paged-storage
+# smoke, then the bounded chaos tier (which includes the crash-storm
+# recovery leg). benchmarks/run_all.py finishes with the same chain.
+verify: lint test sanitize-smoke storage-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,6 +46,13 @@ bench-r16:
 # then the schema gate.
 bench-r17:
 	cd benchmarks && $(PYTHON) -c "import bench_r17_crash_storm as b; b.scenario()"
+	$(PYTHON) benchmarks/check_results.py
+
+# The paged-storage smoke: buffer-pool pressure with recovery, the WAL
+# segment chain round-trip, recycling below the checkpoint floor, and
+# the torn-page / lost-segment fault legs, then the schema gate.
+storage-smoke:
+	cd benchmarks && $(PYTHON) -c "import storage_smoke as b; b.scenario()"
 	$(PYTHON) benchmarks/check_results.py
 
 # Bounded chaos tier: a dozen seeded fault schedules plus the

@@ -39,6 +39,7 @@ BENCHES = [
     ("bench_r17_crash_storm", "scenario"),
     ("chaos", "scenario"),
     ("sanitize_smoke", "scenario"),
+    ("storage_smoke", "scenario"),
 ]
 
 

@@ -18,6 +18,12 @@ status 1 on any finding), via ``make lint``, or programmatically through
 * **bare-except** — no ``except:`` anywhere.
 * **import-surface** — ``examples/`` and ``benchmarks/`` import only
   the ``repro.api`` facade, never engine internals.
+* **page-discipline** — raw page mutation (``insert_record`` /
+  ``update_record`` / ``delete_record`` / ``set_page_lsn`` /
+  ``write_page``) happens only inside ``repro/storage/pages.py`` and
+  ``repro/storage/bufferpool.py``; everything else goes through the
+  buffer pool's ``record_*`` helpers, so the dirty-page table and the
+  WAL-before-write rule cannot be bypassed.
 """
 
 import ast
@@ -31,7 +37,18 @@ RULES = (
     "error-hierarchy",
     "bare-except",
     "import-surface",
+    "page-discipline",
 )
+
+#: attribute-call names that mutate a page or its durable image
+#: directly; allowed only inside the page layer itself.
+_PAGE_MUTATORS = frozenset(
+    {"insert_record", "update_record", "delete_record", "set_page_lsn",
+     "write_page"}
+)
+
+#: the files that *are* the page layer.
+_PAGE_LAYER = (("storage", "pages.py"), ("storage", "bufferpool.py"))
 
 #: builtin exception class names (to distinguish ``raise SomeBuiltin``
 #: from re-raising a local variable).
@@ -145,6 +162,10 @@ class _FileLinter(ast.NodeVisitor):
         self.check_determinism = (
             "determinism" in rules and not _determinism_exempt(path)
         )
+        self.check_pages = (
+            "page-discipline" in rules
+            and _rel_to_repro(path) not in _PAGE_LAYER
+        )
         self.findings = []
         self.emitted = []  # (name, line) literals seen in .emit() calls
         self._func_stack = []
@@ -229,6 +250,14 @@ class _FileLinter(ast.NodeVisitor):
                 self.emitted.append((node.args[0].value, node.lineno))
             if self.check_determinism:
                 self._check_wallclock_call(node, func)
+            if self.check_pages and func.attr in _PAGE_MUTATORS:
+                self.flag(
+                    node,
+                    "page-discipline",
+                    f"direct page mutation .{func.attr}() outside the "
+                    f"page layer; go through BufferPool.record_* so the "
+                    f"dirty-page table and WAL-before-write hold",
+                )
         self.generic_visit(node)
 
     def _check_wallclock_call(self, node, func):

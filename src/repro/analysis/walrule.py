@@ -13,6 +13,12 @@ Invariants checked over the wal/txn event stream:
 * **Flush sanity**: the durable boundary never regresses and never runs
   ahead of the append tail; a ``group_commit`` settlement never claims a
   boundary beyond what a flush established.
+* **The WAL-before-write rule at the page boundary**: a dirty page
+  image may reach the store only once the log is durable up to the
+  page's ``page_lsn``. The buffer pool emits ``page_evicted`` *after*
+  the write-back, so at that event the durable boundary must already
+  cover the page — a violation means a data page could survive a crash
+  carrying effects whose log records did not.
 * **The WAL commit rule**: a transaction is commit-visible
   (``txn_commit``) only after its COMMIT record was appended — and,
   without group commit, only after that record was flushed. With group
@@ -95,6 +101,19 @@ class WalRuleSanitizer(Sanitizer):
             return
         self._flushed = min(self._flushed, cut - 1)
         self._rewind()
+
+    def on_page_evicted(self, txn_id, seq, fields):
+        if not fields.get("dirty"):
+            return  # clean eviction: no image was written
+        page_lsn = fields.get("page_lsn")
+        if page_lsn is not None and page_lsn > self._flushed:
+            self.report(
+                f"dirty page {fields.get('page_id')} written back at "
+                f"page_lsn {page_lsn} beyond the durable boundary "
+                f"{self._flushed} (WAL-before-write)",
+                txn_id,
+                seq,
+            )
 
     def on_group_commit(self, txn_id, seq, fields):
         flushed = fields.get("flushed_lsn")

@@ -65,6 +65,18 @@ class EngineConfig:
       ``RecoveryReport.salvage``; ``"strict"`` raises
       :class:`~repro.common.errors.WalCorruptionError` instead of
       silently serving a state missing committed transactions.
+    * ``checkpoint_interval`` — take a *fuzzy* checkpoint automatically
+      every N commits (``None`` disables, the default). A fuzzy
+      checkpoint logs the active-transaction table plus the buffer
+      pool's dirty-page table — no data snapshot — then flushes dirty
+      pages in the background; recovery's redo window shrinks to
+      ``min(recLSN)`` instead of the whole log (see ``docs/STORAGE.md``).
+    * ``buffer_pool_frames`` — frames in the page buffer pool (>= 2).
+      Small pools force evictions; evicting a dirty page first forces
+      the WAL to the page's pageLSN (WAL-before-write).
+    * ``page_size`` — bytes per slotted page in the page mirror.
+    * ``wal_segment_bytes`` — byte budget per on-disk WAL segment for
+      ``dump_wal_segments`` (a segment always holds >= 1 record).
     """
 
     def __init__(
@@ -85,6 +97,10 @@ class EngineConfig:
         sanitizers=False,
         wal_checksums=True,
         salvage_policy="report",
+        checkpoint_interval=None,
+        buffer_pool_frames=64,
+        page_size=4096,
+        wal_segment_bytes=32768,
     ):
         if aggregate_strategy not in AGGREGATE_STRATEGIES:
             raise ReproError(f"unknown aggregate_strategy {aggregate_strategy!r}")
@@ -126,6 +142,22 @@ class EngineConfig:
         if salvage_policy not in SALVAGE_POLICIES:
             raise ReproError(f"unknown salvage_policy {salvage_policy!r}")
         self.salvage_policy = salvage_policy
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ReproError("checkpoint_interval must be >= 1 (or None)")
+        self.checkpoint_interval = checkpoint_interval
+        if buffer_pool_frames < 2:
+            raise ReproError("buffer_pool_frames must be >= 2")
+        self.buffer_pool_frames = buffer_pool_frames
+        from repro.storage.pages import MAX_PAGE_SIZE, MIN_PAGE_SIZE
+
+        if not MIN_PAGE_SIZE <= page_size <= MAX_PAGE_SIZE:
+            raise ReproError(
+                f"page_size must be in [{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
+            )
+        self.page_size = page_size
+        if wal_segment_bytes < 1024:
+            raise ReproError("wal_segment_bytes must be >= 1024")
+        self.wal_segment_bytes = wal_segment_bytes
 
     def __repr__(self):
         return (

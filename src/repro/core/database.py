@@ -46,6 +46,7 @@ from repro.locking.keyrange import (
 from repro.metrics import Counters
 from repro.obs import EngineMetrics, RetryStats, Tracer
 from repro.storage import Index
+from repro.storage.bufferpool import BufferPool, PageManager, PageStore
 from repro.storage.records import VersionedRecord
 from repro.txn import LockPolicy, SnapshotRegistry, TransactionManager
 from repro.views.actions import Action, run_actions
@@ -79,6 +80,7 @@ from repro.wal import (
 )
 from repro.wal.records import GhostRecord, InsertRecord, UpdateRecord
 from repro.wal.recovery import RecoveryTarget
+from repro.wal.segments import dump_segments, load_segments, recycle_segments
 
 
 class Database(RecoveryTarget):
@@ -129,6 +131,17 @@ class Database(RecoveryTarget):
         self.group_commit.failure_handler = self._on_group_flush_failure
         self.log.flush_listener = self.group_commit.on_flushed
         self._txns.group_commit = self.group_commit
+        #: the page world: a durable page store (survives crashes), a
+        #: fixed-frame buffer pool over it, and the slotted-page mirror
+        #: that subscribes to the log's append stream (docs/STORAGE.md).
+        self._store = PageStore(faults=self.faults)
+        self._pool = BufferPool(
+            self._store, capacity=self.config.buffer_pool_frames,
+            log=self.log, tracer=self.tracer,
+        )
+        self._pages = PageManager(self._pool, page_size=self.config.page_size)
+        self.log.append_listener = self._pages.apply
+        self._commits_since_checkpoint = 0
         self._indexes = {}
         self._index_views = {}  # index name -> owning view definition
         self.secondary = SecondaryIndexManager(self)
@@ -185,6 +198,7 @@ class Database(RecoveryTarget):
         self.locks.faults = self.faults
         self._txns.faults = self.faults
         self.group_commit.faults = self.faults
+        self._store.faults = self.faults
         return self.faults
 
     # ==================================================================
@@ -418,7 +432,9 @@ class Database(RecoveryTarget):
         """Apply any commit-folded view deltas, then commit."""
         txn.require_active()
         self._apply_commit_folds(txn)
-        return self._txns.commit(txn)
+        result = self._txns.commit(txn)
+        self._maybe_auto_checkpoint()
+        return result
 
     def abort(self, txn, reason="user"):
         self._txns.abort(txn, reason)
@@ -652,6 +668,15 @@ class Database(RecoveryTarget):
                 "records_per_flush": self.log.flush_records.as_dict(),
             },
             "group_commit": self.group_commit.stats(),
+            "storage": {
+                "pool": self._pool.stats(),
+                "store_pages": len(self._store),
+                "store_writes": self._store.writes,
+                "store_reads": self._store.reads,
+                "torn_writes": self._store.torn_writes,
+                "mirrored_entries": self._pages.entry_count(),
+                "applied_records": self._pages.applied,
+            },
             "per_txn": self.metrics.as_dict(),
             "tracer": self.tracer.summary(),
             "cleanup": {
@@ -1102,10 +1127,25 @@ class Database(RecoveryTarget):
     # checkpoints, crash, recovery
     # ==================================================================
 
-    def take_checkpoint(self):
-        """Write a sharp checkpoint: a full snapshot of every index with
-        pending escrow deltas folded in (loser undo subtracts them back),
-        plus the active transaction table. Flushes the log."""
+    def take_checkpoint(self, kind="sharp"):
+        """Write a checkpoint record; flushes the log.
+
+        ``kind="sharp"`` (default, the pre-page-world behaviour) logs a
+        full snapshot of every index with pending escrow deltas folded
+        in (loser undo subtracts them back), plus the active-transaction
+        table — recovery then replays only the log suffix.
+
+        ``kind="fuzzy"`` is the ARIES checkpoint: no data snapshot, just
+        the active-transaction table and the buffer pool's dirty-page
+        table, followed by a background-writer sweep
+        (:meth:`~repro.storage.bufferpool.BufferPool.flush_dirty`).
+        Recovery seeds from the durable page images and redoes only from
+        ``min(recLSN)`` — cost bounded by the checkpoint interval, not
+        the log length. ``EngineConfig(checkpoint_interval=N)`` takes
+        one automatically every N commits.
+        """
+        if kind == "fuzzy":
+            return self._take_fuzzy_checkpoint()
         snapshot = {}
         for name, index in self._indexes.items():
             entries = []
@@ -1127,7 +1167,42 @@ class Database(RecoveryTarget):
         self.log.append(record)
         self.log.flush()
         self.counters.incr("checkpoint.taken")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "checkpoint_taken", kind="sharp", lsn=record.lsn,
+                active_txns=len(record.active_txns), dirty_pages=0,
+            )
         return record
+
+    def _take_fuzzy_checkpoint(self):
+        dirty = self._pool.dirty_page_table()
+        record = CheckpointRecord(
+            self._txns.active_txn_table(), None, dirty, kind="fuzzy"
+        )
+        self.log.append(record)
+        # Runs inside the commit path when auto-triggered: the scheduled
+        # flush fault sites belong to statement-level retries, not to a
+        # background checkpointer, so they are not consumed here.
+        self.log.flush_no_faults()
+        self._pool.flush_dirty()
+        self.counters.incr("checkpoint.taken")
+        self.counters.incr("checkpoint.fuzzy")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "checkpoint_taken", kind="fuzzy", lsn=record.lsn,
+                active_txns=len(record.active_txns),
+                dirty_pages=len(dirty),
+            )
+        return record
+
+    def _maybe_auto_checkpoint(self):
+        interval = self.config.checkpoint_interval
+        if interval is None:
+            return
+        self._commits_since_checkpoint += 1
+        if self._commits_since_checkpoint >= interval:
+            self._commits_since_checkpoint = 0
+            self.take_checkpoint(kind="fuzzy")
 
     def simulate_crash_and_recover(self):
         """Lose all volatile state, then rebuild from the durable log.
@@ -1161,6 +1236,55 @@ class Database(RecoveryTarget):
             path, checksums=self.config.wal_checksums
         )
         return self._rebuild_from_log()
+
+    def dump_wal_segments(self, directory):
+        """Persist the flushed log prefix as a chain of fixed-size
+        segment files with CRC trailers (``wal.NNNNN.seg``; see
+        :mod:`repro.wal.segments`). Returns the written paths."""
+        self.log.flush()
+        return dump_segments(
+            self.log, directory,
+            segment_bytes=self.config.wal_segment_bytes,
+            faults=self.faults,
+        )
+
+    def load_wal_segments_and_recover(self, directory):
+        """Rebuild all state from a segment chain written by
+        :meth:`dump_wal_segments`. As with :meth:`load_wal_and_recover`,
+        DDL is not logged — build the schema first, then restore. A
+        broken chain (bad trailer CRC, lost segment) is truncated at the
+        break and the loss lands in the salvage report."""
+        self.log = load_segments(
+            directory, checksums=self.config.wal_checksums
+        )
+        return self._rebuild_from_log()
+
+    def wal_recycle_floor(self):
+        """First LSN the log must retain — the ARIES truncation point:
+        ``min(checkpoint LSN, min recLSN over dirty pages, first LSN of
+        any active transaction)``. Without a checkpoint nothing is
+        recyclable (returns 1)."""
+        checkpoint = self.log.latest_checkpoint()
+        if checkpoint is None:
+            return 1
+        candidates = [checkpoint.lsn]
+        if checkpoint.dirty_pages:
+            candidates.append(min(checkpoint.dirty_pages.values()))
+        dirty = self._pool.dirty_page_table()
+        if dirty:
+            candidates.append(min(dirty.values()))
+        active = set(self._txns.active_txn_table())
+        if active:
+            for record in self.log.records():
+                if record.txn_id in active:
+                    candidates.append(record.lsn)
+                    break
+        return min(candidates)
+
+    def recycle_wal_segments(self, directory):
+        """Delete dumped segments that lie wholly below
+        :meth:`wal_recycle_floor`; returns the removed paths."""
+        return recycle_segments(directory, self.wal_recycle_floor())
 
     def _rebuild_from_log(self):
         restarted = self._recovery_attempts > 0
@@ -1215,13 +1339,23 @@ class Database(RecoveryTarget):
         self._reset_volatile()
         self._txns._next_txn_id = max(self._txns._next_txn_id, max_txn + 1)
         checkpoint = self.log.latest_checkpoint()
+        pages_gate = None
+        pages_loaded = 0
         if checkpoint is not None and checkpoint.snapshot is not None:
+            # Sharp checkpoint: the snapshot already folds everything in;
+            # redo the suffix ungated.
             self._load_snapshot(checkpoint.snapshot)
+        elif len(self._store):
+            # Fuzzy / no checkpoint, but durable page images exist: seed
+            # state from them and gate redo per key on the entry LSNs.
+            pages_gate, pages_loaded = self._seed_from_pages()
         report = recover(
             self.log, self, faults=self.faults,
-            salvage_report=self._pending_salvage,
+            salvage_report=self._pending_salvage, pages=pages_gate,
         )
+        report.pages_loaded = pages_loaded
         self._post_recovery()
+        self._rebuild_page_mirror()
         report.restarts = self._recovery_attempts - 1
         self._recovery_attempts = 0
         self._pending_salvage = None
@@ -1257,6 +1391,17 @@ class Database(RecoveryTarget):
         self.group_commit.abandon_pending()
         self.group_commit.log = self.log
         self.log.flush_listener = self.group_commit.on_flushed
+        # The buffer pool's frames are volatile — gone with the crash —
+        # but the page store survives. Recovery decides whether to trust
+        # it (_seed_from_pages) or discard it (_rebuild_page_mirror).
+        self._store.faults = self.faults
+        self._pool = BufferPool(
+            self._store, capacity=self.config.buffer_pool_frames,
+            log=self.log, tracer=self.tracer,
+        )
+        self._pages = PageManager(self._pool, page_size=self.config.page_size)
+        self.log.append_listener = self._pages.apply
+        self._commits_since_checkpoint = 0
         for name, index in list(self._indexes.items()):
             self._indexes[name] = Index(
                 name,
@@ -1273,6 +1418,50 @@ class Database(RecoveryTarget):
             for key_list, row_dict, is_ghost in entries:
                 record = VersionedRecord(tuple(key_list), Row(row_dict), is_ghost)
                 index.physical_insert(record)
+
+    def _seed_from_pages(self):
+        """Load the durable page images into the fresh mirror and insert
+        the newest live entry per key into the live indexes. Returns
+        ``(pages_gate, pages_loaded)`` — the gate is ``None`` when a
+        torn page makes the store untrustworthy, in which case the
+        mirror is discarded and redo replays the whole log ungated."""
+        loaded, torn, seeds = self._pages.load_durable_pages()
+        if seeds is None:
+            self.counters.incr("storage.torn_pages", torn)
+            self._fresh_mirror()
+            return None, loaded
+        for index_name, key, row, is_ghost in seeds:
+            self.recovery_insert(index_name, key, Row(row), is_ghost=is_ghost)
+        return self._pages, loaded
+
+    def _fresh_mirror(self):
+        """Brand-new empty page world (store included), attached to the
+        current log's append stream."""
+        self._store = PageStore(faults=self.faults)
+        self._pool = BufferPool(
+            self._store, capacity=self.config.buffer_pool_frames,
+            log=self.log, tracer=self.tracer,
+        )
+        self._pages = PageManager(self._pool, page_size=self.config.page_size)
+        self.log.append_listener = self._pages.apply
+
+    def _rebuild_page_mirror(self):
+        """Resynchronize the page mirror with the recovered live state.
+
+        Recovery can reach here through paths the mirror cannot track
+        exactly (sharp snapshots, torn-page fallback, salvage cuts), so
+        every path converges the same way: rebuild the mirror wholesale
+        from the live indexes as of the log tail, then flush it — the
+        durable pages and the recovered state agree from here on."""
+        self._fresh_mirror()
+        entries = []
+        for name, index in self._indexes.items():
+            for key, record in index.scan(include_ghosts=True):
+                entries.append(
+                    (name, key, record.current_row, record.is_ghost)
+                )
+        self._pages.bootstrap(entries, self.log.tail_lsn())
+        self._pool.flush_dirty()
 
     def _post_recovery(self):
         """Stamp baseline versions and rebuild the cleanup work list."""

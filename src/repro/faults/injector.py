@@ -121,6 +121,20 @@ FAULT_SITES = {
         "loser record is examined — durable CLRs make the next attempt "
         "skip already-compensated work instead of undoing twice",
     },
+    "page.torn_write": {
+        "action": "torn",
+        "description": "a buffer-pool write-back corrupts the page image "
+        "in flight (power loss mid-sector); the page CRC trips at the "
+        "next read and recovery falls back to full-log replay instead "
+        "of trusting the store",
+    },
+    "wal.segment_lost": {
+        "action": "lost",
+        "description": "one whole WAL segment file vanishes during "
+        "dump_wal_segments, evaluated once per segment — the LSN gap "
+        "makes load_segments drop everything past it and the salvage "
+        "report counts the loss",
+    },
 }
 
 

@@ -7,9 +7,15 @@ See ``docs/OBSERVABILITY.md`` for the event catalogue, the
 from repro.obs.events import CATEGORIES, EVENT_TYPES, Event
 from repro.obs.metrics import EngineMetrics, RetryStats
 from repro.obs.schema import (
+    BUFFER_POOL_STATS_FIELDS,
+    CHECKPOINT_RECORD_FIELDS,
+    PAGE_HEADER_FIELDS,
+    PAGE_STATES,
     RECOVERY_REPORT_FIELDS,
     RESULT_SCHEMA_VERSION,
     SALVAGE_REPORT_FIELDS,
+    SEGMENT_HEADER_FIELDS,
+    SEGMENT_TRAILER_FIELDS,
     VERDICTS,
     validate_recovery_report,
     validate_result,
@@ -17,15 +23,21 @@ from repro.obs.schema import (
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = [
+    "BUFFER_POOL_STATS_FIELDS",
     "CATEGORIES",
+    "CHECKPOINT_RECORD_FIELDS",
     "EVENT_TYPES",
     "Event",
     "EngineMetrics",
     "NULL_TRACER",
+    "PAGE_HEADER_FIELDS",
+    "PAGE_STATES",
     "RECOVERY_REPORT_FIELDS",
     "RESULT_SCHEMA_VERSION",
     "RetryStats",
     "SALVAGE_REPORT_FIELDS",
+    "SEGMENT_HEADER_FIELDS",
+    "SEGMENT_TRAILER_FIELDS",
     "Tracer",
     "VERDICTS",
     "validate_recovery_report",

@@ -175,6 +175,27 @@ EVENT_TYPES = {
             "tail_garbage": "dropped records belonging to no lost commit",
         },
     },
+    # --------------------------------------------------------- storage
+    "page_evicted": {
+        "category": "storage",
+        "fields": {
+            "page_id": "the evicted page",
+            "dirty": "True when the image had to be written back first",
+            "page_lsn": "the page's LSN at eviction (the WAL-before-"
+            "write bound: the log was durable to here before the write)",
+        },
+    },
+    "checkpoint_taken": {
+        "category": "storage",
+        "fields": {
+            "kind": "sharp (full snapshot) | fuzzy (ATT + dirty-page "
+            "table only)",
+            "lsn": "LSN of the checkpoint record",
+            "active_txns": "transactions open at the checkpoint",
+            "dirty_pages": "dirty-page-table entries captured (0 for "
+            "sharp)",
+        },
+    },
     # ------------------------------------------------------- integrity
     "integrity_check": {
         "category": "integrity",

@@ -51,9 +51,37 @@ RECOVERY_REPORT_FIELDS = {
     "undo_count": int,
     "clrs_written": int,
     "analyzed_records": int,
+    "redo_skipped": int,
+    "pages_loaded": int,
     "salvage": (dict, type(None)),
     "restarts": int,
 }
+
+# ---------------------------------------------------------------------
+# the on-disk storage contract (docs/STORAGE.md is the prose side; the
+# contract test asserts the doc's field tables match these sets)
+# ---------------------------------------------------------------------
+
+#: slotted-page header fields, in struct order (``<IQHHI``).
+PAGE_HEADER_FIELDS = ("page_id", "page_lsn", "slot_count", "free_end", "crc")
+
+#: the JSON header line of every WAL segment file.
+SEGMENT_HEADER_FIELDS = {"segment", "first_lsn"}
+
+#: the JSON trailer line sealing every WAL segment file.
+SEGMENT_TRAILER_FIELDS = {"segment", "records", "last_lsn", "crc"}
+
+#: payload keys of a checkpoint log record (sharp and fuzzy).
+CHECKPOINT_RECORD_FIELDS = {"active_txns", "snapshot", "dirty_pages", "kind"}
+
+#: keys of ``BufferPool.stats()`` (surfaced as ``stats()["storage"]["pool"]``).
+BUFFER_POOL_STATS_FIELDS = {
+    "frames", "resident", "pinned", "dirty", "hits", "misses",
+    "evictions", "dirty_evictions", "forced_wal_flushes",
+}
+
+#: lifecycle states a buffer-pool frame moves through.
+PAGE_STATES = ("pinned", "clean", "dirty", "evicted")
 
 #: pinned shape of the salvage sub-report (``RecoveryReport.salvage``
 #: when not None; also carried by WalCorruptionError.salvage).

@@ -6,8 +6,20 @@ transactional layers coordinate over.
 """
 
 from repro.storage.btree import BPlusTree
+from repro.storage.bufferpool import BufferPool, PageManager, PageStore
 from repro.storage.heap import HeapFile
 from repro.storage.index import Index
+from repro.storage.pages import SlottedPage
 from repro.storage.records import Version, VersionedRecord
 
-__all__ = ["BPlusTree", "HeapFile", "Index", "Version", "VersionedRecord"]
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "HeapFile",
+    "Index",
+    "PageManager",
+    "PageStore",
+    "SlottedPage",
+    "Version",
+    "VersionedRecord",
+]

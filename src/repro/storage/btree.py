@@ -1,12 +1,23 @@
-"""An in-memory B+-tree.
+"""A B+-tree addressed by node IDs.
 
 This is the physical structure underneath every table and indexed view in
 the engine. It is a textbook B+-tree — separator keys in inner nodes,
 records only in leaves, leaves doubly linked for range scans — implemented
 with full rebalancing on delete (borrow from siblings, merge, shrink root).
 
-Beyond the usual mapping operations, it exposes the navigation primitives
-that key-range locking needs:
+Nodes do not hold Python object pointers to each other. Every node lives
+in a node store under an integer node ID, and all structural references —
+an inner node's ``children``, a leaf's ``next``/``prev`` chain, the root —
+are node IDs resolved through the store (ID 0 means "no node"). This is
+the same indirection a paged engine uses for page IDs: the tree's shape is
+a graph of small integers, so a node can in principle be relocated,
+evicted, or serialized without rewriting its neighbours. ``node_count()``
+and the store-consistency check in :meth:`BPlusTree.check_invariants`
+(reachable IDs must equal stored IDs exactly) exist to keep that property
+honest: merges and root shrinks must free IDs, never leak them.
+
+Beyond the usual mapping operations, the tree exposes the navigation
+primitives that key-range locking needs:
 
 * :meth:`BPlusTree.next_key` / :meth:`BPlusTree.prev_key` — find the
   neighbouring existing key, used to pick the lock that protects a gap.
@@ -25,17 +36,21 @@ from repro.common.keys import NEG_INF, POS_INF, KeyRange
 
 DEFAULT_ORDER = 32
 
+#: The null node ID: no sibling, end of the leaf chain.
+NO_NODE = 0
+
 _MISSING = object()
 
 
 class _LeafNode:
-    __slots__ = ("keys", "values", "next", "prev")
+    __slots__ = ("id", "keys", "values", "next", "prev")
 
-    def __init__(self):
+    def __init__(self, node_id):
+        self.id = node_id
         self.keys = []
         self.values = []
-        self.next = None
-        self.prev = None
+        self.next = NO_NODE  # node ID of the right sibling leaf
+        self.prev = NO_NODE  # node ID of the left sibling leaf
 
     @property
     def is_leaf(self):
@@ -43,10 +58,12 @@ class _LeafNode:
 
 
 class _InnerNode:
-    __slots__ = ("keys", "children")
+    __slots__ = ("id", "keys", "children")
 
-    def __init__(self):
+    def __init__(self, node_id):
+        self.id = node_id
         # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        # Entries are node IDs, not node objects.
         self.keys = []
         self.children = []
 
@@ -74,8 +91,41 @@ class BPlusTree:
         if order < 4:
             raise StorageError("order must be at least 4")
         self._order = order
-        self._root = _LeafNode()
+        self._nodes = {}  # node ID -> node
+        self._next_node_id = 1
+        self._root = self._new_leaf().id
         self._size = 0
+
+    # ------------------------------------------------------------------
+    # node store
+    # ------------------------------------------------------------------
+
+    def _new_leaf(self):
+        node = _LeafNode(self._next_node_id)
+        self._nodes[node.id] = node
+        self._next_node_id += 1
+        return node
+
+    def _new_inner(self):
+        node = _InnerNode(self._next_node_id)
+        self._nodes[node.id] = node
+        self._next_node_id += 1
+        return node
+
+    def _node(self, node_id):
+        """Resolve a node ID through the store."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise StorageError(f"dangling node ID {node_id}") from None
+
+    def _free(self, node_id):
+        """Return a node's ID to the store after a merge or root shrink."""
+        del self._nodes[node_id]
+
+    def node_count(self):
+        """Number of live nodes in the store (root included)."""
+        return len(self._nodes)
 
     # ------------------------------------------------------------------
     # basic mapping operations
@@ -150,8 +200,9 @@ class BPlusTree:
             return default
 
     def clear(self):
-        """Remove every entry."""
-        self._root = _LeafNode()
+        """Remove every entry (and every node ID except a fresh root's)."""
+        self._nodes = {}
+        self._root = self._new_leaf().id
         self._size = 0
 
     def bulk_build(self, sorted_items):
@@ -172,6 +223,7 @@ class BPlusTree:
                     "bulk_build requires strictly ascending keys; saw "
                     f"{items[i - 1][0]!r} before {items[i][0]!r}"
                 )
+        self._nodes = {}
         capacity = self._order - 1
         # Pack leaves; keep every leaf at >= min fill by borrowing from the
         # neighbour when the final leaf would come up short.
@@ -180,7 +232,7 @@ class BPlusTree:
         while start < len(items):
             chunk = items[start : start + capacity]
             start += capacity
-            leaf = _LeafNode()
+            leaf = self._new_leaf()
             leaf.keys = [k for k, _ in chunk]
             leaf.values = [v for _, v in chunk]
             leaves.append(leaf)
@@ -193,8 +245,8 @@ class BPlusTree:
             del donor.keys[-need:]
             del donor.values[-need:]
         for left, right in zip(leaves, leaves[1:]):
-            left.next = right
-            right.prev = left
+            left.next = right.id
+            right.prev = left.id
         self._size = len(items)
         # Build inner levels bottom-up.
         level = leaves
@@ -204,9 +256,9 @@ class BPlusTree:
             while i < len(level):
                 group = level[i : i + self._order]
                 i += self._order
-                node = _InnerNode()
-                node.children = group
-                node.keys = [self._subtree_min(c) for c in group[1:]]
+                node = self._new_inner()
+                node.children = [c.id for c in group]
+                node.keys = [self._subtree_min(c.id) for c in group[1:]]
                 parents.append(node)
             min_children = self._min_inner_children()
             if len(parents) > 1 and len(parents[-1].children) < min_children:
@@ -220,12 +272,12 @@ class BPlusTree:
                     self._subtree_min(c) for c in parents[-1].children[1:]
                 ]
             level = parents
-        self._root = level[0]
+        self._root = level[0].id
 
-    @staticmethod
-    def _subtree_min(node):
+    def _subtree_min(self, node_id):
+        node = self._node(node_id)
         while not node.is_leaf:
-            node = node.children[0]
+            node = self._node(node.children[0])
         return node.keys[0]
 
     # ------------------------------------------------------------------
@@ -239,9 +291,9 @@ class BPlusTree:
 
     def last_key(self):
         """The largest key, or ``None`` if the tree is empty."""
-        node = self._root
+        node = self._node(self._root)
         while not node.is_leaf:
-            node = node.children[-1]
+            node = self._node(node.children[-1])
         return node.keys[-1] if node.keys else None
 
     def next_key(self, key, inclusive=False):
@@ -262,7 +314,7 @@ class BPlusTree:
         while leaf is not None:
             if idx < len(leaf.keys):
                 return leaf.keys[idx]
-            leaf = leaf.next
+            leaf = self._node(leaf.next) if leaf.next != NO_NODE else None
             idx = 0
         return None
 
@@ -281,7 +333,7 @@ class BPlusTree:
         while leaf is not None:
             if idx >= 0:
                 return leaf.keys[idx]
-            leaf = leaf.prev
+            leaf = self._node(leaf.prev) if leaf.prev != NO_NODE else None
             if leaf is not None:
                 idx = len(leaf.keys) - 1
         return None
@@ -294,7 +346,7 @@ class BPlusTree:
             # the caller (e.g. deleting while scanning) do not skip entries.
             for pair in list(zip(leaf.keys, leaf.values)):
                 yield pair
-            leaf = leaf.next
+            leaf = self._node(leaf.next) if leaf.next != NO_NODE else None
 
     def keys(self):
         for key, _ in self.items():
@@ -334,7 +386,7 @@ class BPlusTree:
                     if key == high.key and not high.inclusive:
                         return
                 yield key, value
-            leaf = leaf.next
+            leaf = self._node(leaf.next) if leaf.next != NO_NODE else None
             idx = 0
 
     # ------------------------------------------------------------------
@@ -344,10 +396,10 @@ class BPlusTree:
     def height(self):
         """Number of levels (1 for a lone leaf)."""
         h = 1
-        node = self._root
+        node = self._node(self._root)
         while not node.is_leaf:
             h += 1
-            node = node.children[0]
+            node = self._node(node.children[0])
         return h
 
     def check_invariants(self):
@@ -355,11 +407,23 @@ class BPlusTree:
 
         Used by tests after randomized operation sequences. Checks key
         ordering inside nodes, separator correctness, fill factors, leaf
-        chaining, and the size counter.
+        chaining, the size counter, and node-store consistency (the set
+        of node IDs reachable from the root must be exactly the set of
+        stored IDs — merges must free IDs, never leak them).
         """
-        count = self._check_node(self._root, NEG_INF, POS_INF, is_root=True)
+        reachable = set()
+        count = self._check_node(
+            self._root, NEG_INF, POS_INF, reachable, is_root=True
+        )
         if count != self._size:
             raise StorageError(f"size mismatch: counted {count}, recorded {self._size}")
+        if reachable != set(self._nodes):
+            leaked = sorted(set(self._nodes) - reachable)
+            dangling = sorted(reachable - set(self._nodes))
+            raise StorageError(
+                f"node store inconsistent: leaked IDs {leaked}, "
+                f"dangling IDs {dangling}"
+            )
         # leaf chain must enumerate the same keys in sorted order
         chained = list(self.keys())
         if chained != sorted(chained):
@@ -372,25 +436,26 @@ class BPlusTree:
     # ------------------------------------------------------------------
 
     def _leftmost_leaf(self):
-        node = self._root
+        node = self._node(self._root)
         while not node.is_leaf:
-            node = node.children[0]
+            node = self._node(node.children[0])
         return node
 
     def _find_leaf(self, key):
-        node = self._root
+        node = self._node(self._root)
         while not node.is_leaf:
             idx = bisect.bisect_right(node.keys, key)
-            node = node.children[idx]
+            node = self._node(node.children[idx])
         return node
 
     def _find_path(self, key):
         """Return [(node, child_index_in_parent), ...] from root to leaf.
 
-        The root's recorded index is ``None``.
+        The root's recorded index is ``None``. Path entries hold resolved
+        node objects; the IDs they came from are ``node.id``.
         """
         path = []
-        node = self._root
+        node = self._node(self._root)
         idx_in_parent = None
         while True:
             path.append((node, idx_in_parent))
@@ -398,36 +463,36 @@ class BPlusTree:
                 return path
             idx = bisect.bisect_right(node.keys, key)
             idx_in_parent = idx
-            node = node.children[idx]
+            node = self._node(node.children[idx])
 
     def _split(self, path):
         """Split the (overfull) leaf at the end of ``path`` and propagate."""
         node, _ = path[-1]
         mid = len(node.keys) // 2
-        right = _LeafNode()
+        right = self._new_leaf()
         right.keys = node.keys[mid:]
         right.values = node.values[mid:]
         node.keys = node.keys[:mid]
         node.values = node.values[:mid]
         right.next = node.next
-        right.prev = node
-        if right.next is not None:
-            right.next.prev = right
-        node.next = right
+        right.prev = node.id
+        if right.next != NO_NODE:
+            self._node(right.next).prev = right.id
+        node.next = right.id
         separator = right.keys[0]
-        self._insert_in_parent(path, len(path) - 1, separator, right)
+        self._insert_in_parent(path, len(path) - 1, separator, right.id)
 
-    def _insert_in_parent(self, path, level, separator, right_child):
+    def _insert_in_parent(self, path, level, separator, right_child_id):
         if level == 0:
-            new_root = _InnerNode()
+            new_root = self._new_inner()
             new_root.keys = [separator]
-            new_root.children = [path[0][0], right_child]
-            self._root = new_root
+            new_root.children = [path[0][0].id, right_child_id]
+            self._root = new_root.id
             return
         parent, _ = path[level - 1]
         child_idx = path[level][1]
         parent.keys.insert(child_idx, separator)
-        parent.children.insert(child_idx + 1, right_child)
+        parent.children.insert(child_idx + 1, right_child_id)
         if len(parent.children) > self._order:
             self._split_inner(path, level - 1)
 
@@ -435,12 +500,12 @@ class BPlusTree:
         node, _ = path[level]
         mid = len(node.keys) // 2
         separator = node.keys[mid]
-        right = _InnerNode()
+        right = self._new_inner()
         right.keys = node.keys[mid + 1 :]
         right.children = node.children[mid + 1 :]
         node.keys = node.keys[:mid]
         node.children = node.children[: mid + 1]
-        self._insert_in_parent(path, level, separator, right)
+        self._insert_in_parent(path, level, separator, right.id)
 
     def _min_leaf_fill(self):
         return (self._order - 1) // 2
@@ -465,9 +530,10 @@ class BPlusTree:
                 return
             level -= 1
         # root handling: shrink if an inner root lost all separators
-        root = self._root
+        root = self._node(self._root)
         if not root.is_leaf and len(root.children) == 1:
             self._root = root.children[0]
+            self._free(root.id)
 
     def _fix_separator(self, parent, idx_in_parent, node):
         """Keep the parent separator equal to the subtree's smallest key
@@ -480,10 +546,15 @@ class BPlusTree:
         """Try borrowing from a sibling; otherwise merge.
 
         Returns True if the parent lost a child (so rebalancing must
-        continue upward).
+        continue upward). The absorbed node's ID is freed back to the
+        store.
         """
-        left = parent.children[idx - 1] if idx > 0 else None
-        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+        left = self._node(parent.children[idx - 1]) if idx > 0 else None
+        right = (
+            self._node(parent.children[idx + 1])
+            if idx + 1 < len(parent.children)
+            else None
+        )
 
         if node.is_leaf:
             min_fill = self._min_leaf_fill()
@@ -502,18 +573,20 @@ class BPlusTree:
                 left.keys.extend(node.keys)
                 left.values.extend(node.values)
                 left.next = node.next
-                if node.next is not None:
-                    node.next.prev = left
+                if node.next != NO_NODE:
+                    self._node(node.next).prev = left.id
                 del parent.children[idx]
                 del parent.keys[idx - 1]
+                self._free(node.id)
             else:
                 node.keys.extend(right.keys)
                 node.values.extend(right.values)
                 node.next = right.next
-                if right.next is not None:
-                    right.next.prev = node
+                if right.next != NO_NODE:
+                    self._node(right.next).prev = node.id
                 del parent.children[idx + 1]
                 del parent.keys[idx]
+                self._free(right.id)
             return True
 
         min_children = self._min_inner_children()
@@ -533,15 +606,21 @@ class BPlusTree:
             left.children.extend(node.children)
             del parent.children[idx]
             del parent.keys[idx - 1]
+            self._free(node.id)
         else:
             node.keys.append(parent.keys[idx])
             node.keys.extend(right.keys)
             node.children.extend(right.children)
             del parent.children[idx + 1]
             del parent.keys[idx]
+            self._free(right.id)
         return True
 
-    def _check_node(self, node, low, high, is_root=False):
+    def _check_node(self, node_id, low, high, reachable, is_root=False):
+        if node_id in reachable:
+            raise StorageError(f"node ID {node_id} reachable twice")
+        reachable.add(node_id)
+        node = self._node(node_id)
         if node.is_leaf:
             keys = node.keys
             if keys != sorted(keys):
@@ -566,6 +645,6 @@ class BPlusTree:
             raise StorageError("overfull inner node")
         count = 0
         bounds = [low, *node.keys, high]
-        for i, child in enumerate(node.children):
-            count += self._check_node(child, bounds[i], bounds[i + 1])
+        for i, child_id in enumerate(node.children):
+            count += self._check_node(child_id, bounds[i], bounds[i + 1], reachable)
         return count

@@ -1,13 +1,32 @@
-"""Heap files: unordered record storage with RID addressing.
+"""Heap files: unordered record storage with RID addressing over slotted pages.
 
 Base tables that have no clustering index live in a :class:`HeapFile`.
 Records are addressed by monotonically assigned RIDs (record identifiers);
 deletion leaves holes, and RIDs are never reused, so a RID observed by one
 transaction can never silently come to mean a different row.
+
+A RID is not an object pointer. Each heap owns a private
+:class:`~repro.storage.bufferpool.PageStore` plus
+:class:`~repro.storage.bufferpool.BufferPool`, and every insert places the
+row's serialized image in a :class:`~repro.storage.pages.SlottedPage`
+through the pool's record helpers (the page-discipline lint rule forbids
+mutating pages any other way). The RID resolves through a location map to
+a ``(page_id, slot)`` pair — :meth:`HeapFile.locate` exposes it — so the
+record's durable image can be found without scanning, and relocating a
+page never invalidates a RID. The live :class:`~repro.storage.records.
+VersionedRecord` (lock state, uncommitted versions) stays in a RID-keyed
+identity cache; pages hold only the committed row image, which is what a
+page can durably hold.
 """
 
+import json
+
 from repro.common import StorageError
+from repro.storage.bufferpool import BufferPool, PageStore
+from repro.storage.pages import MAX_PAGE_SIZE, PAGE_HEADER, PAGE_SLOT, SlottedPage
 from repro.storage.records import VersionedRecord
+
+DEFAULT_HEAP_PAGE_SIZE = 1024
 
 
 class HeapFile:
@@ -17,11 +36,19 @@ class HeapFile:
     >>> rid = h.insert_row(None)
     >>> h.get(rid).key == ("orders", rid)
     True
+    >>> h.locate(rid)  # the RID resolves to a (page_id, slot) address
+    (1, 0)
     """
 
-    def __init__(self, name):
+    def __init__(self, name, page_size=DEFAULT_HEAP_PAGE_SIZE, frames=8):
         self.name = name
-        self._records = {}
+        self.page_size = page_size
+        self._store = PageStore()
+        self._pool = BufferPool(self._store, capacity=frames)
+        self._next_page_id = 1
+        self._open_page = None  # page currently accepting inserts
+        self._locations = {}  # RID -> (page_id, slot)
+        self._records = {}  # RID -> live VersionedRecord (identity cache)
         self._next_rid = 1
 
     def __len__(self):
@@ -41,6 +68,7 @@ class HeapFile:
             raise StorageError(f"RID {rid} already in use in heap {self.name!r}")
         else:
             self._next_rid = max(self._next_rid, rid + 1)
+        self._locations[rid] = self._place(self._image(rid, row))
         self._records[rid] = VersionedRecord((self.name, rid), row)
         return rid
 
@@ -59,6 +87,8 @@ class HeapFile:
         """Physically remove the record at ``rid``."""
         if rid not in self._records:
             raise StorageError(f"no RID {rid} in heap {self.name!r}")
+        page_id, slot = self._locations.pop(rid)
+        self._pool.record_delete(page_id, slot)
         del self._records[rid]
 
     def scan(self, include_ghosts=False):
@@ -72,3 +102,62 @@ class HeapFile:
     def live_count(self):
         """Number of non-ghost records."""
         return sum(1 for _, r in self._records.items() if not r.is_ghost)
+
+    # ------------------------------------------------------------------
+    # page addressing
+    # ------------------------------------------------------------------
+
+    def locate(self, rid):
+        """The ``(page_id, slot)`` address behind ``rid``."""
+        try:
+            return self._locations[rid]
+        except KeyError:
+            raise StorageError(f"no RID {rid} in heap {self.name!r}") from None
+
+    def read_image(self, rid):
+        """Decode the stored page image for ``rid``: ``(rid, row_dict)``.
+
+        Reads through the buffer pool at the RID's page address — the
+        durable view of the record, independent of the live object.
+        """
+        page_id, slot = self.locate(rid)
+        rid_back, row = json.loads(
+            self._pool.page(page_id).read_record(slot).decode("utf-8")
+        )
+        return rid_back, row
+
+    def page_count(self):
+        """Number of pages the heap has allocated."""
+        return self._next_page_id - 1
+
+    def _image(self, rid, row):
+        payload = row.as_dict() if hasattr(row, "as_dict") else row
+        return json.dumps([rid, payload], default=str).encode("utf-8")
+
+    def _place(self, payload):
+        page = (
+            self._pool.page(self._open_page)
+            if self._open_page is not None
+            else None
+        )
+        if page is None or not page.has_room_for(payload):
+            page = self._allocate_page(len(payload))
+        slot = self._pool.record_insert(page.page_id, payload)
+        return page.page_id, slot
+
+    def _allocate_page(self, payload_len):
+        size = self.page_size
+        if payload_len > SlottedPage.capacity(size):
+            # one oversized row gets its own right-sized page
+            size = payload_len + PAGE_HEADER.size + PAGE_SLOT.size
+            if size > MAX_PAGE_SIZE:
+                raise StorageError(
+                    f"row of {payload_len} bytes exceeds the maximum "
+                    f"page size ({MAX_PAGE_SIZE})"
+                )
+        page = SlottedPage(self._next_page_id, page_size=size)
+        self._next_page_id += 1
+        self._pool.add_page(page)
+        if size == self.page_size:
+            self._open_page = page.page_id
+        return page

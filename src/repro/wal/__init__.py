@@ -35,6 +35,11 @@ from repro.wal.recovery import (
     salvage,
     undo,
 )
+from repro.wal.segments import (
+    dump_segments,
+    load_segments,
+    recycle_segments,
+)
 
 __all__ = [
     "AbortRecord",
@@ -59,9 +64,12 @@ __all__ = [
     "UpdateRecord",
     "analyze",
     "bytes_by_type",
+    "dump_segments",
+    "load_segments",
     "maintenance_share",
     "recover",
     "records_by_type",
+    "recycle_segments",
     "redo",
     "salvage",
     "summarize",

@@ -50,6 +50,11 @@ class LogManager:
         #: group-commit coordinator hangs off this to settle tickets even
         #: when the flush was triggered elsewhere (checkpoint, dump).
         self.flush_listener = None
+        #: called with every record the moment it enters the append
+        #: stream (LSN assigned, backchain linked) — the page mirror
+        #: (repro.storage.bufferpool.PageManager) replays data records
+        #: through this so page images track the log exactly.
+        self.append_listener = None
 
     def __len__(self):
         return len(self._records)
@@ -95,6 +100,12 @@ class LogManager:
                 "wal_append", txn_id=record.txn_id, lsn=record.lsn,
                 record=type(record).__name__, bytes=size,
             )
+        if self.append_listener is not None:
+            # Before the fault raise below: the record *is* in the append
+            # stream, so the page mirror must reflect it — rollback will
+            # walk through it and compensate via a CLR, which also lands
+            # here and keeps the mirror balanced.
+            self.append_listener(record)
         if fail_after_append:
             # The record made it into the append stream before the device
             # failed on the acknowledgement, so rollback can walk through
@@ -222,6 +233,15 @@ class LogManager:
             if record.txn_id is not None:
                 self._txn_last_lsn[record.txn_id] = record.lsn
         return dropped
+
+    def flush_for_writeback(self, up_to_lsn):
+        """WAL-before-write: make the prefix up to ``up_to_lsn`` durable
+        so a dirty page whose ``page_lsn`` lies inside it may be written
+        back. Skips the retryable flush fault sites — a page writeback
+        is engine housekeeping, not a commit, and surfacing a retryable
+        fault from inside an eviction would strand the caller's
+        statement mid-mutation."""
+        self._advance_flushed(min(up_to_lsn, self.tail_lsn()))
 
     def flush_no_faults(self):
         """Advance durability to the tail without evaluating the flush

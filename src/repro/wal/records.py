@@ -532,31 +532,45 @@ class CompensationRecord(LogRecord):
 
 
 class CheckpointRecord(LogRecord):
-    """A sharp checkpoint: the id set of transactions active at the
-    checkpoint, plus an opaque snapshot handle the recovery driver may use
-    to start redo from here instead of from the log head."""
+    """A checkpoint, in one of two flavours (``kind``):
+
+    * ``"sharp"`` — the active-transaction table plus an opaque snapshot
+      handle holding every index's full contents; recovery restores the
+      snapshot and replays only the suffix.
+    * ``"fuzzy"`` — the ARIES checkpoint: the active-transaction table
+      plus the **dirty-page table** (``page_id -> recLSN``) as it stood
+      at the checkpoint, with *no* data snapshot. Analysis starts just
+      after the checkpoint; redo starts at ``min(recLSN)`` and is gated
+      per entry against the durable page images (``docs/STORAGE.md``).
+    """
 
     type = RecordType.CHECKPOINT
-    __slots__ = ("active_txns", "snapshot")
+    __slots__ = ("active_txns", "snapshot", "dirty_pages", "kind")
 
-    def __init__(self, active_txns, snapshot=None):
+    def __init__(self, active_txns, snapshot=None, dirty_pages=None,
+                 kind="sharp"):
         super().__init__(txn_id=None)
         self.active_txns = dict(active_txns)  # txn_id -> last_lsn
         self.snapshot = snapshot
+        self.dirty_pages = dict(dirty_pages or {})  # page_id -> recLSN
+        self.kind = kind
 
     def _extra_repr(self):
-        return f", active={sorted(self.active_txns)}"
+        return f", kind={self.kind}, active={sorted(self.active_txns)}"
 
     def _payload(self):
         return {
             "active_txns": {str(k): v for k, v in self.active_txns.items()},
             "snapshot": self.snapshot,
+            "dirty_pages": {str(k): v for k, v in self.dirty_pages.items()},
+            "kind": self.kind,
         }
 
     @classmethod
     def _from_payload(cls, d):
         active = {int(k): v for k, v in d["active_txns"].items()}
-        return cls(active, d["snapshot"])
+        dirty = {int(k): v for k, v in d.get("dirty_pages", {}).items()}
+        return cls(active, d["snapshot"], dirty, d.get("kind", "sharp"))
 
 
 _RECORD_CLASSES = {

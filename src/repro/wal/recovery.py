@@ -89,6 +89,11 @@ class RecoveryReport:
         self.undo_count = 0
         self.clrs_written = 0
         self.analyzed_records = 0
+        #: data records the page-LSN gate proved already reflected in the
+        #: durable page images (fuzzy-checkpoint recovery only).
+        self.redo_skipped = 0
+        #: durable page images loaded to seed state before redo.
+        self.pages_loaded = 0
         #: salvage report dict from the pre-analysis checksum scan, or
         #: ``None`` when the durable log was clean (see :func:`salvage`).
         self.salvage = None
@@ -104,6 +109,8 @@ class RecoveryReport:
             "undo_count": self.undo_count,
             "clrs_written": self.clrs_written,
             "analyzed_records": self.analyzed_records,
+            "redo_skipped": self.redo_skipped,
+            "pages_loaded": self.pages_loaded,
             "salvage": self.salvage,
             "restarts": self.restarts,
         }
@@ -216,8 +223,18 @@ def analyze(log, from_lsn=1, faults=None):
     return winners, losers, count
 
 
-def redo(log, target, from_lsn=1, report=None, faults=None):
-    """Phase 2: repeat history — replay every data record in LSN order."""
+def redo(log, target, from_lsn=1, report=None, faults=None, pages=None):
+    """Phase 2: repeat history — replay every data record in LSN order.
+
+    When ``pages`` (a :class:`~repro.storage.bufferpool.PageManager`
+    seeded from durable page images) is supplied, redo is *gated*: a
+    record whose effect the page mirror already carries — the mirrored
+    entry's LSN is at or past the record's LSN — is skipped instead of
+    re-applied. That is what makes fuzzy-checkpoint recovery sound for
+    non-idempotent escrow deltas: a delta flushed to disk before the
+    crash must not be added twice. Skipped records still count into
+    ``report.redo_skipped``.
+    """
     for record in log.records(from_lsn):
         if record.type in _DATA_TYPES:
             if faults is not None and faults.active:
@@ -225,7 +242,13 @@ def redo(log, target, from_lsn=1, report=None, faults=None):
                     "recovery.redo", txn_id=record.txn_id,
                     detail=type(record).__name__,
                 )
+            if pages is not None and not pages.needs_redo(record):
+                if report is not None:
+                    report.redo_skipped += 1
+                continue
             record.redo(target)
+            if pages is not None:
+                pages.apply(record)
             if report is not None:
                 report.redo_count += 1
 
@@ -284,22 +307,35 @@ def undo(log, target, losers, report=None, write_clrs=True, faults=None,
             cursors[txn_id] = next_lsn
 
 
-def recover(log, target, faults=None, salvage_report=None):
+def recover(log, target, faults=None, salvage_report=None, pages=None):
     """Run full recovery against ``target``; returns a RecoveryReport.
 
     If a sharp checkpoint exists, the caller is expected to have restored
     the snapshot into ``target`` already; redo then starts just after the
-    checkpoint. ``faults`` (when armed) exposes the per-record crash
-    sites ``recovery.analysis`` / ``recovery.redo`` / ``recovery.undo``;
+    checkpoint. With ``pages`` (a page mirror seeded from durable page
+    images — the fuzzy-checkpoint path), analysis still starts at the
+    checkpoint but redo rewinds to ``min(recLSN)`` of the checkpoint's
+    dirty-page table: the oldest change that might not have reached disk.
+    ``faults`` (when armed) exposes the per-record crash sites
+    ``recovery.analysis`` / ``recovery.redo`` / ``recovery.undo``;
     ``salvage_report`` — the result of the caller's :func:`salvage` pass
     — is carried through onto the returned report.
     """
     report = RecoveryReport()
     report.salvage = salvage_report
     checkpoint = log.latest_checkpoint()
-    from_lsn = checkpoint.lsn + 1 if checkpoint is not None else 1
+    # A checkpoint only shortcuts recovery when the state it summarizes
+    # is actually available: a sharp checkpoint's snapshot (restored by
+    # the caller) or a fuzzy checkpoint's durable page images (``pages``).
+    # A fuzzy checkpoint with no trustworthy pages — a torn page, or a
+    # fresh process that never had the page store — falls back to full
+    # log replay from LSN 1, exactly as if no checkpoint existed.
+    trusted = checkpoint is not None and (
+        checkpoint.snapshot is not None or pages is not None
+    )
+    from_lsn = checkpoint.lsn + 1 if trusted else 1
     winners, losers, analyzed = analyze(log, from_lsn, faults=faults)
-    if checkpoint is not None:
+    if trusted:
         # Transactions active at the checkpoint may have no records after
         # it; they are losers unless a later COMMIT appeared.
         for txn_id, last_lsn in checkpoint.active_txns.items():
@@ -308,7 +344,12 @@ def recover(log, target, faults=None, salvage_report=None):
     report.winners = winners
     report.losers = set(losers)
     report.analyzed_records = analyzed
-    redo(log, target, from_lsn, report, faults=faults)
+    redo_from = from_lsn
+    if pages is not None and trusted and checkpoint.dirty_pages:
+        # Fuzzy checkpoint: dirty pages' oldest unflushed change may
+        # predate the checkpoint record itself.
+        redo_from = min([from_lsn] + list(checkpoint.dirty_pages.values()))
+    redo(log, target, redo_from, report, faults=faults, pages=pages)
     undo(log, target, losers, report, faults=faults, durable=True)
     # Recovery's own durability point bypasses the flush fault sites:
     # nothing retries a failed recovery flush, it just re-enters.

@@ -13,7 +13,10 @@ import repro.core.database
 import repro.locking.modes
 import repro.query.aggregates
 import repro.storage.btree
+import repro.storage.bufferpool
 import repro.storage.heap
+import repro.storage.pages
+import repro.wal.segments
 
 MODULES = [
     repro.common.clock,
@@ -24,7 +27,10 @@ MODULES = [
     repro.locking.modes,
     repro.query.aggregates,
     repro.storage.btree,
+    repro.storage.bufferpool,
     repro.storage.heap,
+    repro.storage.pages,
+    repro.wal.segments,
 ]
 
 

@@ -73,7 +73,9 @@ class TestChecker:
         assert not report.clean
         assert BY_PRODUCT in report.damaged_views()
         kinds = {d.kind for d in report.damage}
-        assert kinds == {"view"}
+        # The tampered live row is caught twice: against recomputation
+        # ("view") and against the independent page mirror ("storage").
+        assert kinds == {"view", "storage"}
         assert db.stats()["integrity"]["damage_found"] == len(report.damage)
 
     def test_detects_missing_view_row(self):

@@ -218,4 +218,5 @@ def test_rules_tuple_is_the_documented_set():
         "error-hierarchy",
         "bare-except",
         "import-surface",
+        "page-discipline",
     )
