@@ -1185,6 +1185,9 @@ class Database(RecoveryTarget):
         # background checkpointer, so they are not consumed here.
         self.log.flush_no_faults()
         self._pool.flush_dirty()
+        # Every mirrored entry is durable now, so the superseded copies
+        # that page-to-page moves left behind can finally be erased.
+        self._pages.reclaim_stale()
         self.counters.incr("checkpoint.taken")
         self.counters.incr("checkpoint.fuzzy")
         if self.tracer.enabled:

@@ -9,6 +9,7 @@ from repro.obs.metrics import EngineMetrics, RetryStats
 from repro.obs.schema import (
     BUFFER_POOL_STATS_FIELDS,
     CHECKPOINT_RECORD_FIELDS,
+    FLOOR_MARKER_FIELDS,
     PAGE_HEADER_FIELDS,
     PAGE_STATES,
     RECOVERY_REPORT_FIELDS,
@@ -27,6 +28,7 @@ __all__ = [
     "CATEGORIES",
     "CHECKPOINT_RECORD_FIELDS",
     "EVENT_TYPES",
+    "FLOOR_MARKER_FIELDS",
     "Event",
     "EngineMetrics",
     "NULL_TRACER",

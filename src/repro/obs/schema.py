@@ -71,6 +71,9 @@ SEGMENT_HEADER_FIELDS = {"segment", "first_lsn"}
 #: the JSON trailer line sealing every WAL segment file.
 SEGMENT_TRAILER_FIELDS = {"segment", "records", "last_lsn", "crc"}
 
+#: the ``wal.floor`` truncation marker beside the segment chain.
+FLOOR_MARKER_FIELDS = {"first_lsn", "segments"}
+
 #: payload keys of a checkpoint log record (sharp and fuzzy).
 CHECKPOINT_RECORD_FIELDS = {"active_txns", "snapshot", "dirty_pages", "kind"}
 

@@ -25,10 +25,17 @@ Three layers live here (the pinned contract is ``docs/STORAGE.md``):
 Entries are stored one per key as JSON payloads
 ``[index, key, row, is_ghost, lsn, dead]``. A delete leaves a *dead*
 entry (tombstone) in place rather than reclaiming the slot, and an
-entry that outgrows its page leaves a tombstone behind when it moves —
-so the newest durable fact about every key, including its deletion LSN,
-is always discoverable by recovery, which gates redo per key: a record
-is skipped iff the seeded entry's LSN already covers it.
+entry that outgrows its page is re-placed elsewhere with the superseded
+copy left behind as a *stale* fact — every durable entry is therefore a
+true logical state of its key as of its LSN, and the newest one wins
+recovery's per-key election no matter which subset of pages reached the
+store before the crash. Stale copies are erased only once their
+replacement is durable (:meth:`PageManager.reclaim_stale`, run after a
+checkpoint's ``flush_dirty``); erasing them earlier could leave a crash
+with no durable trace of the key at all. Recovery gates redo per key: a
+live winner covers records up to and including its own LSN, while a
+dead winner covers only strictly older ones, so the record that
+produced a tombstone is always redone (deletes are idempotent).
 
 >>> from repro.storage.pages import SlottedPage
 >>> store = PageStore()
@@ -330,9 +337,13 @@ class PageManager:
         self._slots = {}    # (index, key) -> (page_id, slot)
         self._key_lsn = {}  # (index, key) -> LSN of last applied record
         self._open = {}     # index -> page_id currently taking new entries
+        self._stale = []    # superseded (page_id, slot) pairs, reclaimable
+                            # once their replacements are durable
+        self._dead_seeds = set()  # locators whose seeded winner is a tombstone
         self._next_page_id = 1
         self._lsn = 0
         self.applied = 0
+        self.moves = 0
 
     # ------------------------------------------------------------------
     # the append listener / redo mirror
@@ -354,9 +365,20 @@ class PageManager:
 
     def needs_redo(self, record):
         """Redo gate: skip the record iff the mirrored entry for its key
-        already reflects it (entry LSN >= record LSN)."""
+        already reflects it.
+
+        A live seeded entry is a full row image, so it covers every
+        record up to and including its own LSN. A seeded *tombstone*
+        covers only strictly older records: redoing the delete that
+        produced it is idempotent, and a tombstone must never suppress a
+        same-LSN record whose effect it does not actually carry.
+        """
         index_name, key = self._locus(record)
-        return self._key_lsn.get((index_name, key), 0) < record.lsn
+        locator = (index_name, key)
+        entry_lsn = self._key_lsn.get(locator, 0)
+        if locator in self._dead_seeds:
+            return entry_lsn <= record.lsn
+        return entry_lsn < record.lsn
 
     def entry_count(self):
         return len(self._key_lsn)
@@ -418,19 +440,22 @@ class PageManager:
             try:
                 self.pool.record_update(page_id, slot, payload, lsn)
             except StorageError:
-                # The entry outgrew its page: leave a tombstone behind
-                # (so this page still pins the key's LSN for recovery)
-                # and re-place the live entry elsewhere.
-                tomb = self._encode(index_name, key, None, False, True)
-                try:
-                    self.pool.record_update(page_id, slot, tomb, lsn)
-                except StorageError:
-                    self.pool.record_delete(page_id, slot, lsn)
+                # The entry outgrew its page. The old copy must stay put
+                # untouched: it is the key's newest durable fact until
+                # the new page reaches the store, and erasing or
+                # tombstoning it here could leave a crash with no
+                # recoverable trace of the key (the gate would skip the
+                # move record as already covered). It loses the winner
+                # election on LSN and is reclaimed after the next
+                # checkpoint makes the replacement durable.
+                self._stale.append((page_id, slot))
+                self.moves += 1
                 self._place(locator, payload, lsn)
         else:
             self._place(locator, payload, lsn)
         previous = self._key_lsn.get(locator, 0)
         self._key_lsn[locator] = max(previous, lsn)
+        self._dead_seeds.discard(locator)
 
     def _place(self, locator, payload, lsn):
         index_name = locator[0]
@@ -472,6 +497,7 @@ class PageManager:
         the caller must fall back to full-log replay.
         """
         winners = {}  # locator -> (lsn, row, ghost, dead, page_id, slot)
+        found = []    # every decoded (locator, page_id, slot)
         pages_loaded = 0
         torn = 0
         for page_id in sorted(self.store_page_ids()):
@@ -487,6 +513,7 @@ class PageManager:
                     payload
                 )
                 locator = (index_name, tuple(key_list))
+                found.append((locator, page_id, slot))
                 current = winners.get(locator)
                 if (
                     current is None
@@ -500,9 +527,34 @@ class PageManager:
         for locator, (lsn, row, ghost, dead, page_id, slot) in winners.items():
             self._slots[locator] = (page_id, slot)
             self._key_lsn[locator] = lsn
-            if not dead and row is not None:
+            if dead:
+                self._dead_seeds.add(locator)
+            elif row is not None:
                 seeds.append((locator[0], locator[1], row, ghost))
+        # every non-winning copy is a superseded stale fact; it is safe
+        # to reclaim because the fact that beat it is already durable
+        for locator, page_id, slot in found:
+            if (page_id, slot) != winners[locator][4:6]:
+                self._stale.append((page_id, slot))
         return pages_loaded, torn, seeds
+
+    def reclaim_stale(self):
+        """Erase superseded entry copies left behind by page-to-page
+        moves (and recovery's losing duplicates); returns the count.
+
+        Only safe once every superseding entry is durable — the engine
+        calls this right after a checkpoint's ``flush_dirty`` — because
+        until then the stale copy may be the key's only durable trace.
+        """
+        reclaimed = 0
+        for page_id, slot in self._stale:
+            try:
+                self.pool.record_delete(page_id, slot, self._lsn)
+            except StorageError:
+                continue  # page unreadable or slot already dead
+            reclaimed += 1
+        self._stale = []
+        return reclaimed
 
     def store_page_ids(self):
         return self.pool.store.page_ids()

@@ -16,7 +16,11 @@ record's durable image can be found without scanning, and relocating a
 page never invalidates a RID. The live :class:`~repro.storage.records.
 VersionedRecord` (lock state, uncommitted versions) stays in a RID-keyed
 identity cache; pages hold only the committed row image, which is what a
-page can durably hold.
+page can durably hold. Committed updates go through
+:meth:`HeapFile.update_row` (or :meth:`HeapFile.refresh_image` when the
+live record was mutated in place), which rewrites the page image — and
+re-places a row that outgrew its page, moving the RID's address without
+changing the RID.
 """
 
 import json
@@ -82,6 +86,34 @@ class HeapFile:
     def try_get(self, rid):
         """Return the record at ``rid`` or ``None``."""
         return self._records.get(rid)
+
+    def update_row(self, rid, row):
+        """Replace the row behind ``rid``: both the live record and the
+        stored page image change together.
+
+        >>> h = HeapFile("orders")
+        >>> rid = h.insert_row({"qty": 1})
+        >>> _ = h.update_row(rid, {"qty": 2})
+        >>> h.read_image(rid)
+        (1, {'qty': 2})
+        """
+        record = self.get(rid)
+        record.current_row = row
+        self.refresh_image(rid)
+        return record
+
+    def refresh_image(self, rid):
+        """Rewrite the page image from the live record's current row
+        (call after mutating a record in place, e.g. at commit). A row
+        that outgrew its page is re-placed on another page — the RID is
+        untouched, only :meth:`locate`'s answer changes."""
+        payload = self._image(rid, self.get(rid).current_row)
+        page_id, slot = self.locate(rid)
+        try:
+            self._pool.record_update(page_id, slot, payload)
+        except StorageError:
+            self._locations[rid] = self._place(payload)
+            self._pool.record_delete(page_id, slot)
 
     def delete(self, rid):
         """Physically remove the record at ``rid``."""

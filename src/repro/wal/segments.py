@@ -13,11 +13,18 @@ independently. This module gives the simulated engine that shape
   ``records``, ``last_lsn``, ``crc``) whose CRC-32 covers the segment
   body — a torn segment tail or a bit flip fails the trailer check and
   the segment (plus everything after it) is dropped, never replayed.
-* :func:`load_segments` additionally verifies **LSN continuity** across
-  the chain: a recycled-too-early or lost segment (the
-  ``wal.segment_lost`` fault site) leaves a gap, and everything past
-  the gap is unusable — the loss is counted into
-  ``LogManager.undecodable_tail`` so the salvage pass reports it
+* A ``wal.floor`` **marker file** records the legitimate truncation
+  floor — the ``first_lsn`` the chain's head segment must carry and how
+  many segment files the chain holds. :func:`dump_segments` writes it
+  and :func:`recycle_segments` updates it, so :func:`load_segments` can
+  tell a *recycled* head (expected, clean) from a *lost* one (the
+  ``wal.segment_lost`` fault site can eat segment 1, which no
+  continuity check between surviving neighbours would ever notice).
+* :func:`load_segments` verifies the head against the marker, **LSN
+  continuity** across the chain, and the marker's segment count (which
+  catches a lost *tail* segment). Everything at or past a break — and
+  every missing segment — is counted into
+  ``LogManager.undecodable_tail`` so the salvage pass reports the loss
   instead of recovery silently replaying a history with a hole.
 * :func:`recycle_segments` deletes sealed segments wholly below a
   caller-supplied LSN floor — after a fuzzy checkpoint the engine's
@@ -38,8 +45,14 @@ True
 >>> reloaded = load_segments(directory)
 >>> (reloaded.tail_lsn(), reloaded.undecodable_tail) == (log.tail_lsn(), 0)
 True
+>>> os.remove(paths[0])  # the head segment vanishes without a trace...
+>>> load_segments(directory).undecodable_tail > 0  # ...but not silently
+True
+>>> paths = dump_segments(log, directory, segment_bytes=220)
 >>> recycle_segments(directory, keep_from_lsn=log.tail_lsn() + 1) == paths
 True
+>>> load_segments(directory).undecodable_tail  # recycled != lost
+0
 """
 
 import json
@@ -53,9 +66,48 @@ from repro.wal.records import LogRecord
 
 _SEGMENT_NAME = re.compile(r"^wal\.(\d{5})\.seg$")
 
+#: the truncation-floor marker file (see :func:`read_floor`)
+FLOOR_NAME = "wal.floor"
+
 
 def segment_path(directory, number):
     return os.path.join(directory, f"wal.{number:05d}.seg")
+
+
+def floor_path(directory):
+    return os.path.join(directory, FLOOR_NAME)
+
+
+def _write_floor(directory, first_lsn, segments):
+    with open(floor_path(directory), "w") as f:
+        f.write(
+            json.dumps({"first_lsn": first_lsn, "segments": segments}) + "\n"
+        )
+
+
+def _remove_floor(directory):
+    try:
+        os.remove(floor_path(directory))
+    except OSError:
+        pass
+
+
+def read_floor(directory):
+    """The persisted truncation floor, or ``None`` when no (readable)
+    marker exists: ``{"first_lsn": ..., "segments": ...}`` — the LSN
+    the chain's head segment must start at and the number of segment
+    files the chain is supposed to hold. An unreadable marker is
+    treated as missing, which makes :func:`load_segments` *more*
+    suspicious of the chain, never less."""
+    try:
+        with open(floor_path(directory)) as f:
+            marker = json.load(f)
+        return {
+            "first_lsn": int(marker["first_lsn"]),
+            "segments": int(marker["segments"]),
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
 
 
 def segment_files(directory):
@@ -89,6 +141,7 @@ def dump_segments(log, directory, segment_bytes=32768, faults=None):
     os.makedirs(directory, exist_ok=True)
     for _, stale in segment_files(directory):
         os.remove(stale)
+    _remove_floor(directory)
     segments = []  # (number, first_lsn, [lines], last_lsn)
     lines, first_lsn, last_lsn, size = [], None, None, 0
     for record in log.records():
@@ -105,6 +158,11 @@ def dump_segments(log, directory, segment_bytes=32768, faults=None):
             lines, first_lsn, last_lsn, size = [], None, None, 0
     if lines:
         segments.append((len(segments) + 1, first_lsn, lines, last_lsn))
+    if segments:
+        # The marker describes the *intended* chain, written before the
+        # per-segment fault site gets a say — a segment the device eats
+        # is then a detectable hole, not a silently shorter history.
+        _write_floor(directory, segments[0][1], len(segments))
     paths = []
     for number, first, body, last in segments:
         if faults.active and faults.fires(
@@ -167,20 +225,24 @@ def load_segments(directory, checksums=True):
 
     Loading stops at the first broken link — a failed trailer CRC, an
     undecodable body, or an LSN gap against the previous segment (a
-    lost or prematurely recycled segment). Every record line at or past
-    the break is counted into ``undecodable_tail`` so the salvage pass
-    reports the loss.
+    lost or prematurely recycled segment). The chain's *head* is checked
+    against the ``wal.floor`` marker: a head starting past the recorded
+    floor means the earliest segment was lost, not recycled (with no
+    marker at all, the head must start at LSN 1). Every record line at
+    or past a break is counted into ``undecodable_tail``, and so is
+    every segment file the marker promises but the directory lacks (a
+    lost tail leaves the surviving chain perfectly continuous — only
+    the count betrays it), so the salvage pass reports the loss.
     """
     manager = LogManager(checksums=checksums)
     files = segment_files(directory)
+    floor = read_floor(directory)
     dropped = 0
     broken = False
-    expected_lsn = None
+    expected_lsn = floor["first_lsn"] if floor is not None else 1
     for number, path in files:
         header, records, ok = _read_segment(path)
-        if broken or not ok or (
-            expected_lsn is not None and header["first_lsn"] != expected_lsn
-        ):
+        if broken or not ok or header["first_lsn"] != expected_lsn:
             broken = True
             dropped += max(len(records), 1)
             continue
@@ -191,6 +253,9 @@ def load_segments(directory, checksums=True):
                 manager._txn_last_lsn[record.txn_id] = record.lsn
         if records:
             expected_lsn = records[-1]["lsn"] + 1
+    if floor is not None and len(files) < floor["segments"]:
+        # each missing segment held at least one record
+        dropped += floor["segments"] - len(files)
     manager.undecodable_tail = dropped
     if manager._records:
         manager._next_lsn = manager._records[-1].lsn + 1
@@ -203,7 +268,10 @@ def recycle_segments(directory, keep_from_lsn):
 
     A segment is removed only when its trailer verifies and its
     ``last_lsn`` is below the floor — a damaged segment is never
-    silently discarded. Returns the removed paths.
+    silently discarded. The ``wal.floor`` marker is rewritten to the
+    surviving chain's head, so :func:`load_segments` knows this
+    truncation was legitimate and can still tell a *lost* head from a
+    recycled one. Returns the removed paths.
     """
     removed = []
     for _, path in segment_files(directory):
@@ -215,4 +283,17 @@ def recycle_segments(directory, keep_from_lsn):
             removed.append(path)
         else:
             break
+    if removed:
+        remaining = segment_files(directory)
+        if remaining:
+            try:
+                with open(remaining[0][1]) as f:
+                    first_lsn = json.loads(f.readline())["first_lsn"]
+                _write_floor(directory, first_lsn, len(remaining))
+            except (OSError, ValueError, KeyError, TypeError):
+                pass  # head unreadable: the old marker keeps load wary
+        else:
+            # everything below the floor was recycled and nothing is
+            # left — an empty directory is a legitimate empty chain
+            _write_floor(directory, keep_from_lsn, 0)
     return removed

@@ -156,6 +156,90 @@ class TestWalBeforeWrite:
         assert store.read_page(1).page_lsn == 2
 
 
+class TestEntryMovesSurviveCrashes:
+    """A mirrored entry that outgrows its page is re-placed elsewhere.
+    The superseded copy must stay behind as a stale (lower-LSN) fact:
+    whichever subset of pages reaches the store before a crash, the
+    per-key winner election plus gated redo must reconstruct every
+    committed row. (Regression: the old tombstone-on-move scheme could
+    elect a same-LSN tombstone and skip the move record entirely.)"""
+
+    def build(self):
+        db = Database(EngineConfig(buffer_pool_frames=8, page_size=256))
+        db.create_table("t", ("id", "data"), ("id",))
+        return db
+
+    def grow_until_moved(self, db):
+        """Widen row (1,) until its mirror entry moves pages; returns
+        ``(old_location, new_location, final_data_value)``."""
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 1, "data": "x"})
+        old_loc = db._pages._slots[("t", (1,))]
+        width, last = 8, "x"
+        while db._pages.moves == 0:
+            assert width < 100_000, "entry never moved pages"
+            last = "x" * width
+            with db.transaction() as txn:
+                db.update(txn, "t", (1,), {"data": last})
+            width *= 2
+        new_loc = db._pages._slots[("t", (1,))]
+        assert new_loc[0] != old_loc[0]
+        return old_loc, new_loc, last
+
+    def test_move_with_only_the_old_page_durable_keeps_the_key(self):
+        """The reviewer scenario: the page the entry moved OFF is the
+        only one the store saw. The stale copy there is the key's only
+        durable trace — recovery must seed it and redo the move."""
+        db = self.build()
+        old_loc, _, last = self.grow_until_moved(db)
+        db.log.flush()
+        db._pool.flush_page(old_loc[0])
+        assert db._store.page_ids() == [old_loc[0]]
+        report = db.simulate_crash_and_recover()
+        assert report.pages_loaded == 1
+        record = db._indexes["t"].get_record((1,))
+        assert record is not None
+        assert record.current_row["data"] == last
+
+    def test_move_with_both_pages_durable_elects_the_newest_copy(self):
+        db = self.build()
+        old_loc, new_loc, last = self.grow_until_moved(db)
+        db.log.flush()
+        db._pool.flush_dirty()
+        report = db.simulate_crash_and_recover()
+        assert report.pages_loaded >= 2
+        record = db._indexes["t"].get_record((1,))
+        assert record.current_row["data"] == last  # stale copy lost
+        # and the winner is gated: the old records were not re-applied
+        assert report.redo_skipped > 0
+
+    def test_delete_tombstone_still_wins_when_durable(self):
+        db = self.build()
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"id": 1, "data": "x"})
+        with db.transaction() as txn:
+            db.delete(txn, "t", (1,))
+        db.run_ghost_cleanup()
+        db.log.flush()
+        db._pool.flush_dirty()
+        db.simulate_crash_and_recover()
+        assert db._indexes["t"].get_record((1,)) is None
+
+    def test_checkpoint_reclaims_the_stale_copy(self):
+        db = self.build()
+        old_loc, _, last = self.grow_until_moved(db)
+        assert db._pages._stale  # the move left a superseded copy
+        db.take_checkpoint(kind="fuzzy")
+        assert db._pages._stale == []  # checkpoint swept it
+        # the old slot is actually dead on its page now
+        with pytest.raises(StorageError):
+            db._pool.page(old_loc[0]).read_record(old_loc[1])
+        # and a crash at any later point still recovers the key
+        db.simulate_crash_and_recover()
+        record = db._indexes["t"].get_record((1,))
+        assert record.current_row["data"] == last
+
+
 class TestEngineUnderMemoryPressure:
     """A whole engine on a tiny pool: evictions mid-transaction force
     WAL flushes, and nothing the views promise is lost."""

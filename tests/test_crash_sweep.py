@@ -131,28 +131,19 @@ def base_table_in_prefix(log, limit_lsn):
     return rows
 
 
-@pytest.mark.parametrize("strategy", ["escrow", "xlock"])
-def test_recovery_correct_at_every_crash_point_across_fuzzy_checkpoints(
-    strategy, tmp_path
-):
-    """The full sweep again, but across *fuzzy* checkpoints on a paged
-    engine: at every crash boundary the surviving device state is the
-    log prefix PLUS every page image written back before that point
-    (reconstructed from a ``PageStore.write_listener`` timeline). The
-    page-seeded, redo-gated recovery must be exactly as correct as pure
-    log replay — and the sweep must prove the gate actually engages
-    (pages seeded, redo skipped) at some boundaries.
-
-    With a checkpoint in the prefix, analysis starts there, so
-    ``report.winners`` only names commits *after* it; pre-checkpoint
-    durability is asserted at the data level against the replay oracle
-    (:func:`base_table_in_prefix`)."""
+def fuzzy_sweep(strategy, tmp_path, workload):
+    """Crash-at-every-LSN sweep harness over the paged engine: at every
+    crash boundary the surviving device state is the log prefix PLUS
+    every page image written back before that point (reconstructed from
+    a ``PageStore.write_listener`` timeline). Asserts full consistency
+    at each boundary; returns ``(reference_db, seeded_points,
+    redo_skipped_total)`` so callers can check the machinery engaged."""
     reference = build_fuzzy_schema(strategy)
     timeline = []  # (log tail at write time, page_id, raw image)
     reference._store.write_listener = lambda pid, data: timeline.append(
         (reference.log.tail_lsn(), pid, data)
     )
-    run_workload(reference)
+    workload(reference)
     reference.take_checkpoint(kind="fuzzy")
     reference.log.flush()
     path = tmp_path / "wal.jsonl"
@@ -207,6 +198,61 @@ def test_recovery_correct_at_every_crash_point_across_fuzzy_checkpoints(
         with db.transaction() as txn:
             db.insert(txn, "sales", {"id": 900, "product": "z", "amount": 1})
         assert db.read_committed("v", ("z",))["n"] == 1
+    return reference, seeded_points, redo_skipped_total
+
+
+@pytest.mark.parametrize("strategy", ["escrow", "xlock"])
+def test_recovery_correct_at_every_crash_point_across_fuzzy_checkpoints(
+    strategy, tmp_path
+):
+    """The full sweep again, but across *fuzzy* checkpoints on a paged
+    engine. The page-seeded, redo-gated recovery must be exactly as
+    correct as pure log replay — and the sweep must prove the gate
+    actually engages (pages seeded, redo skipped) at some boundaries.
+
+    With a checkpoint in the prefix, analysis starts there, so
+    ``report.winners`` only names commits *after* it; pre-checkpoint
+    durability is asserted at the data level against the replay oracle
+    (:func:`base_table_in_prefix`)."""
+    _, seeded_points, redo_skipped_total = fuzzy_sweep(
+        strategy, tmp_path, run_workload
+    )
     # the sweep exercised the ARIES machinery, not just full replay
     assert seeded_points > 0
     assert redo_skipped_total > 0
+
+
+def run_growth_workload(db):
+    """Rows whose payloads widen step by step, so mirrored entries
+    outgrow their slots and move between pages (leaving superseded
+    stale copies behind). Every committed fact must survive recovery
+    no matter which of the two pages involved in a move was the one
+    that reached the store before the crash."""
+    with db.transaction() as txn:
+        for i in range(1, 4):
+            db.insert(txn, "sales", {"id": i, "product": "p", "amount": i})
+    for width in (8, 24, 56, 120):
+        # each step widens the row for key 2 and moves it to a new view
+        # group, churning both the base entry and the group entries
+        with db.transaction() as txn:
+            db.update(txn, "sales", (2,), {"product": "g" * width})
+    with db.transaction() as txn:
+        db.delete(txn, "sales", (3,))
+    db.run_ghost_cleanup()
+    db.log.flush()
+
+
+@pytest.mark.parametrize("strategy", ["escrow", "xlock"])
+def test_recovery_correct_when_entries_move_between_pages(strategy, tmp_path):
+    """Crash sweep across page-to-page entry moves: the winner election
+    over durable pages must never lose a committed key to a superseded
+    copy — at every boundary, whatever subset of pages the timeline
+    says was durable. (Regression for the tombstone-on-move bug: a
+    same-LSN tombstone could gate out the very record that moved the
+    entry, silently dropping the key.)"""
+    reference, seeded_points, _ = fuzzy_sweep(
+        strategy, tmp_path, run_growth_workload
+    )
+    # the workload genuinely forced entries to move between pages
+    assert reference._pages.moves > 0
+    assert seeded_points > 0

@@ -15,6 +15,7 @@ from repro.core import Database, EngineConfig
 from repro.obs import (
     BUFFER_POOL_STATS_FIELDS,
     CHECKPOINT_RECORD_FIELDS,
+    FLOOR_MARKER_FIELDS,
     PAGE_HEADER_FIELDS,
     PAGE_STATES,
     SEGMENT_HEADER_FIELDS,
@@ -32,6 +33,7 @@ CONTRACTS = {
     "page_header": PAGE_HEADER_FIELDS,
     "segment_header": SEGMENT_HEADER_FIELDS,
     "segment_trailer": SEGMENT_TRAILER_FIELDS,
+    "floor_marker": FLOOR_MARKER_FIELDS,
     "checkpoint_record": CHECKPOINT_RECORD_FIELDS,
     "buffer_pool_stats": BUFFER_POOL_STATS_FIELDS,
     "page_states": PAGE_STATES,
@@ -137,3 +139,6 @@ class TestSchemaMatchesEngine:
             lines = seg.read_text().splitlines()
             assert set(json.loads(lines[0])) == set(SEGMENT_HEADER_FIELDS)
             assert set(json.loads(lines[-1])) == set(SEGMENT_TRAILER_FIELDS)
+        marker = json.loads((tmp_path / "wal.floor").read_text())
+        assert set(marker) == set(FLOOR_MARKER_FIELDS)
+        assert marker["segments"] == len(files)

@@ -1,0 +1,63 @@
+"""Heap files keep their durable page images in step with the records.
+
+``docs`` promise (``repro.storage.heap`` docstring): the page image is
+not an insert-time snapshot — committed updates rewrite it, and a row
+that outgrows its page is re-placed on another page without changing
+its RID. These tests pin that contract (regression: images used to be
+written once at insert and never refreshed).
+"""
+
+import pytest
+
+from repro.common import StorageError
+from repro.storage.heap import HeapFile
+
+
+class TestUpdateRefreshesTheImage:
+    def test_update_row_rewrites_the_stored_image(self):
+        h = HeapFile("orders")
+        rid = h.insert_row({"qty": 1, "sku": "a"})
+        h.update_row(rid, {"qty": 2, "sku": "a"})
+        assert h.read_image(rid) == (rid, {"qty": 2, "sku": "a"})
+        assert h.get(rid).current_row == {"qty": 2, "sku": "a"}
+
+    def test_refresh_image_syncs_an_in_place_mutation(self):
+        h = HeapFile("orders")
+        rid = h.insert_row({"qty": 1})
+        h.get(rid).current_row = {"qty": 7}
+        # the stored image is still the stale insert-time snapshot...
+        assert h.read_image(rid) == (rid, {"qty": 1})
+        h.refresh_image(rid)
+        assert h.read_image(rid) == (rid, {"qty": 7})
+
+    def test_same_size_update_keeps_the_address(self):
+        h = HeapFile("orders")
+        rid = h.insert_row({"v": "aaaa"})
+        before = h.locate(rid)
+        h.update_row(rid, {"v": "bbbb"})
+        assert h.locate(rid) == before
+
+
+class TestGrowthRelocatesWithoutChangingTheRid:
+    def test_outgrown_row_moves_pages_and_frees_the_old_slot(self):
+        h = HeapFile("orders", page_size=128)
+        rid = h.insert_row({"v": "x"})
+        neighbour = h.insert_row({"v": "y"})
+        old_page, old_slot = h.locate(rid)
+        h.update_row(rid, {"v": "x" * 200})  # cannot fit a 128-byte page
+        new_page, _ = h.locate(rid)
+        assert new_page != old_page
+        assert h.read_image(rid) == (rid, {"v": "x" * 200})
+        # the vacated slot is gone; the neighbour's image is untouched
+        with pytest.raises(StorageError):
+            h._pool.page(old_page).read_record(old_slot)
+        assert h.read_image(neighbour) == (neighbour, {"v": "y"})
+
+    def test_delete_after_a_move_uses_the_new_address(self):
+        h = HeapFile("orders", page_size=128)
+        rid = h.insert_row({"v": "x"})
+        h.update_row(rid, {"v": "x" * 200})
+        h.delete(rid)
+        assert h.try_get(rid) is None
+        with pytest.raises(StorageError):
+            h.locate(rid)
