@@ -2,13 +2,14 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
 .PHONY: test bench bench-smoke bench-r16 bench-r17 chaos-smoke \
-	check-results lint sanitize-smoke storage-smoke verify
+	check-results dist-smoke lint sanitize-smoke storage-smoke verify
 
 # The PR gate, in dependency-cheapest order: the AST lint rules, the
 # full tier-1 test suite, the protocol sanitizers, the paged-storage
-# smoke, then the bounded chaos tier (which includes the crash-storm
-# recovery leg). benchmarks/run_all.py finishes with the same chain.
-verify: lint test sanitize-smoke storage-smoke chaos-smoke
+# smoke, the bounded chaos tier (which includes the crash-storm
+# recovery leg), then the sharded 2PC smoke. benchmarks/run_all.py
+# finishes with the same chain.
+verify: lint test sanitize-smoke storage-smoke chaos-smoke dist-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -60,6 +61,13 @@ storage-smoke:
 # schema + event-catalogue gate. Finishes in well under a minute.
 chaos-smoke:
 	cd benchmarks && $(PYTHON) -c "import chaos; chaos.smoke()"
+	$(PYTHON) benchmarks/check_results.py
+
+# The distributed-commit smoke: healthy cross-partition 2PC, a
+# partition crash mid-2PC with survivor traffic and in-doubt recovery,
+# and the presumed-abort negative control, then the schema gate.
+dist-smoke:
+	cd benchmarks && $(PYTHON) -c "import dist_smoke as b; b.scenario()"
 	$(PYTHON) benchmarks/check_results.py
 
 check-results:

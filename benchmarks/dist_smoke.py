@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Distributed-commit smoke: the sharded fleet end to end, fast.
+
+Three legs on a 4-partition ``ShardedDatabase`` (range-partitioned
+accounts, an aggregate view whose groups span partitions, escrow
+sub-counters folded on read — ``docs/ARCHITECTURE.md`` §9):
+
+1. **healthy 2PC** — a mix of single-partition deposits and
+   cross-partition zero-sum moves; every global total must fold to the
+   seeded value and the cross-partition conservation oracle must be
+   exactly clean.
+2. **partition crash mid-2PC** — ``dist.partition_crash`` kills one
+   partition after its branch prepared, before the decision arrives.
+   The surviving three partitions keep committing single-partition
+   transactions; the dead one raises a retryable denial; recovery
+   resolves every in-doubt branch from the coordinator's durable
+   decision log with zero lost or double-applied escrow deltas.
+3. **presumed abort (negative control)** — ``dist.decision_lost`` eats
+   the coordinator's decision; resolution must presume abort and leave
+   no trace of the transaction's effects.
+
+This is the ``make dist-smoke`` / ``run_all.py`` gate for ``repro.dist``
+— a regression in routing, 2PC, in-doubt resolution, or the fold shows
+up here in a couple of seconds.
+
+Run:  python benchmarks/dist_smoke.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.api import (
+    AggregateSpec,
+    EngineConfig,
+    FaultInjector,
+    PartitionUnavailableError,
+    ShardedDatabase,
+    check_conservation,
+)  # noqa: E402
+
+from harness import claim, emit  # noqa: E402
+
+BOUNDS = (250, 500, 750)  # 4 partitions
+REGIONS = ("east", "west", "north")
+SEED_PER_REGION = 400
+
+
+def build():
+    db = ShardedDatabase(BOUNDS, EngineConfig(aggregate_strategy="escrow"))
+    db.create_table("accounts", ("id", "region", "amount"), ("id",))
+    db.create_aggregate_view(
+        "region_totals", "accounts", ("region",),
+        [AggregateSpec.count("n_accounts"),
+         AggregateSpec.sum_of("balance", "amount")],
+    )
+    # One seed account per (region, partition): every group spans the
+    # whole fleet as four sub-counter rows.
+    key = 0
+    for region in REGIONS:
+        for base in (0, 250, 500, 750):
+            txn = db.begin()
+            db.insert(txn, "accounts", {
+                "id": base + key, "region": region,
+                "amount": SEED_PER_REGION // 4,
+            })
+            db.commit(txn)
+        key += 1
+    return db
+
+
+def move(db, src, dst, region, amount):
+    """A zero-sum cross-partition transfer as one global transaction."""
+    txn = db.begin()
+    db.insert(txn, "accounts", {"id": dst, "region": region,
+                                "amount": amount})
+    db.insert(txn, "accounts", {"id": src, "region": region,
+                                "amount": -amount})
+    return db.commit(txn)
+
+
+def region_balances(db):
+    return {
+        region: db.read_folded("region_totals", (region,))["balance"]
+        for region in REGIONS
+    }
+
+
+def leg_healthy():
+    db = build()
+    moves = 0
+    for i, region in enumerate(REGIONS * 4):
+        # src low key space, dst high key space: always two partitions
+        outcome = move(db, 20 + i, 770 + i, region, 5 + i)
+        assert outcome == "commit"
+        moves += 1
+    balances = region_balances(db)
+    stats = db.stats()["dist"]
+    ok = (
+        all(b == SEED_PER_REGION for b in balances.values())
+        and stats["two_phase_commits"] == moves
+        and stats["decisions"]["commit"] == moves
+        and check_conservation(db) == []
+    )
+    return ok, [
+        ["healthy: cross-partition moves", moves],
+        ["healthy: 2PC decisions (commit)", stats["decisions"]["commit"]],
+        ["healthy: conservation problems", len(check_conservation(db))],
+    ]
+
+
+def leg_partition_crash():
+    db = build()
+    inj = FaultInjector(seed=21)
+    db.install_fault_injector(inj)
+    inj.arm("dist.partition_crash", match="decide:3", times=1)
+    outcome = move(db, 30, 780, "east", 40)  # decision durable, branch dies
+    inj.disarm()
+    crashed = db.down_partitions() == [3]
+
+    # The surviving three keep absorbing single-partition commits...
+    survivor_commits = 0
+    for key in (31, 300, 600):
+        txn = db.begin()
+        db.insert(txn, "accounts", {"id": key, "region": "west", "amount": 1})
+        db.commit(txn)
+        survivor_commits += 1
+    # ...while routing at the dead partition is a retryable denial.
+    denied = False
+    txn = db.begin()
+    try:
+        db.insert(txn, "accounts", {"id": 790, "region": "west", "amount": 1})
+    except PartitionUnavailableError:
+        denied = True
+
+    report = db.recover_partition(3)
+    balances = region_balances(db)
+    stats = db.stats()["dist"]
+    ok = (
+        outcome == "commit"
+        and crashed
+        and survivor_commits == 3
+        and denied
+        and len(report.in_doubt) == 1
+        and stats["in_doubt"] == 0
+        and stats["in_doubt_resolved"]["commit"] == 1
+        and balances["east"] == SEED_PER_REGION
+        and balances["west"] == SEED_PER_REGION + 3
+        and check_conservation(db) == []
+    )
+    return ok, [
+        ["crash: survivor commits while down", survivor_commits],
+        ["crash: in-doubt branches recovered", len(report.in_doubt)],
+        ["crash: resolved to commit", stats["in_doubt_resolved"]["commit"]],
+        ["crash: conservation problems", len(check_conservation(db))],
+    ]
+
+
+def leg_presumed_abort():
+    db = build()
+    before = region_balances(db)
+    inj = FaultInjector(seed=22)
+    db.install_fault_injector(inj)
+    inj.arm("dist.decision_lost", times=1)
+    txn = db.begin()
+    db.insert(txn, "accounts", {"id": 795, "region": "north", "amount": 25})
+    db.insert(txn, "accounts", {"id": 40, "region": "north", "amount": -25})
+    outcome = db.commit(txn)
+    inj.disarm()
+    resolution = db.resolve(txn)
+    stats = db.stats()["dist"]
+    vanished = (
+        db.read_committed("accounts", (795,)) is None
+        and db.read_committed("accounts", (40,)) is None
+    )
+    ok = (
+        outcome == "in_doubt"
+        and resolution == "abort"
+        and stats["lost_decisions"] == 1
+        and stats["presumed_aborts"] == 1
+        and vanished
+        and region_balances(db) == before
+        and check_conservation(db) == []
+    )
+    return ok, [
+        ["presumed abort: lost decisions", stats["lost_decisions"]],
+        ["presumed abort: resolutions to abort", stats["presumed_aborts"]],
+        ["presumed abort: conservation problems",
+         len(check_conservation(db))],
+    ]
+
+
+def scenario():
+    rows = []
+    checks = []
+    legs = [
+        ("healthy cross-partition 2PC", leg_healthy),
+        ("partition crash mid-2PC + recovery", leg_partition_crash),
+        ("lost decision presumes abort", leg_presumed_abort),
+    ]
+    for label, leg in legs:
+        ok, leg_rows = leg()
+        checks.append((label, ok))
+        rows.extend(leg_rows)
+    emit(
+        "dist_smoke",
+        ["measure", "value"],
+        rows,
+        "dist smoke: sharded 2PC, partial failure, presumed abort",
+        params={
+            "partitions": len(BOUNDS) + 1,
+            "boundaries": list(BOUNDS),
+            "regions": list(REGIONS),
+            "seed_per_region": SEED_PER_REGION,
+        },
+        claim=claim(
+            "the sharded fleet commits across partitions, survives a "
+            "partition crash mid-2PC with zero lost or double-applied "
+            "escrow deltas, and presumes abort for lost decisions",
+            checks,
+        ),
+    )
+    assert all(ok for _, ok in checks), [l for l, ok in checks if not ok]
+    return checks
+
+
+if __name__ == "__main__":
+    scenario()

@@ -40,6 +40,7 @@ BENCHES = [
     ("chaos", "scenario"),
     ("sanitize_smoke", "scenario"),
     ("storage_smoke", "scenario"),
+    ("dist_smoke", "scenario"),
 ]
 
 

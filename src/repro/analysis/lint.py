@@ -24,6 +24,10 @@ status 1 on any finding), via ``make lint``, or programmatically through
   ``repro/storage/bufferpool.py``; everything else goes through the
   buffer pool's ``record_*`` helpers, so the dirty-page table and the
   WAL-before-write rule cannot be bypassed.
+* **dist-isolation** — the partition engine list (``._engines``) is
+  touched only inside ``repro/dist/``; everything else goes through the
+  ``ShardedDatabase`` facade (or its ``partition()`` accessor), so no
+  code path can reach across partitions behind the coordinator's back.
 """
 
 import ast
@@ -38,6 +42,7 @@ RULES = (
     "bare-except",
     "import-surface",
     "page-discipline",
+    "dist-isolation",
 )
 
 #: attribute-call names that mutate a page or its durable image
@@ -49,6 +54,10 @@ _PAGE_MUTATORS = frozenset(
 
 #: the files that *are* the page layer.
 _PAGE_LAYER = (("storage", "pages.py"), ("storage", "bufferpool.py"))
+
+#: the attribute that holds a ShardedDatabase's partition engines;
+#: reaching it outside ``repro/dist/`` bypasses the 2PC facade.
+_DIST_ENGINES_ATTR = "_engines"
 
 #: builtin exception class names (to distinguish ``raise SomeBuiltin``
 #: from re-raising a local variable).
@@ -166,6 +175,10 @@ class _FileLinter(ast.NodeVisitor):
             "page-discipline" in rules
             and _rel_to_repro(path) not in _PAGE_LAYER
         )
+        self.check_dist = (
+            "dist-isolation" in rules
+            and (_rel_to_repro(path) or ())[:1] != ("dist",)
+        )
         self.findings = []
         self.emitted = []  # (name, line) literals seen in .emit() calls
         self._func_stack = []
@@ -258,6 +271,18 @@ class _FileLinter(ast.NodeVisitor):
                     f"page layer; go through BufferPool.record_* so the "
                     f"dirty-page table and WAL-before-write hold",
                 )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------ attributes
+    def visit_Attribute(self, node):
+        if self.check_dist and node.attr == _DIST_ENGINES_ATTR:
+            self.flag(
+                node,
+                "dist-isolation",
+                "direct partition-engine access ._engines outside "
+                "repro/dist/; go through the ShardedDatabase facade "
+                "(or .partition(pid)) so 2PC cannot be bypassed",
+            )
         self.generic_visit(node)
 
     def _check_wallclock_call(self, node, func):

@@ -32,7 +32,11 @@ Grouped by concern:
 * **analysis** — the protocol sanitizers (:class:`SanitizerSuite`,
   :func:`check_trace`, :class:`History`) and the lint gate
   (:func:`lint_paths`, :func:`check_import_surface`); see
-  ``docs/ANALYSIS.md``.
+  ``docs/ANALYSIS.md``;
+* **distribution** — the sharded fleet (:class:`ShardedDatabase`,
+  :class:`RangePartitioner`, :class:`TwoPhaseCoordinator`,
+  :func:`check_conservation`) and its retryable routing error
+  (:class:`PartitionUnavailableError`); see ``docs/ARCHITECTURE.md`` §9.
 """
 
 from repro.analysis import History, SanitizerSuite, Violation, check_trace
@@ -46,6 +50,7 @@ from repro.common import (
     IntegrityError,
     KeyRange,
     LockTimeoutError,
+    PartitionUnavailableError,
     ReproError,
     Row,
     SerializationError,
@@ -72,6 +77,13 @@ from repro.core.inspect import (
     wait_graph_snapshot,
 )
 from repro.core.session import Session
+from repro.dist import (
+    DistTransaction,
+    RangePartitioner,
+    ShardedDatabase,
+    TwoPhaseCoordinator,
+    check_conservation,
+)
 from repro.faults import FAULT_SITES, FaultInjector, FaultSpec
 from repro.integrity import Damage, IntegrityReport, check_database
 from repro.metrics import Counters, Histogram, format_table
@@ -155,6 +167,7 @@ __all__ = [
     "EscrowViolationError",
     "FaultInjected",
     "IntegrityError",
+    "PartitionUnavailableError",
     "SimulatedCrash",
     "WalCorruptionError",
     # fault injection
@@ -211,4 +224,10 @@ __all__ = [
     "check_trace",
     "check_import_surface",
     "lint_paths",
+    # distribution
+    "DistTransaction",
+    "RangePartitioner",
+    "ShardedDatabase",
+    "TwoPhaseCoordinator",
+    "check_conservation",
 ]

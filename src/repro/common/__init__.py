@@ -15,6 +15,7 @@ from repro.common.errors import (
     IntegrityError,
     LatchError,
     LockTimeoutError,
+    PartitionUnavailableError,
     ReproError,
     SerializationError,
     SimulatedCrash,
@@ -41,6 +42,7 @@ __all__ = [
     "LatchError",
     "LockTimeoutError",
     "LogicalClock",
+    "PartitionUnavailableError",
     "ReproError",
     "Row",
     "SerializationError",

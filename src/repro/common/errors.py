@@ -92,6 +92,20 @@ class FaultInjected(TransactionAborted):
         self.site = site
 
 
+class PartitionUnavailableError(TransactionAborted):
+    """A statement was routed to a partition that is currently down.
+
+    Subclasses :class:`TransactionAborted` because the global transaction
+    aborts cleanly (its surviving branches roll back) and may be retried
+    once the partition recovers and rejoins — the distributed analogue of
+    a retryable fault.
+    """
+
+    def __init__(self, txn_id, partition=None):
+        super().__init__(txn_id, reason=f"partition {partition} unavailable")
+        self.partition = partition
+
+
 class WouldWait(ReproError):
     """Control-flow signal: the lock request was queued; park and retry.
 

@@ -159,6 +159,34 @@ class EngineConfig:
             raise ReproError("wal_segment_bytes must be >= 1024")
         self.wal_segment_bytes = wal_segment_bytes
 
+    #: every constructor parameter, stored under the identical attribute
+    #: name — what :meth:`clone` copies.
+    _FIELDS = (
+        "aggregate_strategy", "maintenance_mode", "counter_logging",
+        "serializable", "btree_order", "escalation_threshold",
+        "lock_wait_timeout", "retry_backoff_base", "retry_backoff_cap",
+        "retry_seed", "group_commit", "group_commit_size",
+        "group_commit_latency", "sanitizers", "wal_checksums",
+        "salvage_policy", "checkpoint_interval", "buffer_pool_frames",
+        "page_size", "wal_segment_bytes",
+    )
+
+    def clone(self, **overrides):
+        """A fresh config with the same knobs, selected ones overridden —
+        how :class:`~repro.dist.ShardedDatabase` stamps out one identical
+        (but independent) config per partition engine. Re-runs all
+        constructor validation.
+
+        >>> EngineConfig(btree_order=8).clone(retry_seed=5).btree_order
+        8
+        """
+        kwargs = {name: getattr(self, name) for name in self._FIELDS}
+        unknown = set(overrides) - set(self._FIELDS)
+        if unknown:
+            raise ReproError(f"unknown EngineConfig fields {sorted(unknown)!r}")
+        kwargs.update(overrides)
+        return EngineConfig(**kwargs)
+
     def __repr__(self):
         return (
             f"EngineConfig(strategy={self.aggregate_strategy}, "

@@ -30,12 +30,14 @@ from repro.common import (
     SimulatedCrash,
     StorageError,
     TransactionAborted,
+    TransactionStateError,
     WalCorruptionError,
 )
 from repro.common.keys import KeyRange
 from repro.faults import NULL_INJECTOR
 from repro.locking import EscrowRegistry, LatchSet, LockManager, LockMode
 from repro.locking.keyrange import (
+    key_resource,
     locks_for_logical_delete,
     locks_for_insert,
     locks_for_point_read,
@@ -78,7 +80,16 @@ from repro.wal import (
     recover,
     salvage,
 )
-from repro.wal.records import GhostRecord, InsertRecord, UpdateRecord
+from repro.wal.records import (
+    AbortRecord,
+    CommitRecord,
+    CompensationRecord,
+    EndRecord,
+    GhostRecord,
+    InsertRecord,
+    PrepareRecord,
+    UpdateRecord,
+)
 from repro.wal.recovery import RecoveryTarget
 from repro.wal.segments import dump_segments, load_segments, recycle_segments
 
@@ -155,6 +166,12 @@ class Database(RecoveryTarget):
         #: while a crash storm is interrupting recovery itself.
         self._recovery_attempts = 0
         self._pending_salvage = None  # carried across recovery re-entries
+        #: post-recovery in-doubt registry: txn_id -> {"gid", "first_lsn",
+        #: "last_lsn", "resources"} for prepared branches awaiting the
+        #: coordinator's decision (see :meth:`resolve_in_doubt`). Live
+        #: prepared branches are *not* here — they are ordinary active
+        #: transactions until a crash severs them from their handle.
+        self._in_doubt = {}
         self._integrity_checks = 0
         self._integrity_damage = 0
         from repro.locking.escalation import EscalationPolicy
@@ -439,6 +456,113 @@ class Database(RecoveryTarget):
     def abort(self, txn, reason="user"):
         self._txns.abort(txn, reason)
         TxnViewDeltas.clear(txn)
+
+    # ==================================================================
+    # two-phase commit: the participant side
+    # ==================================================================
+
+    def prepare(self, txn, gid):
+        """Phase 1 of two-phase commit: vote yes on this branch of global
+        transaction ``gid``.
+
+        Applies any commit-folded view deltas (they must be locked and
+        logged before the vote — nothing may fail after it), appends a
+        durable :class:`~repro.wal.records.PrepareRecord`, and leaves the
+        transaction ACTIVE with every lock held. From here the branch can
+        only be finished by the coordinator's decision (``commit`` /
+        ``abort`` on the live handle) — or, after a crash, by
+        :meth:`resolve_in_doubt` once recovery re-lists it. A flush
+        failure here propagates as a retryable fault: the vote never
+        became durable, so the coordinator counts it as a no.
+        """
+        txn.require_active()
+        self._apply_commit_folds(txn)
+        self.log.append(PrepareRecord(txn.txn_id, gid))
+        # The prepare promise is per-branch and unconditional: it cannot
+        # wait for a commit group that the decision itself will ride.
+        self.log.flush()
+        txn.scratch["2pc_gid"] = gid
+        self.counters.incr("dist.prepares")
+        return txn
+
+    def in_doubt_transactions(self):
+        """Post-recovery in-doubt registry: ``txn_id -> gid`` for every
+        prepared branch recovery found undecided. Empty on a healthy
+        engine — live prepared branches are ordinary active transactions
+        until a crash severs them from their handles."""
+        return {
+            txn_id: info["gid"] for txn_id, info in self._in_doubt.items()
+        }
+
+    def in_doubt_resources(self, txn_id):
+        """The ``(index, key)`` pairs an in-doubt branch still holds X
+        locks on — exactly what stays blocked until resolution."""
+        return list(self._in_doubt[txn_id]["resources"])
+
+    def resolve_in_doubt(self, txn_id, decision):
+        """Finish a recovered in-doubt branch per the coordinator's
+        ``decision`` (``"commit"`` or ``"abort"`` — an undecided gid is
+        resolved ``"abort"``, the presumed-abort rule).
+
+        Recovery already repeated the branch's history (its escrow deltas
+        and row images are in the recovered state), so commit is pure
+        bookkeeping: log COMMIT + END durably and release the locks.
+        Abort physically reverses the branch record-by-record through
+        CLRs — unlike online rollback, the deltas *are* on the rows here.
+        """
+        if txn_id not in self._in_doubt:
+            raise TransactionStateError(
+                f"transaction {txn_id} is not in doubt"
+            )
+        info = self._in_doubt.pop(txn_id)
+        if decision == "commit":
+            commit_ts = self.clock.tick()
+            self.log.append(CommitRecord(txn_id, commit_ts))
+            self.log.append(EndRecord(txn_id))
+            self.log.flush_no_faults()
+            self._txns.committed_count += 1
+            self.counters.incr("dist.in_doubt_committed")
+        elif decision == "abort":
+            self.log.append(AbortRecord(txn_id))
+            lsn = info["last_lsn"]
+            while lsn is not None:
+                record = self.log.record_at(lsn)
+                if isinstance(record, CompensationRecord):
+                    lsn = record.undo_next_lsn
+                    continue
+                if record.is_undoable():
+                    clr = CompensationRecord(
+                        txn_id,
+                        compensated_lsn=record.lsn,
+                        undo_next_lsn=record.prev_lsn,
+                        action=record,
+                    )
+                    self.log.append(clr)
+                    record.undo(self)
+                lsn = record.prev_lsn
+            self.log.append(EndRecord(txn_id))
+            self.log.flush_no_faults()
+            # Re-stamp the reverted rows: recovery's baseline versions
+            # carried the in-doubt deltas (prepared = commit-visible), so
+            # committed readers need a fresh version without them.
+            ts = self.clock.tick()
+            for index_name, key in info["resources"]:
+                index = self._indexes.get(index_name)
+                record = (
+                    index.get_record(tuple(key), include_ghost=True)
+                    if index is not None else None
+                )
+                if record is not None:
+                    record.stamp_version(ts)
+            self._txns.aborted_count += 1
+            self.counters.incr("dist.in_doubt_aborted")
+        else:
+            self._in_doubt[txn_id] = info
+            raise TransactionStateError(
+                f"unknown 2PC decision {decision!r} for transaction {txn_id}"
+            )
+        self.locks.release_all(txn_id)
+        return decision
 
     def savepoint(self, txn):
         """Mark the current point in ``txn`` for partial rollback."""
@@ -1163,7 +1287,7 @@ class Database(RecoveryTarget):
                         row = row.replace(**{column: account.read_inclusive()})
                 entries.append([list(key), row.as_dict(), record.is_ghost])
             snapshot[name] = entries
-        record = CheckpointRecord(self._txns.active_txn_table(), snapshot)
+        record = CheckpointRecord(self._checkpoint_att(), snapshot)
         self.log.append(record)
         self.log.flush()
         self.counters.incr("checkpoint.taken")
@@ -1177,7 +1301,7 @@ class Database(RecoveryTarget):
     def _take_fuzzy_checkpoint(self):
         dirty = self._pool.dirty_page_table()
         record = CheckpointRecord(
-            self._txns.active_txn_table(), None, dirty, kind="fuzzy"
+            self._checkpoint_att(), None, dirty, kind="fuzzy"
         )
         self.log.append(record)
         # Runs inside the commit path when auto-triggered: the scheduled
@@ -1197,6 +1321,16 @@ class Database(RecoveryTarget):
                 dirty_pages=len(dirty),
             )
         return record
+
+    def _checkpoint_att(self):
+        """The active-transaction table a checkpoint must record: live
+        transactions plus recovered in-doubt branches — a checkpoint taken
+        while a branch awaits its 2PC decision must not let the next
+        recovery forget it."""
+        att = self._txns.active_txn_table()
+        for txn_id, info in self._in_doubt.items():
+            att[txn_id] = info["last_lsn"] or 0
+        return att
 
     def _maybe_auto_checkpoint(self):
         interval = self.config.checkpoint_interval
@@ -1265,8 +1399,14 @@ class Database(RecoveryTarget):
     def wal_recycle_floor(self):
         """First LSN the log must retain — the ARIES truncation point:
         ``min(checkpoint LSN, min recLSN over dirty pages, first LSN of
-        any active transaction)``. Without a checkpoint nothing is
-        recyclable (returns 1)."""
+        any active transaction, first LSN of any in-doubt branch)``.
+        Without a checkpoint nothing is recyclable (returns 1).
+
+        The in-doubt clause is what lets segment recycling coexist with
+        two-phase commit: a prepared branch whose decision was lost may
+        wait arbitrarily long for resolution, and its records (including
+        the PREPARE itself) must survive recycling or the branch could
+        never be resolved after another crash."""
         checkpoint = self.log.latest_checkpoint()
         if checkpoint is None:
             return 1
@@ -1282,6 +1422,9 @@ class Database(RecoveryTarget):
                 if record.txn_id in active:
                     candidates.append(record.lsn)
                     break
+        for info in self._in_doubt.values():
+            if info["first_lsn"] is not None:
+                candidates.append(info["first_lsn"])
         return min(candidates)
 
     def recycle_wal_segments(self, directory):
@@ -1357,6 +1500,7 @@ class Database(RecoveryTarget):
             salvage_report=self._pending_salvage, pages=pages_gate,
         )
         report.pages_loaded = pages_loaded
+        self._register_in_doubt(report.in_doubt)
         self._post_recovery()
         self._rebuild_page_mirror()
         report.restarts = self._recovery_attempts - 1
@@ -1364,6 +1508,48 @@ class Database(RecoveryTarget):
         self._pending_salvage = None
         self.counters.incr("recovery.runs")
         return report
+
+    def _register_in_doubt(self, in_doubt):
+        """Rebuild the in-doubt registry from recovery's verdict and
+        re-acquire each branch's locks on the fresh lock manager.
+
+        Recovery repeated the branches' history, so their effects are in
+        the recovered state; what keeps that sound is that *only* the
+        rows they touched are blocked — IX on each touched index, X on
+        each touched key — until :meth:`resolve_in_doubt` settles them.
+        Runs single-threaded before transactions restart, so every
+        request is granted immediately."""
+        self._in_doubt = {}
+        for txn_id in sorted(in_doubt):
+            last_lsn = self.log.last_lsn_of(txn_id)
+            gid = None
+            first_lsn = last_lsn
+            resources = set()
+            lsn = last_lsn
+            while lsn is not None:
+                record = self.log.record_at(lsn)
+                if record is None:
+                    break
+                first_lsn = record.lsn
+                if isinstance(record, PrepareRecord):
+                    gid = record.gid
+                index_name = getattr(record, "index_name", None)
+                if index_name is not None:
+                    resources.add((index_name, tuple(record.key)))
+                lsn = record.prev_lsn
+            self._in_doubt[txn_id] = {
+                "gid": gid,
+                "first_lsn": first_lsn,
+                "last_lsn": last_lsn,
+                "resources": sorted(resources, key=repr),
+            }
+            for index_name, key in sorted(resources, key=repr):
+                self.locks.request(
+                    txn_id, table_resource(index_name), LockMode.IX
+                )
+                self.locks.request(
+                    txn_id, key_resource(index_name, key), LockMode.X
+                )
 
     def _reset_volatile(self):
         next_txn_id = self._txns._next_txn_id

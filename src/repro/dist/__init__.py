@@ -1,0 +1,14 @@
+"""Range-sharded engines with two-phase commit (see docs/ARCHITECTURE.md §9)."""
+
+from repro.dist.coordinator import TwoPhaseCoordinator
+from repro.dist.integrity import check_conservation
+from repro.dist.partitioner import RangePartitioner
+from repro.dist.sharded import DistTransaction, ShardedDatabase
+
+__all__ = [
+    "DistTransaction",
+    "RangePartitioner",
+    "ShardedDatabase",
+    "TwoPhaseCoordinator",
+    "check_conservation",
+]

@@ -1,0 +1,96 @@
+"""The two-phase-commit coordinator and its decision log.
+
+The coordinator owns a :class:`~repro.wal.log.LogManager` of its own —
+the **decision log** — holding one
+:class:`~repro.wal.records.DecisionRecord` per decided global
+transaction. The protocol's durability points:
+
+* a participant's vote is binding once its PREPARE record is durable in
+  *that partition's* WAL (``Database.prepare``);
+* the coordinator's decision is binding once the DecisionRecord is
+  durable in *this* log (``decide`` flushes it);
+* anything less resolves by **presumed abort**: a gid with no durable
+  decision (``durable_decision`` returns ``None``) aborts. The
+  coordinator never logs abort outcomes' completion, never waits for
+  acks, and forgets aborted gids for free — the classic optimization.
+
+Two fault sites live here. ``dist.decision_lost`` drops the decision
+between append and flush (written but never durable, nobody notified);
+``dist.coordinator_crash`` crashes the decision log at the decision
+point, losing its whole unflushed suffix. Both leave prepared branches
+in doubt until resolution presumes abort.
+"""
+
+from repro.faults import NULL_INJECTOR
+from repro.obs.tracer import NULL_TRACER
+from repro.wal import LogManager
+from repro.wal.records import DecisionRecord
+
+
+class TwoPhaseCoordinator:
+    """Gid allocation, decision logging, durable-decision lookup."""
+
+    def __init__(self, tracer=NULL_TRACER, faults=None):
+        self.tracer = tracer
+        self.faults = faults if faults is not None else NULL_INJECTOR
+        self.log = LogManager()
+        self._next_gid = 1
+        #: durable decisions by outcome
+        self.decided = {"commit": 0, "abort": 0}
+        #: decisions that never reached the durable prefix (lost / crash)
+        self.lost_decisions = 0
+
+    def new_gid(self):
+        gid = f"G{self._next_gid}"
+        self._next_gid += 1
+        return gid
+
+    def decide(self, gid, decision, participants):
+        """Log the phase-2 outcome for ``gid``; returns ``True`` when the
+        decision became durable (binding), ``False`` when an armed fault
+        lost it — the gid is then undecided and presumed abort governs."""
+        participants = sorted(participants)
+        self.log.append(DecisionRecord(gid, decision, participants))
+        durable = True
+        if self.faults.active:
+            if self.faults.fires("dist.decision_lost", detail=gid) is not None:
+                # Written but never flushed; no participant is notified.
+                durable = False
+            elif self.faults.fires(
+                "dist.coordinator_crash", detail=gid
+            ) is not None:
+                # The decision log's volatile suffix is gone wholesale.
+                self.log.crash()
+                durable = False
+        if durable:
+            self.log.flush_no_faults()
+            self.decided[decision] += 1
+        else:
+            self.lost_decisions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "2pc_decide", gid=gid, decision=decision, durable=durable,
+                participants=participants,
+            )
+        return durable
+
+    def durable_decision(self, gid):
+        """The decision for ``gid`` from the *durable* prefix of the
+        decision log, or ``None`` — in which case presumed abort applies.
+        This is what a recovering partition consults to resolve its
+        in-doubt branches."""
+        decision = None
+        flushed = self.log.flushed_lsn
+        for record in self.log.records():
+            if record.lsn > flushed:
+                break
+            if isinstance(record, DecisionRecord) and record.gid == gid:
+                decision = record.decision
+        return decision
+
+    def stats(self):
+        return {
+            "decided": dict(self.decided),
+            "lost_decisions": self.lost_decisions,
+            "log_records": len(self.log),
+        }

@@ -1,0 +1,57 @@
+"""Range partitioning: key space -> partition index.
+
+The partitioner is deliberately dumb — a sorted list of upper-exclusive
+split points over the *first* key component, searched with ``bisect``.
+Base tables and the views over them use the same partitioner, so a base
+row and every view row it contributes to land on the same partition
+(co-partitioned maintenance: a single-partition statement never needs a
+second engine). Aggregate groups whose group-by key is *not* the
+partitioning key still shard cleanly — each partition maintains its own
+sub-counter row for the group and reads fold them (see
+``ShardedDatabase.read_folded``), the paper's §4 commutativity argument
+applied across engines instead of across transactions.
+"""
+
+import bisect
+
+from repro.common import CatalogError
+
+
+class RangePartitioner:
+    """Maps keys to ``len(boundaries) + 1`` partitions by first component.
+
+    ``boundaries`` are upper-exclusive split points, strictly increasing:
+    partition 0 holds keys below ``boundaries[0]``, partition i holds
+    ``boundaries[i-1] <= key[0] < boundaries[i]``, and the last partition
+    holds everything at or above ``boundaries[-1]``.
+
+    >>> p = RangePartitioner([10, 20])
+    >>> p.partitions
+    3
+    >>> [p.partition_of((k,)) for k in (3, 10, 19, 20, 99)]
+    [0, 1, 1, 2, 2]
+    """
+
+    __slots__ = ("boundaries",)
+
+    def __init__(self, boundaries):
+        boundaries = list(boundaries)
+        if not boundaries:
+            raise CatalogError("RangePartitioner needs >= 1 boundary")
+        if any(b >= a for b, a in zip(boundaries, boundaries[1:])):
+            raise CatalogError(
+                f"partition boundaries must be strictly increasing: "
+                f"{boundaries!r}"
+            )
+        self.boundaries = boundaries
+
+    @property
+    def partitions(self):
+        return len(self.boundaries) + 1
+
+    def partition_of(self, key):
+        """Partition index for a key tuple (routes on ``key[0]``)."""
+        return bisect.bisect_right(self.boundaries, key[0])
+
+    def __repr__(self):
+        return f"RangePartitioner({self.boundaries!r})"

@@ -1,0 +1,526 @@
+"""A range-sharded engine fleet with two-phase commit.
+
+:class:`ShardedDatabase` stamps out N fully independent
+:class:`~repro.core.database.Database` instances — each with its own
+lock manager, escrow registry, buffer pool, WAL, and recovery — and
+routes statements to them by a :class:`~repro.dist.partitioner.RangePartitioner`
+over the primary key. Views are co-partitioned with their base table:
+partition i maintains view rows only for the base rows it owns, so an
+aggregate group whose members span partitions exists as one
+**sub-counter row per partition**, folded at read time
+(:meth:`ShardedDatabase.read_folded`). The paper's escrow argument makes
+this sound: COUNT/SUM sub-counters commute across partitions exactly as
+escrow deltas commute across transactions.
+
+Cross-partition transactions commit by **two-phase commit with presumed
+abort** (see :mod:`repro.dist.coordinator`). The robustness headline is
+*partial failure*: ``dist.partition_crash`` can kill one partition
+mid-protocol — after its branch prepared, before it learned the decision
+— and the fleet degrades instead of dying. The surviving N-1 partitions
+keep committing; statements routed at the dead partition raise
+:class:`~repro.common.errors.PartitionUnavailableError` (retryable); the
+crashed partition's in-doubt branch blocks only the keys it touched.
+:meth:`recover_partition` then runs ARIES recovery on the dead engine,
+resolves every in-doubt branch from the coordinator's durable decision
+log (undecided = presumed abort), and rejoins it.
+"""
+
+from repro.common import (
+    CatalogError,
+    LogicalClock,
+    PartitionUnavailableError,
+    Row,
+    SimulatedCrash,
+    TransactionAborted,
+    TransactionStateError,
+)
+from repro.catalog import TableSchema
+from repro.core.config import EngineConfig
+from repro.core.database import Database
+from repro.dist.coordinator import TwoPhaseCoordinator
+from repro.dist.partitioner import RangePartitioner
+from repro.faults import NULL_INJECTOR
+from repro.obs import Tracer
+from repro.txn.transaction import TxnState
+
+
+class DistTransaction:
+    """A global transaction: one gid, one lazy branch per partition."""
+
+    __slots__ = ("gid", "branches", "state")
+
+    def __init__(self, gid):
+        self.gid = gid
+        self.branches = {}  # partition index -> engine txn handle
+        self.state = "active"  # active | committed | aborted | in_doubt
+
+    def __repr__(self):
+        return (
+            f"DistTransaction(gid={self.gid}, state={self.state}, "
+            f"branches={sorted(self.branches)})"
+        )
+
+    def require_active(self):
+        if self.state != "active":
+            raise TransactionStateError(
+                f"global transaction {self.gid} is {self.state}"
+            )
+
+
+class ShardedDatabase:
+    """N independent engines behind one facade, glued by 2PC."""
+
+    def __init__(self, boundaries, config=None):
+        self.partitioner = RangePartitioner(boundaries)
+        base = config or EngineConfig()
+        self.config = base
+        self.clock = LogicalClock()
+        self.tracer = Tracer(clock=self.clock)
+        self.faults = NULL_INJECTOR
+        self.coordinator = TwoPhaseCoordinator(tracer=self.tracer)
+        #: the partition engines; direct access outside ``repro.dist`` is
+        #: a lint violation (``dist-isolation``) — go through the facade
+        #: or :meth:`partition`.
+        self._engines = [
+            # Identical knobs, decorrelated retry jitter per partition.
+            Database(base.clone(retry_seed=base.retry_seed + pid))
+            for pid in range(self.partitioner.partitions)
+        ]
+        self._down = set()
+        self._schemas = {}  # table -> TableSchema (for routing)
+        self._views = {}  # view name -> ViewDefinition (for folding)
+        self.global_txns = 0
+        self.single_partition_commits = 0
+        self.two_phase_commits = 0
+        self.presumed_aborts = 0
+        self.in_doubt_resolved = {"commit": 0, "abort": 0}
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+
+    @property
+    def partitions(self):
+        return len(self._engines)
+
+    def partition(self, pid):
+        """Operator access to one partition engine (tests, chaos
+        harnesses). Engine-level code must not reach across partitions —
+        that is the facade's job."""
+        return self._engines[pid]
+
+    def down_partitions(self):
+        return sorted(self._down)
+
+    def install_fault_injector(self, injector):
+        """Thread one injector through the facade, the coordinator, and
+        every partition engine — a single seeded stream drives the whole
+        fleet's chaos schedule."""
+        self.faults = injector if injector is not None else NULL_INJECTOR
+        self.coordinator.faults = self.faults
+        for engine in self._engines:
+            engine.install_fault_injector(injector)
+        if injector is not None:
+            # Engines rebind the injector's tracer as they install; the
+            # dist facade owns the fleet-level trace, so rebind last.
+            injector.tracer = self.tracer
+        return self.faults
+
+    # ------------------------------------------------------------------
+    # schema (forwarded to every partition)
+    # ------------------------------------------------------------------
+
+    def create_table(self, name, columns, primary_key):
+        schema = TableSchema(name, columns, primary_key)
+        for engine in self._engines:
+            engine.create_table(name, columns, primary_key)
+        self._schemas[name] = schema
+        return schema
+
+    def create_aggregate_view(self, name, base, group_by, aggregates,
+                              where=None, bounds=None, *, unique=True,
+                              deferred=False):
+        view = None
+        for engine in self._engines:
+            view = engine.create_aggregate_view(
+                name, base, group_by, aggregates, where, bounds,
+                unique=unique, deferred=deferred,
+            )
+        self._views[name] = view
+        return view
+
+    def create_projection_view(self, name, base, columns, where=None, *,
+                               unique=True, deferred=False):
+        view = None
+        for engine in self._engines:
+            view = engine.create_projection_view(
+                name, base, columns, where, unique=unique, deferred=deferred
+            )
+        self._views[name] = view
+        return view
+
+    def create_join_view(self, *args, **kwargs):
+        raise CatalogError(
+            "join views are not supported in dist mode: the join sides "
+            "cannot be co-partitioned in general (documented limitation)"
+        )
+
+    create_join_aggregate_view = create_join_view
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def partition_for(self, table, key):
+        return self.partitioner.partition_of(tuple(key))
+
+    def _key_of(self, table, values):
+        row = values if isinstance(values, Row) else Row(values)
+        return self._schemas[table].key_of(row)
+
+    def _require_up(self, pid, gid=None):
+        if pid in self._down:
+            raise PartitionUnavailableError(gid, partition=pid)
+
+    def _branch(self, dtxn, pid):
+        """The global transaction's branch on ``pid``, begun lazily."""
+        dtxn.require_active()
+        txn = dtxn.branches.get(pid)
+        if txn is None:
+            self._require_up(pid, dtxn.gid)
+            txn = self._engines[pid].begin()
+            dtxn.branches[pid] = txn
+        return txn
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def begin(self):
+        self.global_txns += 1
+        self.clock.tick()
+        return DistTransaction(self.coordinator.new_gid())
+
+    def insert(self, dtxn, table, values):
+        key = self._key_of(table, values)
+        pid = self.partitioner.partition_of(key)
+        return self._engines[pid].insert(self._branch(dtxn, pid), table, values)
+
+    def update(self, dtxn, table, key, changes):
+        key = tuple(key)
+        pid = self.partitioner.partition_of(key)
+        return self._engines[pid].update(self._branch(dtxn, pid), table, key, changes)
+
+    def delete(self, dtxn, table, key):
+        key = tuple(key)
+        pid = self.partitioner.partition_of(key)
+        return self._engines[pid].delete(self._branch(dtxn, pid), table, key)
+
+    def read(self, dtxn, table, key, for_update=False):
+        """Transactional point read of a *base table* row (routed by
+        key). View reads fold across partitions — use
+        :meth:`read_folded`."""
+        key = tuple(key)
+        pid = self.partitioner.partition_of(key)
+        return self._engines[pid].read(
+            self._branch(dtxn, pid), table, key, for_update=for_update
+        )
+
+    def commit(self, dtxn):
+        """Commit the global transaction.
+
+        Zero branches commit trivially and one branch commits locally
+        (the single-partition fast path — no coordinator involvement,
+        just the partition's own WAL rule). Two or more branches run the
+        full protocol: phase 1 asks every branch to
+        :meth:`~repro.core.database.Database.prepare` (an exception or an
+        armed loss site is a no vote); the decision is commit iff every
+        vote arrived yes, logged durably at the coordinator; phase 2
+        applies it branch-by-branch. A branch whose partition dies
+        between prepare and decision stays **in-doubt** there — the
+        surviving branches still apply the decision, and the dead
+        partition resolves on :meth:`recover_partition`.
+
+        Returns the decision (``"commit"`` / ``"abort"``); a lost
+        decision returns ``"in_doubt"`` (resolve via :meth:`resolve`).
+        Raises :class:`~repro.common.TransactionAborted` when the global
+        transaction aborted.
+        """
+        dtxn.require_active()
+        branches = dtxn.branches
+        if not branches:
+            dtxn.state = "committed"
+            return "commit"
+        if len(branches) == 1:
+            ((pid, txn),) = branches.items()
+            try:
+                self._engines[pid].commit(txn)
+            except SimulatedCrash:
+                self._mark_down(pid)
+                raise
+            except TransactionAborted:
+                dtxn.state = "aborted"
+                raise
+            dtxn.state = "committed"
+            self.single_partition_commits += 1
+            return "commit"
+        return self._two_phase_commit(dtxn)
+
+    def _two_phase_commit(self, dtxn):
+        gid = dtxn.gid
+        branches = dtxn.branches
+        self.two_phase_commits += 1
+        # ---- phase 1: collect votes --------------------------------
+        votes = {}
+        for pid in sorted(branches):
+            txn = branches[pid]
+            engine = self._engines[pid]
+            vote = False
+            if pid in self._down:
+                pass  # a dead partition cannot vote yes
+            elif self.faults.active and self.faults.fires(
+                "dist.partition_crash", txn_id=txn.txn_id,
+                detail=f"prepare:{pid}",
+            ) is not None:
+                # Crash before the vote: nothing durable, plain loser.
+                self._crash_partition(pid)
+            else:
+                try:
+                    engine.prepare(txn, gid)
+                    vote = True
+                except TransactionAborted:
+                    vote = False  # flush fault: the promise never held
+                except SimulatedCrash:
+                    self._mark_down(pid)
+                if vote and self.faults.active and self.faults.fires(
+                    "dist.prepare_lost", txn_id=txn.txn_id, detail=str(pid)
+                ) is not None:
+                    # Durably prepared, but the coordinator never hears
+                    # it: counts as no, and presumed abort squares the
+                    # prepared branch with the abort decision later.
+                    vote = False
+            votes[pid] = vote
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "2pc_prepare", gid=gid, partition=pid,
+                    vote="yes" if vote else "no",
+                )
+        # ---- decision ----------------------------------------------
+        decision = "commit" if all(votes.values()) else "abort"
+        durable = self.coordinator.decide(gid, decision, sorted(branches))
+        if not durable:
+            # Nobody may act on a non-durable decision (a participant
+            # could later presume abort while another applied commit).
+            # Every prepared branch stays pending until resolve().
+            dtxn.state = "in_doubt"
+            return "in_doubt"
+        # ---- phase 2: apply ----------------------------------------
+        self._apply_decision(dtxn, decision, votes)
+        dtxn.state = decision
+        if decision == "abort":
+            raise TransactionAborted(gid, reason="2pc abort")
+        return decision
+
+    def _apply_decision(self, dtxn, decision, votes=None):
+        for pid in sorted(dtxn.branches):
+            txn = dtxn.branches[pid]
+            engine = self._engines[pid]
+            if pid in self._down:
+                continue  # resolves from the decision log on rejoin
+            if votes is not None and votes.get(pid) and self.faults.active:
+                if self.faults.fires(
+                    "dist.partition_crash", txn_id=txn.txn_id,
+                    detail=f"decide:{pid}",
+                ) is not None:
+                    # The headline fault: durably prepared, killed before
+                    # the decision arrives — in-doubt until rejoin.
+                    self._crash_partition(pid)
+                    continue
+            if txn.state is not TxnState.ACTIVE:
+                continue  # already finished (e.g. aborted as no-voter)
+            try:
+                if decision == "commit":
+                    engine.commit(txn)
+                else:
+                    engine.abort(txn, reason="2pc abort")
+            except (TransactionAborted, SimulatedCrash) as failure:
+                if isinstance(failure, SimulatedCrash):
+                    self._mark_down(pid)
+                # A committing branch that died here is prepared and
+                # durable-decided: recovery + the decision log finish it.
+
+    def abort(self, dtxn, reason="user"):
+        """Abort the global transaction (phase 1 never ran)."""
+        if dtxn.state == "aborted":
+            return
+        dtxn.require_active()
+        self._apply_decision(dtxn, "abort")
+        dtxn.state = "aborted"
+
+    def resolve(self, dtxn):
+        """Resolve a global transaction stuck in doubt (lost decision):
+        consult the durable decision log; an undecided gid is presumed
+        aborted. Live prepared branches finish through their handles,
+        recovered ones through the in-doubt registry."""
+        if dtxn.state != "in_doubt":
+            raise TransactionStateError(
+                f"global transaction {dtxn.gid} is {dtxn.state}, not in doubt"
+            )
+        decision = self.coordinator.durable_decision(dtxn.gid)
+        if decision is None:
+            decision = "abort"
+            self.presumed_aborts += 1
+        for pid in sorted(dtxn.branches):
+            txn = dtxn.branches[pid]
+            engine = self._engines[pid]
+            if pid in self._down:
+                continue
+            if txn.txn_id in engine.in_doubt_transactions():
+                engine.resolve_in_doubt(txn.txn_id, decision)
+                self.in_doubt_resolved[decision] += 1
+            elif txn.state is TxnState.ACTIVE:
+                if decision == "commit":
+                    engine.commit(txn)
+                else:
+                    engine.abort(txn, reason="2pc presumed abort")
+        dtxn.state = decision
+        return decision
+
+    # ------------------------------------------------------------------
+    # partial failure
+    # ------------------------------------------------------------------
+
+    def _mark_down(self, pid):
+        self._down.add(pid)
+
+    def _crash_partition(self, pid):
+        """Kill one engine: its volatile state (locks, buffer pool, open
+        transactions, unflushed log suffix) is gone; the durable WAL and
+        page store survive for :meth:`recover_partition`."""
+        self._engines[pid].log.crash()
+        self._mark_down(pid)
+
+    def crash_partition(self, pid):
+        """Operator/chaos entry point for killing a partition outright."""
+        self._crash_partition(pid)
+
+    def recover_partition(self, pid):
+        """Run ARIES recovery on a down partition, resolve every in-doubt
+        branch from the coordinator's durable decision log (undecided =
+        presumed abort), and rejoin it. Returns the
+        :class:`~repro.wal.recovery.RecoveryReport`."""
+        engine = self._engines[pid]
+        report = engine.simulate_crash_and_recover()
+        resolved_commit = 0
+        resolved_abort = 0
+        for txn_id, gid in sorted(engine.in_doubt_transactions().items()):
+            decision = self.coordinator.durable_decision(gid)
+            if decision is None:
+                decision = "abort"
+                self.presumed_aborts += 1
+            engine.resolve_in_doubt(txn_id, decision)
+            self.in_doubt_resolved[decision] += 1
+            if decision == "commit":
+                resolved_commit += 1
+            else:
+                resolved_abort += 1
+        self._down.discard(pid)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "partition_recovered", partition=pid,
+                in_doubt=len(report.in_doubt),
+                resolved_commit=resolved_commit,
+                resolved_abort=resolved_abort,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read_committed(self, table, key):
+        """Latest committed base-table row, routed by key."""
+        key = tuple(key)
+        pid = self.partitioner.partition_of(key)
+        self._require_up(pid)
+        return self._engines[pid].read_committed(table, key)
+
+    def read_folded(self, view_name, key):
+        """Latest committed row of an aggregate view group, folded across
+        every *up* partition's sub-counter row: COUNT/SUM add, MIN/MAX
+        fold, a folded count of zero reads as absent. Down partitions are
+        skipped — the quarantine-style degraded read: the answer covers
+        the surviving partitions and the caller knows the fleet is
+        degraded via :meth:`down_partitions`."""
+        view = self._views[view_name]
+        key = tuple(key)
+        sub_rows = []
+        for pid, engine in enumerate(self._engines):
+            if pid in self._down:
+                continue
+            row = engine.read_committed(view_name, key)
+            if row is not None:
+                sub_rows.append(row)
+        return self._fold(view, key, sub_rows)
+
+    def scan_folded(self, view_name):
+        """Every committed group of an aggregate view, folded across up
+        partitions; returns ``{group_key: Row}``."""
+        view = self._views[view_name]
+        by_key = {}
+        for pid, engine in enumerate(self._engines):
+            if pid in self._down:
+                continue
+            for key, record in engine.index(view_name).scan():
+                row = record.read_as_of(engine.clock.now())
+                if row is not None:
+                    by_key.setdefault(key, []).append(row)
+        folded = {}
+        for key in sorted(by_key, key=repr):
+            row = self._fold(view, key, by_key[key])
+            if row is not None:
+                folded[key] = row
+        return folded
+
+    def _fold(self, view, key, sub_rows):
+        if not sub_rows:
+            return None
+        values = dict(zip(view.group_by, key))
+        for spec in view.aggregates:
+            if spec.is_extreme():
+                folded = None
+                for row in sub_rows:
+                    if row[spec.out] is not None:
+                        folded = spec.fold_extreme(folded, row[spec.out])
+                values[spec.out] = folded
+            else:
+                values[spec.out] = sum(row[spec.out] for row in sub_rows)
+        if values.get(view.count_column) == 0:
+            return None  # every sub-counter emptied: logically deleted
+        return Row(values)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def in_doubt_total(self):
+        return sum(
+            len(engine.in_doubt_transactions()) for engine in self._engines
+        )
+
+    def stats(self):
+        """The fleet-level ``dist`` block (docs/OBSERVABILITY.md)."""
+        return {
+            "dist": {
+                "partitions": self.partitions,
+                "down": self.down_partitions(),
+                "global_txns": self.global_txns,
+                "single_partition_commits": self.single_partition_commits,
+                "two_phase_commits": self.two_phase_commits,
+                "decisions": dict(self.coordinator.decided),
+                "lost_decisions": self.coordinator.lost_decisions,
+                "presumed_aborts": self.presumed_aborts,
+                "in_doubt": self.in_doubt_total(),
+                "in_doubt_resolved": dict(self.in_doubt_resolved),
+            },
+        }

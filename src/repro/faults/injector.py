@@ -135,6 +135,36 @@ FAULT_SITES = {
         "makes load_segments drop everything past it and the salvage "
         "report counts the loss",
     },
+    "dist.partition_crash": {
+        "action": "crash",
+        "description": "one partition engine crashes mid-2PC, evaluated "
+        "per branch at two points (detail 'prepare:<pid>' before the "
+        "branch votes, 'decide:<pid>' after a durable prepare) — the "
+        "partition goes down holding its in-doubt branch while the "
+        "surviving partitions keep serving; recovery plus the "
+        "coordinator's decision log resolve the branch on rejoin",
+    },
+    "dist.prepare_lost": {
+        "action": "lost",
+        "description": "a branch prepares durably but its vote is lost "
+        "on the way back to the coordinator — the coordinator counts it "
+        "as a no vote and decides abort; the prepared branch is later "
+        "resolved to abort (presumed abort keeps both sides consistent)",
+    },
+    "dist.decision_lost": {
+        "action": "lost",
+        "description": "the coordinator's decision record is written but "
+        "never flushed and no participant is notified — every prepared "
+        "branch stays in-doubt until resolution, which finds no durable "
+        "decision and presumes abort",
+    },
+    "dist.coordinator_crash": {
+        "action": "crash",
+        "description": "the coordinator's decision log crashes at the "
+        "decision point, losing its unflushed suffix — decisions that "
+        "were not yet durable vanish and their branches resolve by "
+        "presumed abort",
+    },
 }
 
 

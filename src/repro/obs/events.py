@@ -196,6 +196,37 @@ EVENT_TYPES = {
             "sharp)",
         },
     },
+    # ------------------------------------------------------------ dist
+    "2pc_prepare": {
+        "category": "dist",
+        "fields": {
+            "gid": "global transaction id",
+            "partition": "participant partition index",
+            "vote": "yes | no (no = the branch failed to prepare)",
+        },
+    },
+    "2pc_decide": {
+        "category": "dist",
+        "fields": {
+            "gid": "global transaction id",
+            "decision": "commit | abort",
+            "durable": "True when the decision record reached the "
+            "coordinator log's durable prefix (an undecided gid is "
+            "presumed aborted)",
+            "participants": "partition indexes enrolled in the decision",
+        },
+    },
+    "partition_recovered": {
+        "category": "dist",
+        "fields": {
+            "partition": "the partition that ran recovery and rejoined",
+            "in_doubt": "in-doubt branches found by recovery",
+            "resolved_commit": "branches resolved to commit from the "
+            "coordinator's decision log",
+            "resolved_abort": "branches resolved to abort (durable abort "
+            "decision or presumed abort)",
+        },
+    },
     # ------------------------------------------------------- integrity
     "integrity_check": {
         "category": "integrity",

@@ -47,6 +47,7 @@ _CLAIM = {
 RECOVERY_REPORT_FIELDS = {
     "winners": list,
     "losers": list,
+    "in_doubt": list,
     "redo_count": int,
     "undo_count": int,
     "clrs_written": int,

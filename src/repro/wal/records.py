@@ -45,6 +45,8 @@ class RecordType(enum.Enum):
     COUNTER_IMAGE = "counter_image"
     CLR = "clr"
     CHECKPOINT = "checkpoint"
+    PREPARE = "prepare"
+    DECISION = "decision"
 
 
 class LogRecord:
@@ -531,6 +533,69 @@ class CompensationRecord(LogRecord):
         return cls(d["txn_id"], d["compensated_lsn"], d["undo_next_lsn"], action)
 
 
+class PrepareRecord(LogRecord):
+    """A participant's phase-1 vote in two-phase commit.
+
+    Logged (and flushed) by a partition engine when the coordinator asks
+    it to prepare the branch of global transaction ``gid``. Once this
+    record is durable the branch is **in-doubt**: recovery redoes its
+    effects (repeat history) but must not undo them, and the branch's
+    locks stay held until the coordinator's decision arrives. A branch
+    with no durable prepare record is presumed aborted.
+    """
+
+    type = RecordType.PREPARE
+    __slots__ = ("gid",)
+
+    def __init__(self, txn_id, gid):
+        super().__init__(txn_id)
+        self.gid = gid
+
+    def _extra_repr(self):
+        return f", gid={self.gid!r}"
+
+    def _payload(self):
+        return {"gid": self.gid}
+
+    @classmethod
+    def _from_payload(cls, d):
+        return cls(d["txn_id"], d["gid"])
+
+
+class DecisionRecord(LogRecord):
+    """The coordinator's phase-2 outcome for global transaction ``gid``.
+
+    Lives only in the coordinator's decision log (never in a partition
+    WAL); ``txn_id`` is None because the record belongs to the global
+    transaction, not any branch. The decision is binding once this
+    record is *durable* — an unflushed decision lost to a coordinator
+    crash leaves the gid undecided, and presumed abort applies.
+    """
+
+    type = RecordType.DECISION
+    __slots__ = ("gid", "decision", "participants")
+
+    def __init__(self, gid, decision, participants):
+        super().__init__(txn_id=None)
+        self.gid = gid
+        self.decision = decision  # "commit" | "abort"
+        self.participants = list(participants)
+
+    def _extra_repr(self):
+        return f", gid={self.gid!r}, decision={self.decision}"
+
+    def _payload(self):
+        return {
+            "gid": self.gid,
+            "decision": self.decision,
+            "participants": list(self.participants),
+        }
+
+    @classmethod
+    def _from_payload(cls, d):
+        return cls(d["gid"], d["decision"], d["participants"])
+
+
 class CheckpointRecord(LogRecord):
     """A checkpoint, in one of two flavours (``kind``):
 
@@ -588,4 +653,6 @@ _RECORD_CLASSES = {
     RecordType.COUNTER_IMAGE: CounterImageRecord,
     RecordType.CLR: CompensationRecord,
     RecordType.CHECKPOINT: CheckpointRecord,
+    RecordType.PREPARE: PrepareRecord,
+    RecordType.DECISION: DecisionRecord,
 }

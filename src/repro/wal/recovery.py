@@ -47,6 +47,7 @@ from repro.wal.records import (
     CommitRecord,
     CompensationRecord,
     EndRecord,
+    PrepareRecord,
     RecordType,
 )
 
@@ -100,11 +101,16 @@ class RecoveryReport:
         #: recovery attempts that crashed before this one completed — 0
         #: for a single-shot recovery, N after a crash storm of N.
         self.restarts = 0
+        #: transactions with a durable PREPARE record but no decision:
+        #: redone (repeat history) but *not* undone — they await the
+        #: coordinator's verdict, holding their locks until resolved.
+        self.in_doubt = set()
 
     def as_dict(self):
         return {
             "winners": sorted(self.winners),
             "losers": sorted(self.losers),
+            "in_doubt": sorted(self.in_doubt),
             "redo_count": self.redo_count,
             "undo_count": self.undo_count,
             "clrs_written": self.clrs_written,
@@ -188,11 +194,16 @@ def salvage(log, verify=True):
 def analyze(log, from_lsn=1, faults=None):
     """Phase 1: classify transactions.
 
-    Returns ``(winners, losers, last_lsn_map)`` where ``losers`` maps
-    txn_id -> the LSN to start undo from (its last log record).
+    Returns ``(winners, losers, count, in_doubt)`` where ``losers`` maps
+    txn_id -> the LSN to start undo from (its last log record), and
+    ``in_doubt`` is the set of transactions with a durable PREPARE record
+    but no commit/abort outcome — they are open but must *not* be undone
+    (presumed abort resolves them later, from the coordinator's decision
+    log, not from this partition's local knowledge).
     """
     winners = set()
     open_txns = {}
+    prepared = set()
     count = 0
     for record in log.records(from_lsn):
         if faults is not None and faults.active:
@@ -206,6 +217,10 @@ def analyze(log, from_lsn=1, faults=None):
         elif isinstance(record, CommitRecord):
             winners.add(record.txn_id)
             open_txns.pop(record.txn_id, None)
+            prepared.discard(record.txn_id)
+        elif isinstance(record, PrepareRecord):
+            prepared.add(record.txn_id)
+            open_txns[record.txn_id] = record.lsn
         elif isinstance(record, (AbortRecord, EndRecord)):
             # An abort record alone does not finish rollback; only END
             # means every undo was applied and logged. A transaction with
@@ -214,13 +229,19 @@ def analyze(log, from_lsn=1, faults=None):
                 open_txns.pop(record.txn_id, None)
             else:
                 open_txns[record.txn_id] = record.lsn
+            # A logged abort (even unfinished) revokes the prepare vote:
+            # the coordinator already decided, or the branch aborted
+            # before voting completed — either way it rolls back locally.
+            prepared.discard(record.txn_id)
         elif record.txn_id is not None:
             open_txns.setdefault(record.txn_id, record.lsn)
             open_txns[record.txn_id] = record.lsn
+    in_doubt = {t for t in open_txns if t in prepared}
     losers = {}
     for txn_id in open_txns:
-        losers[txn_id] = log.last_lsn_of(txn_id)
-    return winners, losers, count
+        if txn_id not in in_doubt:
+            losers[txn_id] = log.last_lsn_of(txn_id)
+    return winners, losers, count, in_doubt
 
 
 def redo(log, target, from_lsn=1, report=None, faults=None, pages=None):
@@ -307,6 +328,22 @@ def undo(log, target, losers, report=None, write_clrs=True, faults=None,
             cursors[txn_id] = next_lsn
 
 
+def _prepared_on_backchain(log, last_lsn):
+    """True when the backchain starting at ``last_lsn`` carries a PREPARE
+    record — used to classify transactions that were active at a
+    checkpoint and silent afterwards, whose prepare (if any) predates the
+    analysis window."""
+    lsn = last_lsn
+    while lsn is not None:
+        record = log.record_at(lsn)
+        if record is None:
+            break
+        if isinstance(record, PrepareRecord):
+            return True
+        lsn = record.prev_lsn
+    return False
+
+
 def recover(log, target, faults=None, salvage_report=None, pages=None):
     """Run full recovery against ``target``; returns a RecoveryReport.
 
@@ -334,15 +371,25 @@ def recover(log, target, faults=None, salvage_report=None, pages=None):
         checkpoint.snapshot is not None or pages is not None
     )
     from_lsn = checkpoint.lsn + 1 if trusted else 1
-    winners, losers, analyzed = analyze(log, from_lsn, faults=faults)
+    winners, losers, analyzed, in_doubt = analyze(log, from_lsn, faults=faults)
     if trusted:
         # Transactions active at the checkpoint may have no records after
-        # it; they are losers unless a later COMMIT appeared.
+        # it; they are losers unless a later COMMIT appeared — or
+        # in-doubt, if their backchain carries a PREPARE the truncated
+        # analysis window never saw.
         for txn_id, last_lsn in checkpoint.active_txns.items():
-            if txn_id not in winners and txn_id not in losers:
-                losers[txn_id] = log.last_lsn_of(txn_id) or last_lsn
+            if (
+                txn_id in winners or txn_id in losers or txn_id in in_doubt
+            ):
+                continue
+            tail = log.last_lsn_of(txn_id) or last_lsn
+            if _prepared_on_backchain(log, tail):
+                in_doubt.add(txn_id)
+            else:
+                losers[txn_id] = tail
     report.winners = winners
     report.losers = set(losers)
+    report.in_doubt = in_doubt
     report.analyzed_records = analyzed
     redo_from = from_lsn
     if pages is not None and trusted and checkpoint.dirty_pages:

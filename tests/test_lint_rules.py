@@ -210,6 +210,32 @@ def test_main_exit_codes(tmp_path, capsys):
         main([str(ok), "--rules", "no-such-rule"])
 
 
+def test_dist_isolation_fires_outside_dist(tmp_path):
+    bad = _plant(
+        tmp_path,
+        "src/repro/core/sneaky.py",
+        '''
+        def bypass(sharded):
+            return sharded._engines[0]
+        ''',
+    )
+    findings = lint_paths([bad])
+    assert _rules(findings) == {"dist-isolation"}
+    assert "._engines" in findings[0].message
+
+
+def test_dist_isolation_exempts_the_dist_package(tmp_path):
+    ok = _plant(
+        tmp_path,
+        "src/repro/dist/facade.py",
+        '''
+        def route(sharded, pid):
+            return sharded._engines[pid]
+        ''',
+    )
+    assert lint_paths([ok]) == []
+
+
 def test_rules_tuple_is_the_documented_set():
     assert RULES == (
         "unknown-event",
@@ -219,4 +245,5 @@ def test_rules_tuple_is_the_documented_set():
         "bare-except",
         "import-surface",
         "page-discipline",
+        "dist-isolation",
     )

@@ -81,7 +81,7 @@ class TestAnalysis:
         log = LogManager()
         committed_txn(log, 1, [InsertRecord(1, "t", (1,), Row(a=1))])
         open_txn(log, 2, [InsertRecord(2, "t", (2,), Row(a=2))])
-        winners, losers, _ = analyze(log)
+        winners, losers, _, _ = analyze(log)
         assert winners == {1}
         assert set(losers) == {2}
 
@@ -89,7 +89,7 @@ class TestAnalysis:
         log = LogManager()
         open_txn(log, 1, [InsertRecord(1, "t", (1,), Row(a=1))])
         log.append(AbortRecord(1))
-        winners, losers, _ = analyze(log)
+        winners, losers, _, _ = analyze(log)
         assert set(losers) == {1}
 
     def test_ended_txn_is_closed(self):
@@ -97,7 +97,7 @@ class TestAnalysis:
         open_txn(log, 1, [InsertRecord(1, "t", (1,), Row(a=1))])
         log.append(AbortRecord(1))
         log.append(EndRecord(1))
-        winners, losers, _ = analyze(log)
+        winners, losers, _, _ = analyze(log)
         assert winners == set()
         assert losers == {}
 
