@@ -2,14 +2,16 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
 .PHONY: test bench bench-smoke bench-r16 bench-r17 chaos-smoke \
-	check-results dist-smoke lint sanitize-smoke storage-smoke verify
+	check-results dist-smoke lint sanitize-smoke sql-smoke storage-smoke \
+	verify
 
 # The PR gate, in dependency-cheapest order: the AST lint rules, the
 # full tier-1 test suite, the protocol sanitizers, the paged-storage
 # smoke, the bounded chaos tier (which includes the crash-storm
 # recovery leg), then the sharded 2PC smoke. benchmarks/run_all.py
 # finishes with the same chain.
-verify: lint test sanitize-smoke storage-smoke chaos-smoke dist-smoke
+verify: lint test sanitize-smoke storage-smoke chaos-smoke dist-smoke \
+	sql-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -68,6 +70,13 @@ chaos-smoke:
 # and the presumed-abort negative control, then the schema gate.
 dist-smoke:
 	cd benchmarks && $(PYTHON) -c "import dist_smoke as b; b.scenario()"
+	$(PYTHON) benchmarks/check_results.py
+
+# The SQL-surface smoke: dialect execution against engine-level
+# oracles, an online view build absorbing concurrent writers, and the
+# completes-or-vanishes crash contract, then the schema gate.
+sql-smoke:
+	cd benchmarks && $(PYTHON) -c "import sql_smoke as b; b.scenario()"
 	$(PYTHON) benchmarks/check_results.py
 
 check-results:

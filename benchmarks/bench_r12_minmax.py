@@ -13,7 +13,6 @@ views (and this engine's default) restrict aggregates to COUNT/SUM.
 """
 
 from repro.api import (
-    AggregateSpec,
     Database,
     EngineConfig,
     OrderEntryWorkload,
@@ -29,15 +28,15 @@ def build(with_extremes):
     db.create_table("sales", ("id", "product", "customer", "amount"), ("id",))
     db.create_table("products", ("product", "name", "category"), ("product",))
     workload.db = db
-    aggregates = [
-        AggregateSpec.count("n_sales"),
-        AggregateSpec.sum_of("revenue", "amount"),
-    ]
-    if with_extremes:
-        aggregates.append(AggregateSpec.min_of("cheapest", "amount"))
-        aggregates.append(AggregateSpec.max_of("priciest", "amount"))
-    db.create_aggregate_view(
-        "sales_by_product", "sales", group_by=("product",), aggregates=aggregates
+    extremes = (
+        ", MIN(amount) AS cheapest, MAX(amount) AS priciest"
+        if with_extremes
+        else ""
+    )
+    db.create_view(
+        "CREATE UNIQUE INDEXED VIEW sales_by_product AS "
+        "SELECT product, COUNT(*) AS n_sales, SUM(amount) AS revenue"
+        f"{extremes} FROM sales GROUP BY product"
     )
     return db, workload
 

@@ -19,7 +19,7 @@ stay roughly constant while the log grows 16x (``docs/STORAGE.md`` §4).
 
 import time
 
-from repro.api import AggregateSpec, Database, EngineConfig, OrderEntryWorkload
+from repro.api import Database, EngineConfig, OrderEntryWorkload
 
 from harness import claim, emit
 
@@ -38,14 +38,10 @@ def build_history(n_txns, mode):
     db.create_table("sales", ("id", "product", "customer", "amount"), ("id",))
     db.create_table("products", ("product", "name", "category"), ("product",))
     workload.db = db
-    db.create_aggregate_view(
-        "sales_by_product",
-        "sales",
-        group_by=("product",),
-        aggregates=[
-            AggregateSpec.count("n_sales"),
-            AggregateSpec.sum_of("revenue", "amount"),
-        ],
+    db.create_view(
+        "CREATE UNIQUE INDEXED VIEW sales_by_product AS "
+        "SELECT product, COUNT(*) AS n_sales, SUM(amount) AS revenue "
+        "FROM sales GROUP BY product"
     )
     checkpoint_at = int(n_txns * 0.9)
     for i in range(n_txns):

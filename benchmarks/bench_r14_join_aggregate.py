@@ -14,7 +14,6 @@ two exclusive hot locks — throughput craters and deadlocks multiply.
 """
 
 from repro.api import (
-    AggregateSpec,
     Database,
     EngineConfig,
     OrderEntryWorkload,
@@ -40,22 +39,17 @@ def build(strategy, with_product_view, with_category_view):
     db.commit(txn)
     workload.db = db
     if with_product_view:
-        db.create_aggregate_view(
-            "sales_by_product", "sales", group_by=("product",),
-            aggregates=[
-                AggregateSpec.count("n_sales"),
-                AggregateSpec.sum_of("revenue", "amount"),
-            ],
+        db.create_view(
+            "CREATE UNIQUE INDEXED VIEW sales_by_product AS "
+            "SELECT product, COUNT(*) AS n_sales, SUM(amount) AS revenue "
+            "FROM sales GROUP BY product"
         )
     if with_category_view:
-        db.create_join_aggregate_view(
-            "revenue_by_category", "sales", "products",
-            on=[("product", "product")],
-            group_by=("category",),
-            aggregates=[
-                AggregateSpec.count("n_sales"),
-                AggregateSpec.sum_of("revenue", "amount"),
-            ],
+        db.create_view(
+            "CREATE UNIQUE INDEXED VIEW revenue_by_category AS "
+            "SELECT category, COUNT(*) AS n_sales, SUM(amount) AS revenue "
+            "FROM sales JOIN products ON sales.product = products.product "
+            "GROUP BY category"
         )
     return db, workload
 

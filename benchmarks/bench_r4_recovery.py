@@ -11,7 +11,7 @@ commit. Logical delta records are also smaller than full before/after
 images.
 """
 
-from repro.api import AggregateSpec, Database, EngineConfig
+from repro.api import Database, EngineConfig
 
 from harness import emit
 
@@ -23,14 +23,10 @@ def build(counter_logging):
         EngineConfig(aggregate_strategy="escrow", counter_logging=counter_logging)
     )
     db.create_table("accounts", ("id", "branch", "balance"), ("id",))
-    db.create_aggregate_view(
-        "totals",
-        "accounts",
-        group_by=("branch",),
-        aggregates=[
-            AggregateSpec.count("n"),
-            AggregateSpec.sum_of("total", "balance"),
-        ],
+    db.create_view(
+        "CREATE UNIQUE INDEXED VIEW totals AS "
+        "SELECT branch, COUNT(*) AS n, SUM(balance) AS total "
+        "FROM accounts GROUP BY branch"
     )
     seed = db.begin()
     db.insert(seed, "accounts", {"id": 1, "branch": "hot", "balance": 100})

@@ -11,7 +11,7 @@ auto-created left-fk index entry, so it costs noticeably more per update
 than the aggregate view.
 """
 
-from repro.api import AggregateSpec, Database, EngineConfig, OrderEntryWorkload
+from repro.api import Database, EngineConfig, OrderEntryWorkload
 
 import harness
 from harness import emit
@@ -30,22 +30,16 @@ def run_schema(with_agg, with_join):
     db.commit(txn)
     workload.db = db
     if with_agg:
-        db.create_aggregate_view(
-            "sales_by_product",
-            "sales",
-            group_by=("product",),
-            aggregates=[
-                AggregateSpec.count("n_sales"),
-                AggregateSpec.sum_of("revenue", "amount"),
-            ],
+        db.create_view(
+            "CREATE UNIQUE INDEXED VIEW sales_by_product AS "
+            "SELECT product, COUNT(*) AS n_sales, SUM(amount) AS revenue "
+            "FROM sales GROUP BY product"
         )
     if with_join:
-        db.create_join_view(
-            "sales_named",
-            "sales",
-            "products",
-            on=[("product", "product")],
-            columns=("id", "product", "customer", "amount", "name"),
+        db.create_view(
+            "CREATE UNIQUE INDEXED VIEW sales_named AS "
+            "SELECT id, product, customer, amount, name "
+            "FROM sales JOIN products ON sales.product = products.product"
         )
     bytes_before = db.log.bytes_estimate
     records_before = len(db.log)

@@ -33,7 +33,6 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.api import (
-    AggregateSpec,
     EngineConfig,
     FaultInjector,
     PartitionUnavailableError,
@@ -51,10 +50,10 @@ SEED_PER_REGION = 400
 def build():
     db = ShardedDatabase(BOUNDS, EngineConfig(aggregate_strategy="escrow"))
     db.create_table("accounts", ("id", "region", "amount"), ("id",))
-    db.create_aggregate_view(
-        "region_totals", "accounts", ("region",),
-        [AggregateSpec.count("n_accounts"),
-         AggregateSpec.sum_of("balance", "amount")],
+    db.create_view(
+        "CREATE UNIQUE INDEXED VIEW region_totals AS "
+        "SELECT region, COUNT(*) AS n_accounts, SUM(amount) AS balance "
+        "FROM accounts GROUP BY region"
     )
     # One seed account per (region, partition): every group spans the
     # whole fleet as four sub-counter rows.

@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""SQL-surface smoke: parse, compile, execute, build online — fast.
+
+Three legs over the dialect in ``docs/SQL.md``:
+
+1. **compile + execute** — a canned workload (two tables, four view
+   shapes, DML with predicates, SELECTs with joins and grouping) runs
+   entirely through ``Database.execute``; every view must match fresh
+   recomputation and SELECT answers must match the engine's own reads.
+2. **online build under writers** — a join-aggregate view is created
+   ``WITH (online = true)`` step-wise while writer transactions commit
+   between the snapshot, catch-up, and flip phases; a money-style
+   conservation oracle (the view's SUM folded over groups equals the
+   base table's total) must hold afterwards, with clean integrity.
+3. **chaos** — the ``view.online_build`` fault site crashes a build at
+   each phase detail (snapshot, catch-up, flip, post-commit); after
+   recovery the view must have completed (durable build commit) or
+   vanished without a trace, never anything in between.
+
+This is the ``make sql-smoke`` / ``run_all.py`` gate for ``repro.sql``
+and ``repro.views.online`` — a regression in the parser, the planner,
+or the online build's crash contract shows up here in seconds.
+
+Run:  python benchmarks/sql_smoke.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.api import (
+    Database,
+    FaultInjector,
+    SimulatedCrash,
+)  # noqa: E402
+
+from harness import claim, emit  # noqa: E402
+
+SCHEMA = """
+    CREATE TABLE sales (id, product, region, amount, PRIMARY KEY (id));
+    CREATE TABLE products (product, category, PRIMARY KEY (product));
+    CREATE UNIQUE INDEXED VIEW by_product AS
+        SELECT product, COUNT(*) AS n, SUM(amount) AS rev
+        FROM sales GROUP BY product;
+    CREATE UNIQUE INDEXED VIEW named_sales AS
+        SELECT id, sales.product, amount, category
+        FROM sales JOIN products ON sales.product = products.product;
+    CREATE UNIQUE INDEXED VIEW big_sales AS
+        SELECT id, product, amount FROM sales WHERE amount >= 50;
+"""
+
+ONLINE_VIEW = (
+    "CREATE UNIQUE INDEXED VIEW rev_by_category WITH (online = true) AS "
+    "SELECT category, COUNT(*) AS n, SUM(amount) AS rev "
+    "FROM sales JOIN products ON sales.product = products.product "
+    "GROUP BY category"
+)
+
+PRODUCTS = (("anvil", "heavy"), ("piano", "heavy"), ("tnt", "boom"),
+            ("rope", "soft"))
+
+
+def build(rows=40):
+    db = Database()
+    db.execute(SCHEMA)
+    db.execute(
+        "INSERT INTO products (product, category) VALUES "
+        + ", ".join(f"({p!r}, {c!r})" for p, c in PRODUCTS)
+    )
+    values = ", ".join(
+        f"({i}, {PRODUCTS[i % len(PRODUCTS)][0]!r}, "
+        f"{'emea' if i % 2 else 'apac'!r}, {3 * i})"
+        for i in range(1, rows + 1)
+    )
+    db.execute(f"INSERT INTO sales (id, product, region, amount) VALUES {values}")
+    return db
+
+
+def base_total(db):
+    return sum(row["amount"] for row in db.execute("SELECT amount FROM sales"))
+
+
+def leg_compile_execute():
+    db = build()
+    statements = 3  # the schema script counts as parsed statements too
+    db.execute("UPDATE sales SET amount = amount + 7 WHERE product = 'tnt'")
+    db.execute("DELETE FROM sales WHERE amount < 10")
+    db.execute(
+        "INSERT INTO sales (id, product, region, amount) "
+        "VALUES (900, 'rope', 'emea', 55)"
+    )
+    statements += 3
+
+    view_problems = db.check_all_views()
+    recomputed = db.execute(
+        "SELECT product, COUNT(*) AS n, SUM(amount) AS rev "
+        "FROM sales GROUP BY product"
+    )
+    materialized = db.execute("SELECT * FROM by_product")
+    select_agree = materialized == recomputed
+    big = db.execute("SELECT * FROM big_sales")
+    big_ok = all(row["amount"] >= 50 for row in big) and len(big) > 0
+    ok = not view_problems and select_agree and big_ok
+    return ok, [
+        ["execute: statements run", statements],
+        ["execute: view problems", len(view_problems)],
+        ["execute: SELECT vs materialized view agree", int(select_agree)],
+        ["execute: projection rows (all >= 50)", len(big)],
+    ]
+
+
+def leg_online_build():
+    db = build()
+    before = base_total(db)
+    builder = db.begin_online_build(ONLINE_VIEW)
+    builder.start()
+    # Writers keep committing through every build phase.
+    db.execute("INSERT INTO sales (id, product, region, amount) "
+               "VALUES (1001, 'tnt', 'emea', 11)")
+    caught_a = builder.catch_up()
+    db.execute("UPDATE sales SET amount = amount + 1 WHERE id = 1")
+    db.execute("DELETE FROM sales WHERE id = 2")
+    caught_b = builder.catch_up()
+    db.execute("INSERT INTO sales (id, product, region, amount) "
+               "VALUES (1002, 'rope', 'apac', 9)")
+    builder.finish()
+
+    total = base_total(db)
+    folded = sum(
+        row["rev"] for row in db.execute("SELECT * FROM rev_by_category")
+    )
+    conserved = folded == total and total != before
+    problems = db.check_all_views()
+    integrity = db.check_integrity()
+    ok = conserved and not problems and integrity.clean
+    return ok, [
+        ["online: writer txns caught up", caught_a + caught_b],
+        ["online: base total", total],
+        ["online: view SUM folded over groups", folded],
+        ["online: conservation holds", int(conserved)],
+        ["online: integrity clean", int(integrity.clean)],
+    ]
+
+
+def leg_chaos():
+    outcomes = []
+    for phase_match, expect_completed in (
+        ("snapshot:", False),
+        ("catchup:", False),
+        ("flip", False),
+        ("post_commit", True),
+    ):
+        db = build()
+        db.install_fault_injector(FaultInjector(seed=11))
+        crashed = False
+        if phase_match == "catchup:":
+            builder = db.begin_online_build(ONLINE_VIEW)
+            builder.start()
+            db.execute("INSERT INTO sales (id, product, region, amount) "
+                       "VALUES (1003, 'tnt', 'emea', 4)")
+            db.faults.arm("view.online_build", times=1, match=phase_match)
+            try:
+                builder.catch_up()
+            except SimulatedCrash:
+                crashed = True
+        else:
+            db.faults.arm("view.online_build", times=1, match=phase_match)
+            try:
+                db.execute(ONLINE_VIEW)
+            except SimulatedCrash:
+                crashed = True
+        db.faults.disarm()
+        db.simulate_crash_and_recover()
+
+        completed = db.catalog.has_view("rev_by_category")
+        settled = not db.online_builds.active
+        consistent = (
+            db.check_view_consistency("rev_by_category") == []
+            if completed else True
+        )
+        integrity = db.check_integrity()
+        leg_ok = (
+            crashed
+            and settled
+            and completed == expect_completed
+            and consistent
+            and integrity.clean
+        )
+        outcomes.append((phase_match, completed, leg_ok))
+    ok = all(leg_ok for _, _, leg_ok in outcomes)
+    rows = [
+        [f"chaos: crash at {phase} -> "
+         f"{'completed' if completed else 'vanished'}", int(leg_ok)]
+        for phase, completed, leg_ok in outcomes
+    ]
+    return ok, rows
+
+
+def scenario():
+    rows = []
+    checks = []
+    legs = [
+        ("SQL compiles and executes correctly", leg_compile_execute),
+        ("online build under concurrent writers", leg_online_build),
+        ("mid-build crashes complete or vanish", leg_chaos),
+    ]
+    for label, leg in legs:
+        ok, leg_rows = leg()
+        checks.append((label, ok))
+        rows.extend(leg_rows)
+    emit(
+        "sql_smoke",
+        ["measure", "value"],
+        rows,
+        "sql smoke: dialect execution, online view build, crash contract",
+        params={
+            "seed_rows": 40,
+            "products": [p for p, _ in PRODUCTS],
+            "online_view": "rev_by_category",
+            "chaos_phases": ["snapshot", "catchup", "flip", "post_commit"],
+        },
+        claim=claim(
+            "the SQL surface compiles to the engine's delta-maintenance "
+            "programs, an online view build absorbs concurrent writers "
+            "with conservation intact, and a mid-build crash either "
+            "completes on recovery or vanishes without a trace",
+            checks,
+        ),
+    )
+    assert all(ok for _, ok in checks), [l for l, ok in checks if not ok]
+    return checks
+
+
+if __name__ == "__main__":
+    scenario()

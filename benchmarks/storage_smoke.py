@@ -37,7 +37,6 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.api import (
-    AggregateSpec,
     Database,
     EngineConfig,
     FaultInjector,
@@ -60,14 +59,10 @@ def build():
         )
     )
     db.create_table("sales", ("id", "product", "amount"), ("id",))
-    db.create_aggregate_view(
-        "sales_by_product",
-        "sales",
-        group_by=("product",),
-        aggregates=[
-            AggregateSpec.count("n_sales"),
-            AggregateSpec.sum_of("revenue", "amount"),
-        ],
+    db.create_view(
+        "CREATE UNIQUE INDEXED VIEW sales_by_product AS "
+        "SELECT product, COUNT(*) AS n_sales, SUM(amount) AS revenue "
+        "FROM sales GROUP BY product"
     )
     return db
 

@@ -56,20 +56,24 @@ def main():
     print("money after crash+recovery:", bank.total_money_in_view(), "— conserved ✔")
 
     print("\n== declarative reserve requirement (escrow bounds) ==")
-    from repro.api import AggregateSpec
+    from repro.api import AggregateSpec, AggregateView
     from repro.api import EscrowViolationError
 
     db2 = Database(EngineConfig(aggregate_strategy="escrow"))
     db2.create_table("accounts", ("aid", "branch", "balance"), ("aid",))
-    db2.create_aggregate_view(
-        "guarded_totals",
-        "accounts",
-        group_by=("branch",),
-        aggregates=[
-            AggregateSpec.count("n"),
-            AggregateSpec.sum_of("total", "balance"),
-        ],
-        bounds={"total": (50, None)},  # branch total may never drop below 50
+    # Escrow bounds have no SQL syntax (yet), so this view is created
+    # from a constructed definition instead of a CREATE statement.
+    db2.create_view(
+        AggregateView(
+            "guarded_totals",
+            "accounts",
+            group_by=("branch",),
+            aggregates=[
+                AggregateSpec.count("n"),
+                AggregateSpec.sum_of("total", "balance"),
+            ],
+            bounds={"total": (50, None)},  # total may never drop below 50
+        )
     )
     txn = db2.begin()
     db2.insert(txn, "accounts", {"aid": 1, "branch": "hq", "balance": 80})

@@ -18,7 +18,7 @@ bounding the redo work.
 Run:  python examples/crash_recovery_demo.py
 """
 
-from repro.api import AggregateSpec, Database, EngineConfig
+from repro.api import Database, EngineConfig
 
 
 def build(counter_logging):
@@ -26,14 +26,10 @@ def build(counter_logging):
         EngineConfig(aggregate_strategy="escrow", counter_logging=counter_logging)
     )
     db.create_table("accounts", ("id", "branch", "balance"), ("id",))
-    db.create_aggregate_view(
-        "branch_totals",
-        "accounts",
-        group_by=("branch",),
-        aggregates=[
-            AggregateSpec.count("n_accounts"),
-            AggregateSpec.sum_of("total", "balance"),
-        ],
+    db.execute(
+        "CREATE UNIQUE INDEXED VIEW branch_totals AS "
+        "SELECT branch, COUNT(*) AS n_accounts, SUM(balance) AS total "
+        "FROM accounts GROUP BY branch"
     )
     seed = db.begin()
     db.insert(seed, "accounts", {"id": 1, "branch": "north", "balance": 100})

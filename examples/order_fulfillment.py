@@ -19,49 +19,29 @@ ghost cleanup — and finishes with a crash/recovery round trip.
 Run:  python examples/order_fulfillment.py
 """
 
-from repro.api import AggregateSpec, col_ge, Database, KeyRange
+from repro.api import Database, KeyRange
 
 
 def build():
     db = Database()
-    db.create_table("customers", ("cid", "name", "tier"), ("cid",))
-    db.create_table("orders", ("oid", "cid", "amount", "status"), ("oid",))
-    txn = db.begin()
-    for cid, name, tier in [(1, "ada", "gold"), (2, "bob", "basic"), (3, "cy", "gold")]:
-        db.insert(txn, "customers", {"cid": cid, "name": name, "tier": tier})
-    db.commit(txn)
-    db.create_join_view(
-        "orders_named",
-        "orders",
-        "customers",
-        on=[("cid", "cid")],
-        columns=("oid", "cid", "amount", "status", "name", "tier"),
-    )
-    db.create_aggregate_view(
-        "orders_by_customer",
-        "orders",
-        group_by=("cid",),
-        aggregates=[
-            AggregateSpec.count("n_orders"),
-            AggregateSpec.sum_of("spend", "amount"),
-        ],
-    )
-    db.create_projection_view(
-        "rush_orders",
-        "orders",
-        columns=("oid", "cid", "amount"),
-        where=col_ge("amount", 100),
-    )
-    db.create_join_aggregate_view(
-        "revenue_by_tier",
-        "orders",
-        "customers",
-        on=[("cid", "cid")],
-        group_by=("tier",),
-        aggregates=[
-            AggregateSpec.count("n_orders"),
-            AggregateSpec.sum_of("revenue", "amount"),
-        ],
+    db.execute(
+        """
+        CREATE TABLE customers (cid, name, tier, PRIMARY KEY (cid));
+        CREATE TABLE orders (oid, cid, amount, status, PRIMARY KEY (oid));
+        INSERT INTO customers (cid, name, tier) VALUES
+            (1, 'ada', 'gold'), (2, 'bob', 'basic'), (3, 'cy', 'gold');
+        CREATE UNIQUE INDEXED VIEW orders_named AS
+            SELECT oid, cid, amount, status, name, tier
+            FROM orders JOIN customers ON orders.cid = customers.cid;
+        CREATE UNIQUE INDEXED VIEW orders_by_customer AS
+            SELECT cid, COUNT(*) AS n_orders, SUM(amount) AS spend
+            FROM orders GROUP BY cid;
+        CREATE UNIQUE INDEXED VIEW rush_orders AS
+            SELECT oid, cid, amount FROM orders WHERE amount >= 100;
+        CREATE UNIQUE INDEXED VIEW revenue_by_tier AS
+            SELECT tier, COUNT(*) AS n_orders, SUM(amount) AS revenue
+            FROM orders JOIN customers ON orders.cid = customers.cid GROUP BY tier;
+        """
     )
     return db
 

@@ -1,49 +1,48 @@
 #!/usr/bin/env python
 """Quickstart: indexed views maintained inside your transactions.
 
-Creates a sales table with an aggregate indexed view, runs a few
-transactions (including a rollback), and shows that the view always
+Creates a sales table with an aggregate indexed view — in SQL — runs a
+few transactions (including a rollback), and shows that the view always
 matches the base data — and survives a crash.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.api import AggregateSpec, Database
+from repro.api import Database
 
 
 def main():
     db = Database()
-    db.create_table("sales", ("id", "product", "amount"), ("id",))
-    db.create_aggregate_view(
-        "sales_by_product",
-        "sales",
-        group_by=("product",),
-        aggregates=[
-            AggregateSpec.count("n_sales"),
-            AggregateSpec.sum_of("revenue", "amount"),
-        ],
+    db.execute(
+        """
+        CREATE TABLE sales (id, product, amount, PRIMARY KEY (id));
+        CREATE UNIQUE INDEXED VIEW sales_by_product AS
+            SELECT product, COUNT(*) AS n_sales, SUM(amount) AS revenue
+            FROM sales GROUP BY product;
+        """
     )
 
     print("== insert three sales in one transaction ==")
-    txn = db.begin()
-    db.insert(txn, "sales", {"id": 1, "product": "anvil", "amount": 30})
-    db.insert(txn, "sales", {"id": 2, "product": "anvil", "amount": 12})
-    db.insert(txn, "sales", {"id": 3, "product": "rocket", "amount": 99})
-    db.commit(txn)
+    db.execute(
+        "INSERT INTO sales (id, product, amount) VALUES "
+        "(1, 'anvil', 30), (2, 'anvil', 12), (3, 'rocket', 99)"
+    )
     print("anvil :", db.read_committed("sales_by_product", ("anvil",)))
     print("rocket:", db.read_committed("sales_by_product", ("rocket",)))
 
     print("\n== a rolled-back transaction leaves no trace ==")
-    txn = db.begin()
-    db.insert(txn, "sales", {"id": 4, "product": "anvil", "amount": 1000})
+    session = db.session()
+    session.begin()
+    session.execute(
+        "INSERT INTO sales (id, product, amount) VALUES (4, 'anvil', 1000)"
+    )
+    txn = session.current_transaction
     print("inside txn (exact):", db.read_exact(txn, "sales_by_product", ("anvil",)))
-    db.abort(txn)
+    session.rollback()
     print("after abort       :", db.read_committed("sales_by_product", ("anvil",)))
 
     print("\n== deleting the last rocket sale removes its group ==")
-    txn = db.begin()
-    db.delete(txn, "sales", (3,))
-    db.commit(txn)
+    db.execute("DELETE FROM sales WHERE id = 3")
     print("rocket:", db.read_committed("sales_by_product", ("rocket",)))
     removed = db.run_ghost_cleanup()
     print(f"ghost cleaner reclaimed {removed} index entries")

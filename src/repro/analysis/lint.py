@@ -28,6 +28,11 @@ status 1 on any finding), via ``make lint``, or programmatically through
   touched only inside ``repro/dist/``; everything else goes through the
   ``ShardedDatabase`` facade (or its ``partition()`` accessor), so no
   code path can reach across partitions behind the coordinator's back.
+* **view-entry-point** — the deprecated ``create_*_view`` wrappers are
+  not called by engine or client code; views are created through
+  ``Database.create_view`` (a definition or ``CREATE INDEXED VIEW``
+  SQL) or ``Database.execute``. The wrappers stay for downstream
+  compatibility; tests may still exercise them.
 """
 
 import ast
@@ -43,6 +48,14 @@ RULES = (
     "import-surface",
     "page-discipline",
     "dist-isolation",
+    "view-entry-point",
+)
+
+#: the deprecated view-creation wrappers; ``Database.create_view`` (or
+#: ``execute`` with CREATE INDEXED VIEW SQL) is the supported entry.
+_DEPRECATED_VIEW_ENTRY_POINTS = frozenset(
+    {"create_aggregate_view", "create_join_view", "create_projection_view",
+     "create_join_aggregate_view"}
 )
 
 #: attribute-call names that mutate a page or its durable image
@@ -235,6 +248,19 @@ class _FileLinter(ast.NodeVisitor):
                         )
         if node.level == 0:
             self._check_surface(node, module)
+            if (
+                "import-surface" in self.rules
+                and self.client
+                and module == "repro"
+            ):
+                for alias in node.names:
+                    if alias.name != "api":
+                        self.flag(
+                            node,
+                            "import-surface",
+                            f"client code must import the repro.api "
+                            f"facade, not repro.{alias.name}",
+                        )
         self.generic_visit(node)
 
     def _check_surface(self, node, module):
@@ -270,6 +296,18 @@ class _FileLinter(ast.NodeVisitor):
                     f"direct page mutation .{func.attr}() outside the "
                     f"page layer; go through BufferPool.record_* so the "
                     f"dirty-page table and WAL-before-write hold",
+                )
+            if (
+                "view-entry-point" in self.rules
+                and (self.engine or self.client)
+                and func.attr in _DEPRECATED_VIEW_ENTRY_POINTS
+            ):
+                self.flag(
+                    node,
+                    "view-entry-point",
+                    f"call to deprecated .{func.attr}(); create views "
+                    f"through Database.create_view (definition or CREATE "
+                    f"INDEXED VIEW SQL) or Database.execute",
                 )
         self.generic_visit(node)
 

@@ -13,6 +13,12 @@ Grouped by concern:
 * **engine** — :class:`Database`, :class:`EngineConfig`,
   :class:`Session`, :class:`LockPolicy`, :class:`Row`,
   :class:`KeyRange`;
+* **SQL** — :func:`parse`, :func:`compile_view`, :func:`render_view`,
+  :func:`plan_signature`, and the SQL error branch (:class:`SqlError`,
+  :class:`ParseError`, :class:`BindError`,
+  :class:`UnsupportedSqlError`); ``Database.execute`` /
+  ``Session.execute`` are the canonical way to drive the engine (see
+  ``docs/SQL.md``);
 * **views and queries** — the ``ViewDefinition`` family,
   :class:`AggregateSpec`, and the column predicates (``col_eq`` …);
 * **errors** — the :class:`ReproError` hierarchy plus
@@ -42,6 +48,7 @@ Grouped by concern:
 from repro.analysis import History, SanitizerSuite, Violation, check_trace
 from repro.analysis.lint import check_import_surface, lint_paths
 from repro.common import (
+    BindError,
     CatalogError,
     DeadlockError,
     DeterministicRng,
@@ -50,14 +57,17 @@ from repro.common import (
     IntegrityError,
     KeyRange,
     LockTimeoutError,
+    ParseError,
     PartitionUnavailableError,
     ReproError,
     Row,
     SerializationError,
     SimulatedCrash,
+    SqlError,
     StorageError,
     TransactionAborted,
     TransactionStateError,
+    UnsupportedSqlError,
     WalCorruptionError,
     WalError,
     ZipfGenerator,
@@ -109,6 +119,13 @@ from repro.query import (
     col_ne,
 )
 from repro.sim import CostModel, Scheduler, SimResult
+from repro.sql import (
+    compile_view,
+    parse,
+    parse_one,
+    plan_signature,
+    render_view,
+)
 from repro.txn import LockPolicy
 from repro.views.definition import (
     AggregateView,
@@ -139,6 +156,12 @@ __all__ = [
     "KeyRange",
     "DeterministicRng",
     "ZipfGenerator",
+    # SQL
+    "parse",
+    "parse_one",
+    "compile_view",
+    "render_view",
+    "plan_signature",
     # views and queries
     "ViewDefinition",
     "AggregateView",
@@ -165,6 +188,10 @@ __all__ = [
     "LockTimeoutError",
     "SerializationError",
     "EscrowViolationError",
+    "SqlError",
+    "ParseError",
+    "BindError",
+    "UnsupportedSqlError",
     "FaultInjected",
     "IntegrityError",
     "PartitionUnavailableError",

@@ -106,6 +106,17 @@ class Catalog:
     def has_view(self, name):
         return name in self._views
 
+    def drop_view(self, name):
+        """Unregister a view (used when an online build vanishes)."""
+        view = self._views.pop(name, None)
+        if view is None:
+            raise CatalogError(f"no view named {name!r}")
+        for base in view.base_tables():
+            registered = self._views_by_base.get(base)
+            if registered and view in registered:
+                registered.remove(view)
+        return view
+
     def views(self):
         return list(self._views.values())
 

@@ -13,15 +13,19 @@ from repro.common.errors import (
     EscrowViolationError,
     FaultInjected,
     IntegrityError,
+    BindError,
     LatchError,
     LockTimeoutError,
+    ParseError,
     PartitionUnavailableError,
     ReproError,
     SerializationError,
     SimulatedCrash,
+    SqlError,
     StorageError,
     TransactionAborted,
     TransactionStateError,
+    UnsupportedSqlError,
     WalCorruptionError,
     WalError,
     WouldWait,
@@ -31,6 +35,7 @@ from repro.common.rng import DeterministicRng, ZipfGenerator
 from repro.common.rows import Row
 
 __all__ = [
+    "BindError",
     "CatalogError",
     "DeadlockError",
     "DeterministicRng",
@@ -42,14 +47,17 @@ __all__ = [
     "LatchError",
     "LockTimeoutError",
     "LogicalClock",
+    "ParseError",
     "PartitionUnavailableError",
     "ReproError",
     "Row",
     "SerializationError",
     "SimulatedCrash",
+    "SqlError",
     "StorageError",
     "TransactionAborted",
     "TransactionStateError",
+    "UnsupportedSqlError",
     "WalCorruptionError",
     "WalError",
     "WouldWait",

@@ -140,6 +140,38 @@ class SimulatedCrash(ReproError):
         self.committed = committed
 
 
+class SqlError(ReproError):
+    """A statement on the SQL surface could not be processed.
+
+    Carries the source position of the offending token when one is
+    known; the message always embeds it (``... (line 2, column 14)``)
+    so a REPL or test can point at the exact spot without unpacking
+    attributes.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """The statement text is not in the dialect's grammar."""
+
+
+class BindError(SqlError):
+    """A parsed statement references names the catalog cannot resolve
+    (unknown table, unknown or ambiguous column, duplicate alias)."""
+
+
+class UnsupportedSqlError(SqlError):
+    """The statement is well-formed and binds, but asks for something
+    the engine deliberately does not support (MIN/MAX over a join,
+    aggregates without GROUP BY, an unknown WITH option ...)."""
+
+
 class SerializationError(TransactionAborted):
     """The transaction could not be serialized (e.g. write-write conflict
     under snapshot isolation, or an escrow limit would be violated)."""

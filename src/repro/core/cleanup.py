@@ -60,6 +60,14 @@ class CleanupQueue:
                 return item
         return None
 
+    def drop_index(self, index_name):
+        """Purge every candidate of ``index_name`` (its index is being
+        dropped — a vanished online build); the cleaner must never probe
+        an index that no longer exists."""
+        self._members = {
+            item for item in self._members if item[0] != index_name
+        }
+
     def snapshot(self):
         return [item for item in self._queue if item in self._members]
 

@@ -1,18 +1,22 @@
 """The engine facade: schema, transactions, DML, reads, recovery.
 
 :class:`Database` wires every subsystem together and is the public API a
-downstream user programs against::
+downstream user programs against. The canonical surface is SQL
+(``docs/SQL.md``)::
 
     db = Database()
-    db.create_table("sales", ("id", "product", "amount"), ("id",))
-    db.create_aggregate_view(
-        "sales_by_product", "sales", group_by=("product",),
-        aggregates=[AggregateSpec.count("n"), AggregateSpec.sum_of("total", "amount")],
+    db.execute("CREATE TABLE sales (id, product, amount, PRIMARY KEY (id))")
+    db.execute(
+        "CREATE UNIQUE INDEXED VIEW sales_by_product AS "
+        "SELECT product, COUNT(*) AS n, SUM(amount) AS total "
+        "FROM sales GROUP BY product"
     )
-    txn = db.begin()
-    db.insert(txn, "sales", {"id": 1, "product": "ant", "amount": 30})
-    db.commit(txn)
+    db.execute("INSERT INTO sales (id, product, amount) VALUES (1, 'ant', 30)")
     db.read_committed("sales_by_product", ("ant",))   # Row(product='ant', n=1, total=30)
+
+The Python statement API underneath (``begin``/``insert``/``commit``,
+``create_view`` with a constructed ``ViewDefinition``) remains fully
+supported; ``execute`` compiles to exactly those calls.
 
 Every statement follows the lock-first / mutate-second discipline (see
 :mod:`repro.views.actions`): the statement compiles into actions, all lock
@@ -23,6 +27,7 @@ cooperative policy a lock wait aborts the statement run with
 
 from repro.catalog import Catalog, TableSchema
 from repro.common import (
+    CatalogError,
     DeterministicRng,
     FaultInjected,
     LogicalClock,
@@ -31,6 +36,7 @@ from repro.common import (
     StorageError,
     TransactionAborted,
     TransactionStateError,
+    UnsupportedSqlError,
     WalCorruptionError,
 )
 from repro.common.keys import KeyRange
@@ -63,6 +69,11 @@ from repro.views.deferred import DeferredMaintainer
 from repro.views.delta import TxnViewDeltas
 from repro.views.join import leftfk_index_name, secondary_index_name
 from repro.views.maintenance import MaintenanceEngine
+from repro.views.online import (
+    OnlineBuildRegistry,
+    OnlineViewBuilder,
+    resolve_after_recovery,
+)
 from repro.core.cleanup import CleanupQueue, GhostCleaner
 from repro.core.secondary import SecondaryIndexManager
 from repro.core.config import EngineConfig
@@ -161,7 +172,10 @@ class Database(RecoveryTarget):
         #: damaged-view registry; reads on quarantined views degrade to
         #: recomputation and their maintenance pauses until rebuild.
         self.quarantine = QuarantineManager(self)
-        self.maintenance.suppressed = self.quarantine.is_quarantined
+        #: views mid online build; their maintenance is suppressed (the
+        #: build's catch-up phase owns their deltas) and reads refuse them.
+        self.online_builds = OnlineBuildRegistry()
+        self.maintenance.suppressed = self._maintenance_suppressed
         #: recovery attempts since the last completed recovery — nonzero
         #: while a crash storm is interrupting recovery itself.
         self._recovery_attempts = 0
@@ -239,6 +253,13 @@ class Database(RecoveryTarget):
         """Create a GROUP BY view; returns the
         :class:`~repro.views.definition.ViewDefinition`.
 
+        .. deprecated::
+            The four ``create_*_view`` wrappers are legacy entry points;
+            new code should call :meth:`create_view` with either a
+            ``CREATE INDEXED VIEW ...`` SQL string or a constructed
+            definition (the ``view-entry-point`` lint rule flags internal
+            callers).
+
         All four ``create_*_view`` methods share the keyword tail
         ``where=``, ``unique=``, ``deferred=``: ``where`` filters base
         rows, ``unique`` records the (always-satisfied) key-uniqueness of
@@ -255,7 +276,8 @@ class Database(RecoveryTarget):
                          *, unique=True, deferred=False):
         """Create a foreign-key join view; returns the
         :class:`~repro.views.definition.ViewDefinition`. Shares the
-        keyword tail of :meth:`create_aggregate_view`."""
+        keyword tail (and deprecation) of :meth:`create_aggregate_view`;
+        prefer :meth:`create_view`."""
         view = JoinView(
             name,
             left,
@@ -272,7 +294,8 @@ class Database(RecoveryTarget):
                                *, unique=True, deferred=False):
         """Create a projection view; returns the
         :class:`~repro.views.definition.ViewDefinition`. Shares the
-        keyword tail of :meth:`create_aggregate_view`."""
+        keyword tail (and deprecation) of :meth:`create_aggregate_view`;
+        prefer :meth:`create_view`."""
         view = ProjectionView(
             name, base, self.catalog.table(base).primary_key, columns, where
         )
@@ -283,7 +306,8 @@ class Database(RecoveryTarget):
                                    *, unique=True, deferred=False):
         """Create a join-aggregate view; returns the
         :class:`~repro.views.definition.ViewDefinition`. Shares the
-        keyword tail of :meth:`create_aggregate_view`."""
+        keyword tail (and deprecation) of :meth:`create_aggregate_view`;
+        prefer :meth:`create_view`."""
         view = JoinAggregateView(
             name,
             left,
@@ -308,14 +332,77 @@ class Database(RecoveryTarget):
         txn.require_active()
         return self.secondary.lookup(txn, table, index_name, values)
 
-    def create_view(self, view, *, unique=True, deferred=False):
-        """Register ``view``, build its index(es), and materialize it over
-        any existing base data. Returns the definition. DDL is not
-        logged: recovery re-creates the schema from the catalog, then
-        replays the data log."""
+    def create_view(self, view, *, unique=True, deferred=False,
+                    online=False):
+        """Register a view, build its index(es), and materialize it over
+        any existing base data. Returns the definition.
+
+        ``view`` is either a :class:`~repro.views.definition.ViewDefinition`
+        or a ``CREATE [UNIQUE] INDEXED VIEW ... AS SELECT ...`` SQL string
+        (compiled through :func:`repro.sql.compile_view`; the statement's
+        ``UNIQUE`` and ``WITH (...)`` options override the keyword
+        arguments). ``online=True`` builds the view without blocking
+        writers: snapshot scan, WAL catch-up, then a short lock-protected
+        flip (see :mod:`repro.views.online`).
+
+        DDL is not logged: recovery re-creates the schema from the
+        catalog, then replays the data log — except an *online* build,
+        whose view inserts run in a logged system transaction precisely
+        so recovery can settle an interrupted build (complete it when the
+        build commit is durable, make it vanish otherwise).
+        """
+        if not hasattr(view, "kind"):  # SQL text or a parsed statement
+            from repro.sql import ast as sql_ast
+            from repro.sql import bind_options, compile_view, parse_one
+
+            stmt = parse_one(view) if isinstance(view, str) else view
+            if not isinstance(stmt, sql_ast.CreateView):
+                raise UnsupportedSqlError(
+                    "create_view expects a CREATE INDEXED VIEW statement; "
+                    f"got {type(stmt).__name__}", *stmt.pos
+                )
+            opts = bind_options(stmt)
+            unique = stmt.unique
+            deferred = opts.get("deferred", deferred)
+            online = opts.get("online", online)
+            view = compile_view(stmt, self.catalog)
+        if online:
+            if deferred:
+                raise CatalogError(
+                    f"view {view.name!r}: online build and deferred "
+                    "maintenance are mutually exclusive"
+                )
+            return OnlineViewBuilder(self, view, unique=unique).run()
         view.unique = unique
         view.deferred = deferred
         self.catalog.add_view(view)
+        self._create_view_indexes(view)
+        self._materialize(view)
+        return view
+
+    def begin_online_build(self, view, *, unique=True):
+        """An un-run :class:`~repro.views.online.OnlineViewBuilder` for
+        ``view`` (definition or CREATE INDEXED VIEW SQL) — callers drive
+        ``start`` / ``catch_up`` / ``finish`` themselves, interleaving
+        writers between phases; :meth:`create_view` with ``online=True``
+        is the one-shot form."""
+        if not hasattr(view, "kind"):
+            from repro.sql import ast as sql_ast
+            from repro.sql import compile_view, parse_one
+
+            stmt = parse_one(view) if isinstance(view, str) else view
+            if not isinstance(stmt, sql_ast.CreateView):
+                raise UnsupportedSqlError(
+                    "begin_online_build expects a CREATE INDEXED VIEW "
+                    f"statement; got {type(stmt).__name__}", *stmt.pos
+                )
+            unique = stmt.unique
+            view = compile_view(stmt, self.catalog)
+        return OnlineViewBuilder(self, view, unique=unique)
+
+    def _create_view_indexes(self, view):
+        """Build the (empty) index family a view owns: its primary view
+        index, plus the secondary and left-FK auxiliaries for joins."""
         order = self.config.btree_order
         self._indexes[view.name] = Index(
             view.name, view.key_columns, order=order, latch_set=self.latches
@@ -337,8 +424,15 @@ class Database(RecoveryTarget):
                 fk, fk_key, order=order, latch_set=self.latches
             )
             self._index_views[fk] = view
-        self._materialize(view)
-        return view
+
+    def _maintenance_suppressed(self, view_name):
+        """Maintenance skips quarantined views (damaged; rebuilt on
+        demand) and views mid online build (the build's catch-up phase
+        replays their deltas from the log instead)."""
+        return (
+            self.quarantine.is_quarantined(view_name)
+            or self.online_builds.is_building(view_name)
+        )
 
     def _materialize(self, view):
         """Fill a freshly created view from current base contents.
@@ -412,6 +506,59 @@ class Database(RecoveryTarget):
         escalation policy (intention locks injected, escalation applied
         past the configured threshold)."""
         self.escalation.acquire_plan(txn, plan)
+
+    # ==================================================================
+    # SQL surface
+    # ==================================================================
+
+    def execute(self, sql, txn=None):
+        """Execute a SQL script; returns the last statement's result.
+
+        The canonical surface: DDL (``CREATE TABLE``, ``CREATE INDEXED
+        VIEW`` — including ``WITH (online = true)``) routes through
+        :meth:`create_table` / :meth:`create_view`; DML and ``SELECT``
+        compile to the same engine calls the Python API makes (see
+        ``docs/SQL.md`` for the statement-to-engine-call contract).
+
+        With ``txn=None`` each DML/SELECT statement autocommits in its
+        own transaction; pass an open transaction to run the script
+        inside it (DDL always runs outside any transaction — it is not
+        logged and cannot roll back).
+        """
+        from repro.sql import ast as sql_ast
+        from repro.sql import execute_statement, parse
+
+        result = None
+        for stmt in parse(sql):
+            if isinstance(stmt, sql_ast.CreateTable):
+                result = self.create_table(
+                    stmt.name, stmt.columns, stmt.primary_key
+                )
+            elif isinstance(stmt, sql_ast.CreateView):
+                result = self.create_view(stmt)
+            elif txn is not None:
+                txn.require_active()
+                result = execute_statement(self, txn, stmt)
+            else:
+                result = self._execute_autocommit(stmt)
+        return result
+
+    def _execute_autocommit(self, stmt):
+        from repro.sql import execute_statement
+        from repro.txn.transaction import TxnState
+
+        txn = self._begin_txn()
+        try:
+            result = execute_statement(self, txn, stmt)
+            self.commit(txn)
+            self.ensure_durable(txn)
+            return result
+        except SimulatedCrash:
+            raise
+        except BaseException:
+            if txn.state is TxnState.ACTIVE:
+                self.abort(txn)
+            raise
 
     # ==================================================================
     # transactions
@@ -1024,6 +1171,7 @@ class Database(RecoveryTarget):
         """
         txn.require_active()
         key = tuple(key)
+        self._deny_building(name)
         if self.quarantine.active and self.quarantine.is_quarantined(name):
             contents = self.quarantine.degraded_contents(
                 self.catalog.view(name), txn
@@ -1051,6 +1199,7 @@ class Database(RecoveryTarget):
         request converts any E the reader holds into X (E ∨ S = X)."""
         txn.require_active()
         key = tuple(key)
+        self._deny_building(name)
         if self.quarantine.active and self.quarantine.is_quarantined(name):
             # Quarantine pauses the view's maintenance, so this txn holds
             # no pending escrow deltas against it — the degraded
@@ -1087,6 +1236,7 @@ class Database(RecoveryTarget):
         txn.require_active()
         if key_range is None:
             key_range = KeyRange.all()
+        self._deny_building(name)
         if self.quarantine.active and self.quarantine.is_quarantined(name):
             contents = self.quarantine.degraded_contents(
                 self.catalog.view(name), txn
@@ -1118,9 +1268,19 @@ class Database(RecoveryTarget):
         txn.stats.reads += len(rows)
         return rows
 
+    def _deny_building(self, name):
+        """A view mid online build does not logically exist yet — its
+        contents are a moving target until the flip commits."""
+        if self.online_builds.active and self.online_builds.is_building(name):
+            raise CatalogError(
+                f"view {name!r} is being built online and is not yet "
+                "readable"
+            )
+
     def read_committed(self, name, key):
         """Latest committed row outside any transaction (convenience for
         tests and examples; equivalent to a fresh snapshot read)."""
+        self._deny_building(name)
         if self.quarantine.active and self.quarantine.is_quarantined(name):
             contents = self.quarantine.degraded_contents(
                 self.catalog.view(name), None
@@ -1160,6 +1320,8 @@ class Database(RecoveryTarget):
         the maintained contents. Returns a list of discrepancy strings
         (empty = consistent). Only meaningful at quiescence (no active
         transactions)."""
+        if self.online_builds.is_building(view_name):
+            return []  # not yet logically a view; the build verifies it
         view = self.catalog.view(view_name)
         index = self._indexes[view.name]
         actual = {key: record.current_row for key, record in index.scan()}
@@ -1501,6 +1663,10 @@ class Database(RecoveryTarget):
         )
         report.pages_loaded = pages_loaded
         self._register_in_doubt(report.in_doubt)
+        # Settle interrupted online builds before versions are stamped:
+        # a vanished build's view must be gone before _post_recovery
+        # walks the index registry.
+        resolve_after_recovery(self)
         self._post_recovery()
         self._rebuild_page_mirror()
         report.restarts = self._recovery_attempts - 1

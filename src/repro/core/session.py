@@ -135,6 +135,30 @@ class Session:
                 self._db.abort(txn)
             raise
 
+    def execute(self, sql):
+        """Execute SQL in this session: inside the current transaction
+        when one is open, autocommit otherwise. DDL always routes to
+        :meth:`Database.execute` outside any transaction (DDL is not
+        logged and cannot roll back)."""
+        from repro.sql import ast as sql_ast
+        from repro.sql import execute_statement, parse
+
+        result = None
+        for stmt in parse(sql):
+            if isinstance(stmt, sql_ast.CreateTable):
+                result = self._db.create_table(
+                    stmt.name, stmt.columns, stmt.primary_key
+                )
+            elif isinstance(stmt, sql_ast.CreateView):
+                result = self._db.create_view(stmt)
+            else:
+                result = self._run(
+                    lambda txn, stmt=stmt: execute_statement(
+                        self._db, txn, stmt
+                    )
+                )
+        return result
+
     def insert(self, table, values):
         return self._run(lambda txn: self._db.insert(txn, table, values))
 

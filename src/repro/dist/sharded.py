@@ -42,6 +42,7 @@ from repro.dist.partitioner import RangePartitioner
 from repro.faults import NULL_INJECTOR
 from repro.obs import Tracer
 from repro.txn.transaction import TxnState
+from repro.views.definition import AggregateView, ProjectionView
 
 
 class DistTransaction:
@@ -137,13 +138,39 @@ class ShardedDatabase:
         self._schemas[name] = schema
         return schema
 
+    def create_view(self, view, *, unique=True, deferred=False):
+        """Fan a view out to every partition. ``view`` is a
+        ``ViewDefinition`` or ``CREATE INDEXED VIEW ...`` SQL (each
+        partition compiles the statement against its own catalog). Join
+        views are refused — the join sides cannot be co-partitioned in
+        general — and online builds are not supported in dist mode."""
+        probe = view
+        if not hasattr(probe, "kind"):
+            from repro.sql import compile_view
+
+            probe = compile_view(view, self._engines[0].catalog)
+        if probe.kind in ("join", "join_aggregate"):
+            raise CatalogError(
+                "join views are not supported in dist mode: the join "
+                "sides cannot be co-partitioned in general (documented "
+                "limitation)"
+            )
+        result = None
+        for engine in self._engines:
+            result = engine.create_view(
+                view, unique=unique, deferred=deferred
+            )
+        self._views[result.name] = result
+        return result
+
     def create_aggregate_view(self, name, base, group_by, aggregates,
                               where=None, bounds=None, *, unique=True,
                               deferred=False):
         view = None
         for engine in self._engines:
-            view = engine.create_aggregate_view(
-                name, base, group_by, aggregates, where, bounds,
+            view = engine.create_view(
+                AggregateView(name, base, group_by, aggregates, where,
+                              bounds),
                 unique=unique, deferred=deferred,
             )
         self._views[name] = view
@@ -153,8 +180,12 @@ class ShardedDatabase:
                                unique=True, deferred=False):
         view = None
         for engine in self._engines:
-            view = engine.create_projection_view(
-                name, base, columns, where, unique=unique, deferred=deferred
+            view = engine.create_view(
+                ProjectionView(
+                    name, base, engine.catalog.table(base).primary_key,
+                    columns, where,
+                ),
+                unique=unique, deferred=deferred,
             )
         self._views[name] = view
         return view

@@ -92,6 +92,15 @@ FAULT_SITES = {
         "description": "crash between the actions of one statement, after "
         "the base-table mutation but mid view maintenance",
     },
+    "view.online_build": {
+        "action": "crash",
+        "description": "crash during an online view build, evaluated at "
+        "each phase (detail 'snapshot:<n>' per snapshot row, "
+        "'catchup:<txn>' per caught-up writer, 'flip' at the final lock "
+        "point, 'post_commit' after the build commit is durable) — "
+        "recovery must either complete the build (durable commit) or "
+        "make the half-built view vanish without a trace",
+    },
     "cleanup.interrupt": {
         "action": "raise",
         "description": "the ghost cleaner's system transaction is aborted "

@@ -210,6 +210,10 @@ def _check_one_secondary(db, report, definition):
 
 def _check_views(db, report):
     for view in db.catalog.views():
+        if db.online_builds.is_building(view.name):
+            # Mid online build: the maintained contents lag the bases by
+            # design until the build's flip; the build verifies itself.
+            continue
         report.views_checked += 1
         for index_name, expected in expected_index_contents(db, view).items():
             actual = {

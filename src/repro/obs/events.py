@@ -138,6 +138,18 @@ EVENT_TYPES = {
         "category": "view",
         "fields": {"action": "description of the applied action"},
     },
+    "view_online_build": {
+        "category": "view",
+        "fields": {
+            "view": "the view being built online",
+            "phase": "snapshot | catchup | completed | vanished | "
+            "completed_on_recovery",
+            "rows": "view rows written by the finished phase (0 when the "
+            "phase writes none)",
+            "txns": "writer transactions caught up from the log by the "
+            "finished phase (0 outside catchup)",
+        },
+    },
     # ----------------------------------------------------------- fault
     "fault_injected": {
         "category": "fault",

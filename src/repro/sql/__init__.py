@@ -1,0 +1,38 @@
+"""The SQL surface: text in, delta-maintenance programs out.
+
+A hand-written pipeline — :mod:`lexer <repro.sql.lexer>` ->
+:mod:`parser <repro.sql.parser>` -> :mod:`binder <repro.sql.binder>` ->
+:mod:`compiler <repro.sql.compiler>` — turning a small dialect into the
+engine's native objects: ``CREATE INDEXED VIEW`` statements become
+:class:`~repro.views.definition.ViewDefinition` instances (COUNT/SUM
+compile to escrow counters, MIN/MAX to exclusive extremes), DML becomes
+``insert``/``update``/``delete`` calls whose view maintenance the engine
+already owns. ``docs/SQL.md`` specifies the grammar and the compilation
+contract; :mod:`repro.sql.shell` wraps it all in a REPL.
+
+Most callers want :meth:`Database.execute` / :meth:`Session.execute`
+rather than these internals.
+"""
+
+from repro.sql import ast
+from repro.sql.binder import CompiledPredicate, Scope, bind_options
+from repro.sql.compiler import compile_view, execute_statement
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse, parse_one
+from repro.sql.render import plan_signature, render_expr, render_view
+
+__all__ = [
+    "CompiledPredicate",
+    "Scope",
+    "Token",
+    "ast",
+    "bind_options",
+    "compile_view",
+    "execute_statement",
+    "parse",
+    "parse_one",
+    "plan_signature",
+    "render_expr",
+    "render_view",
+    "tokenize",
+]

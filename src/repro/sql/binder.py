@@ -1,0 +1,214 @@
+"""Name resolution against the catalog.
+
+The binder sits between the parser and the planner: it checks every
+:class:`~repro.sql.ast.ColumnRef` against the tables in scope and turns
+WHERE trees into :class:`CompiledPredicate` objects — ordinary
+:class:`~repro.query.predicates.Predicate` closures that additionally
+remember their AST, so a SQL-born view definition can be rendered back
+to SQL (see :mod:`repro.sql.render`).
+
+All failures raise :class:`~repro.common.BindError` carrying the
+position of the offending token; requests outside the engine's
+deliberate envelope raise
+:class:`~repro.common.UnsupportedSqlError`.
+"""
+
+from repro.common import BindError, UnsupportedSqlError
+from repro.query.predicates import Predicate
+from repro.sql import ast
+from repro.sql.render import render_expr
+
+
+class CompiledPredicate(Predicate):
+    """A predicate compiled from a WHERE tree.
+
+    Behaves exactly like a hand-written predicate (the maintainers call
+    it on rows); keeps the source AST so :func:`repro.sql.render.render_view`
+    can print the clause as written.
+    """
+
+    __slots__ = ("ast",)
+
+    def __init__(self, fn, where_ast):
+        super().__init__(fn, render_expr(where_ast))
+        self.ast = where_ast
+
+
+def _pos_kwargs(node):
+    if node.pos is None:
+        return {}
+    return {"line": node.pos[0], "column": node.pos[1]}
+
+
+class Scope:
+    """The tables a statement's column references resolve against.
+
+    ``schemas`` is an ordered mapping of table name -> TableSchema (one
+    entry for single-table statements, two for joins). A column name
+    present in several tables is *ambiguous* — even when qualified,
+    because joined rows are merged by bare column name — unless the join
+    forces the two columns equal (an ``ON a.x = b.x`` pair of the same
+    name).
+    """
+
+    def __init__(self, schemas, forced_equal=()):
+        self._schemas = dict(schemas)
+        counts = {}
+        for schema in self._schemas.values():
+            for column in schema.columns:
+                counts[column] = counts.get(column, 0) + 1
+        self._ambiguous = {
+            c for c, n in counts.items() if n > 1
+        } - set(forced_equal)
+
+    def tables(self):
+        return list(self._schemas)
+
+    def columns(self):
+        """All resolvable bare column names, in table/column order."""
+        seen = []
+        for schema in self._schemas.values():
+            for column in schema.columns:
+                if column not in seen:
+                    seen.append(column)
+        return seen
+
+    def resolve(self, ref):
+        """Resolve a ColumnRef to its bare column name (joined rows are
+        keyed by bare names), or raise BindError."""
+        if ref.qualifier is not None:
+            schema = self._schemas.get(ref.qualifier)
+            if schema is None:
+                raise BindError(
+                    f"unknown table {ref.qualifier!r} in column reference",
+                    **_pos_kwargs(ref),
+                )
+            if ref.name not in schema.columns:
+                raise BindError(
+                    f"table {ref.qualifier!r} has no column {ref.name!r}",
+                    **_pos_kwargs(ref),
+                )
+            if ref.name in self._ambiguous:
+                raise BindError(
+                    f"column {ref.name!r} exists in more than one table; "
+                    "joined rows merge columns by name, so the reference "
+                    "is ambiguous",
+                    **_pos_kwargs(ref),
+                )
+            return ref.name
+        owners = [
+            name for name, schema in self._schemas.items()
+            if ref.name in schema.columns
+        ]
+        if not owners:
+            raise BindError(
+                f"unknown column {ref.name!r}", **_pos_kwargs(ref)
+            )
+        if len(owners) > 1 and ref.name in self._ambiguous:
+            raise BindError(
+                f"column {ref.name!r} is ambiguous (in tables {owners!r})",
+                **_pos_kwargs(ref),
+            )
+        return ref.name
+
+
+def compile_predicate(expr, scope):
+    """Compile a WHERE tree into a :class:`CompiledPredicate`."""
+    return CompiledPredicate(_predicate_fn(expr, scope), expr)
+
+
+def _predicate_fn(expr, scope):
+    """Build the row -> bool closure for one expression subtree."""
+    if isinstance(expr, ast.And):
+        left = _predicate_fn(expr.left, scope)
+        right = _predicate_fn(expr.right, scope)
+        return lambda row: left(row) and right(row)
+    if isinstance(expr, ast.Or):
+        left = _predicate_fn(expr.left, scope)
+        right = _predicate_fn(expr.right, scope)
+        return lambda row: left(row) or right(row)
+    if isinstance(expr, ast.Not):
+        operand = _predicate_fn(expr.operand, scope)
+        return lambda row: not operand(row)
+    if isinstance(expr, ast.Comparison):
+        left = value_fn(expr.left, scope)
+        right = value_fn(expr.right, scope)
+        op = expr.op
+        if op == "=":
+            return lambda row: left(row) == right(row)
+        if op == "<>":
+            return lambda row: left(row) != right(row)
+        if op == "<":
+            return lambda row: left(row) < right(row)
+        if op == "<=":
+            return lambda row: left(row) <= right(row)
+        if op == ">":
+            return lambda row: left(row) > right(row)
+        if op == ">=":
+            return lambda row: left(row) >= right(row)
+        raise BindError(
+            f"unknown comparison operator {op!r}", **_pos_kwargs(expr)
+        )
+    if isinstance(expr, ast.Between):
+        item = value_fn(expr.item, scope)
+        low = value_fn(expr.low, scope)
+        high = value_fn(expr.high, scope)
+        return lambda row: low(row) <= item(row) <= high(row)
+    if isinstance(expr, ast.InList):
+        item = value_fn(expr.item, scope)
+        values = frozenset(v.value for v in expr.values)
+        return lambda row: item(row) in values
+    raise BindError(
+        f"expected a boolean expression, got {type(expr).__name__}",
+        **_pos_kwargs(expr),
+    )
+
+
+def value_fn(expr, scope):
+    """Build the row -> value closure for a scalar operand (a column
+    reference, a literal, or SET arithmetic over them)."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.ColumnRef):
+        column = scope.resolve(expr)
+        return lambda row: row[column]
+    if isinstance(expr, ast.BinaryOp):
+        left = value_fn(expr.left, scope)
+        right = value_fn(expr.right, scope)
+        if expr.op == "+":
+            return lambda row: left(row) + right(row)
+        if expr.op == "-":
+            return lambda row: left(row) - right(row)
+        raise UnsupportedSqlError(
+            f"arithmetic operator {expr.op!r} is not supported",
+            **_pos_kwargs(expr),
+        )
+    raise BindError(
+        f"expected a column or literal, got {type(expr).__name__}",
+        **_pos_kwargs(expr),
+    )
+
+
+#: WITH (...) options the dialect understands on CREATE INDEXED VIEW.
+VIEW_OPTIONS = frozenset({"online", "deferred"})
+
+
+def bind_options(stmt):
+    """Validate a CreateView's WITH options; returns a plain dict with
+    booleans for ``online`` / ``deferred``."""
+    options = {}
+    for name, value in stmt.options.items():
+        if name not in VIEW_OPTIONS:
+            raise UnsupportedSqlError(
+                f"unknown view option {name!r} (supported: "
+                f"{', '.join(sorted(VIEW_OPTIONS))})",
+                **_pos_kwargs(stmt),
+            )
+        if not isinstance(value, bool):
+            raise UnsupportedSqlError(
+                f"view option {name!r} takes TRUE or FALSE, got {value!r}",
+                **_pos_kwargs(stmt),
+            )
+        options[name] = value
+    return options

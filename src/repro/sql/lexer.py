@@ -1,0 +1,135 @@
+"""The SQL tokenizer: a hand-written scanner, no regex tables.
+
+Produces a flat list of :class:`Token` objects with 1-based line/column
+positions, which the parser threads into every AST node and every
+:class:`~repro.common.ParseError`. The scanner is deliberately dumb:
+it does not know keywords (the parser matches identifiers
+case-insensitively), only token *shapes*:
+
+* ``ident`` — ``[A-Za-z_][A-Za-z0-9_]*``
+* ``number`` — integer or decimal literal (``12``, ``3.5``); a leading
+  ``-`` is an operator, handled by the parser
+* ``string`` — single-quoted, with ``''`` as the escaped quote
+* ``op`` — punctuation and operators: ``( ) , ; . * = <> != <= >= < >
+  + -``
+* ``eof`` — one synthetic end marker
+
+``--`` starts a comment running to end of line.
+"""
+
+from repro.common import ParseError
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+#: multi-character operators, longest match first
+_TWO_CHAR_OPS = ("<>", "!=", "<=", ">=")
+_ONE_CHAR_OPS = "(),;.*=<>+-"
+
+
+def tokenize(sql):
+    """Scan ``sql`` into a list of tokens ending with one ``eof`` token.
+
+    Raises :class:`~repro.common.ParseError` on any character the
+    dialect has no use for.
+    """
+    tokens = []
+    line, column = 1, 1
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if sql.startswith("--", i):
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start, start_col = i, column
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            text = sql[start:i]
+            tokens.append(Token("ident", text, line, start_col))
+            column += i - start
+            continue
+        if ch.isdigit():
+            start, start_col = i, column
+            while i < n and sql[i].isdigit():
+                i += 1
+            if i < n and sql[i] == "." and i + 1 < n and sql[i + 1].isdigit():
+                i += 1
+                while i < n and sql[i].isdigit():
+                    i += 1
+                value = float(sql[start:i])
+            else:
+                value = int(sql[start:i])
+            tokens.append(Token("number", value, line, start_col))
+            column += i - start
+            continue
+        if ch == "'":
+            start_line, start_col = line, column
+            i += 1
+            column += 1
+            chunks = []
+            while True:
+                if i >= n:
+                    raise ParseError(
+                        "unterminated string literal",
+                        line=start_line, column=start_col,
+                    )
+                ch = sql[i]
+                if ch == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        column += 2
+                        continue
+                    i += 1
+                    column += 1
+                    break
+                if ch == "\n":
+                    raise ParseError(
+                        "unterminated string literal",
+                        line=start_line, column=start_col,
+                    )
+                chunks.append(ch)
+                i += 1
+                column += 1
+            tokens.append(Token("string", "".join(chunks), line, start_col))
+            continue
+        two = sql[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, line, column))
+            i += 2
+            column += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        raise ParseError(
+            f"unexpected character {ch!r}", line=line, column=column
+        )
+    tokens.append(Token("eof", None, line, column))
+    return tokens

@@ -1,0 +1,182 @@
+"""Render AST expressions and view definitions back to dialect text.
+
+Two consumers:
+
+* :class:`~repro.sql.binder.CompiledPredicate` uses :func:`render_expr`
+  for its ``description`` — a quarantine report or view repr prints the
+  WHERE clause as written, not ``<predicate>``.
+* The round-trip tests use :func:`render_view` + :func:`plan_signature`:
+  a compiler-emitted :class:`~repro.views.definition.ViewDefinition`
+  rendered to SQL, reparsed and recompiled must produce an equivalent
+  plan.
+"""
+
+from repro.common import UnsupportedSqlError
+from repro.query.aggregates import AggFunc
+from repro.sql import ast
+
+
+def render_literal(value):
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def render_expr(expr):
+    """Render one expression subtree to dialect text."""
+    if isinstance(expr, ast.Literal):
+        return render_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        if expr.qualifier:
+            return f"{expr.qualifier}.{expr.name}"
+        return expr.name
+    if isinstance(expr, ast.Star):
+        return "*"
+    if isinstance(expr, ast.FuncCall):
+        return f"{expr.func}({render_expr(expr.arg)})"
+    if isinstance(expr, ast.Comparison):
+        return (
+            f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+        )
+    if isinstance(expr, ast.Between):
+        return (
+            f"{render_expr(expr.item)} BETWEEN {render_expr(expr.low)} "
+            f"AND {render_expr(expr.high)}"
+        )
+    if isinstance(expr, ast.InList):
+        values = ", ".join(render_expr(v) for v in expr.values)
+        return f"{render_expr(expr.item)} IN ({values})"
+    if isinstance(expr, ast.And):
+        return f"({render_expr(expr.left)} AND {render_expr(expr.right)})"
+    if isinstance(expr, ast.Or):
+        return f"({render_expr(expr.left)} OR {render_expr(expr.right)})"
+    if isinstance(expr, ast.Not):
+        return f"NOT ({render_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        return f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+    raise UnsupportedSqlError(
+        f"cannot render expression node {type(expr).__name__}"
+    )
+
+
+_FUNC_SQL = {
+    AggFunc.COUNT: "COUNT",
+    AggFunc.SUM: "SUM",
+    AggFunc.MIN: "MIN",
+    AggFunc.MAX: "MAX",
+}
+
+
+def _render_aggregate(spec):
+    func = _FUNC_SQL[spec.func]
+    arg = "*" if spec.func is AggFunc.COUNT else spec.source
+    return f"{func}({arg}) AS {spec.out}"
+
+
+def _render_where(view):
+    """The WHERE fragment of a view, or ``""`` when there is none.
+
+    Only SQL-born predicates round-trip: a hand-written
+    :class:`~repro.query.predicates.Predicate` closure has no AST to
+    render, so rendering such a view is refused rather than guessed at.
+    """
+    if view.where is None:
+        return ""
+    where_ast = getattr(view.where, "ast", None)
+    if where_ast is None:
+        raise UnsupportedSqlError(
+            f"view {view.name!r} has a hand-written predicate "
+            f"({view.where.description}); only SQL-compiled predicates "
+            "can be rendered back to SQL"
+        )
+    return f" WHERE {render_expr(where_ast)}"
+
+
+def render_view(view):
+    """Render a :class:`~repro.views.definition.ViewDefinition` as a
+    ``CREATE [UNIQUE] INDEXED VIEW`` statement.
+
+    Escrow ``bounds`` have no SQL syntax in the dialect; a bounded view
+    is refused so the round-trip can never silently drop a business
+    rule.
+    """
+    if getattr(view, "bounds", None):
+        raise UnsupportedSqlError(
+            f"view {view.name!r} carries escrow bounds, which the dialect "
+            "cannot express; render_view refuses rather than drop them"
+        )
+    unique = "UNIQUE " if view.unique else ""
+    head = f"CREATE {unique}INDEXED VIEW {view.name} AS SELECT "
+    if view.kind == "aggregate":
+        items = ", ".join(view.group_by) + ", " + ", ".join(
+            _render_aggregate(a) for a in view.aggregates
+        )
+        tail = (
+            f"FROM {view.base}{_render_where(view)} "
+            f"GROUP BY {', '.join(view.group_by)}"
+        )
+    elif view.kind == "projection":
+        items = ", ".join(view.columns)
+        tail = f"FROM {view.base}{_render_where(view)}"
+    elif view.kind == "join":
+        items = ", ".join(view.columns)
+        on = " AND ".join(
+            f"{view.left}.{lc} = {view.right}.{rc}" for lc, rc in view.on
+        )
+        tail = f"FROM {view.left} JOIN {view.right} ON {on}{_render_where(view)}"
+    elif view.kind == "join_aggregate":
+        items = ", ".join(view.group_by) + ", " + ", ".join(
+            _render_aggregate(a) for a in view.aggregates
+        )
+        on = " AND ".join(
+            f"{view.left}.{lc} = {view.right}.{rc}" for lc, rc in view.on
+        )
+        tail = (
+            f"FROM {view.left} JOIN {view.right} ON {on}"
+            f"{_render_where(view)} GROUP BY {', '.join(view.group_by)}"
+        )
+    else:
+        raise UnsupportedSqlError(
+            f"cannot render view kind {view.kind!r}"
+        )
+    return head + items + " " + tail
+
+
+def plan_signature(view):
+    """A canonical, comparable summary of a view's maintenance plan.
+
+    Two definitions with equal signatures compile to the same
+    delta-maintenance program: same kind, same bases, same key and
+    stored columns, same aggregate specs, same (rendered) predicate.
+    Used by the round-trip property test; positions, construction order
+    and predicate closure identity are all erased.
+    """
+    where = view.where
+    if where is not None:
+        where_ast = getattr(where, "ast", None)
+        where = (
+            f"ast:{render_expr(where_ast)}" if where_ast is not None
+            else f"opaque:{where.description}"
+        )
+    return (
+        view.kind,
+        tuple(view.base_tables()),
+        view.key_columns,
+        view.columns,
+        getattr(view, "group_by", None),
+        tuple(
+            (a.out, a.func.value, a.source)
+            for a in getattr(view, "aggregates", ())
+        ),
+        tuple(getattr(view, "on", ())),
+        where,
+        bool(view.unique),
+        bool(view.deferred),
+    )

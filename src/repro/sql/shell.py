@@ -1,0 +1,107 @@
+"""An interactive SQL shell over an in-memory engine.
+
+Run with ``python -m repro.sql.shell``. Statements accumulate until a
+terminating ``;``; meta commands start with ``.``:
+
+* ``.tables`` — list tables and views
+* ``.schema NAME`` — describe one table or view
+* ``.quit`` — exit
+
+The shell is a thin loop over :meth:`Database.execute`; it exists so the
+dialect can be poked at by hand, and :func:`main` takes explicit streams
+so tests can drive it.
+"""
+
+import sys
+
+from repro.common import ReproError
+
+PROMPT = "sql> "
+CONTINUATION = "...> "
+
+
+def _format_result(result, out):
+    if result is None:
+        return
+    if isinstance(result, list):
+        for row in result:
+            out.write(
+                " | ".join(f"{k}={v!r}" for k, v in row.items()) + "\n"
+            )
+        out.write(f"({len(result)} row{'s' if len(result) != 1 else ''})\n")
+    elif isinstance(result, int):
+        out.write(f"ok ({result} row{'s' if result != 1 else ''})\n")
+    else:
+        out.write(f"ok: {result!r}\n")
+
+
+def _meta(db, line, out):
+    """Handle one ``.command``; returns False to exit the loop."""
+    parts = line.split()
+    command = parts[0]
+    if command in (".quit", ".exit"):
+        return False
+    if command == ".tables":
+        for schema in db.catalog.tables():
+            out.write(f"table {schema.name}\n")
+        for view in db.catalog.views():
+            out.write(f"view  {view.name} [{view.kind}]\n")
+        return True
+    if command == ".schema" and len(parts) == 2:
+        name = parts[1]
+        if db.catalog.has_table(name):
+            schema = db.catalog.table(name)
+            out.write(
+                f"table {name} ({', '.join(schema.columns)}) "
+                f"PRIMARY KEY ({', '.join(schema.primary_key)})\n"
+            )
+        elif db.catalog.has_view(name):
+            view = db.catalog.view(name)
+            out.write(
+                f"view {name} [{view.kind}] key=({', '.join(view.key_columns)}) "
+                f"columns=({', '.join(view.columns)})\n"
+            )
+        else:
+            out.write(f"no such object {name!r}\n")
+        return True
+    out.write(f"unknown meta command {line!r}\n")
+    return True
+
+
+def main(stdin=None, stdout=None, db=None):
+    """Run the REPL until EOF or ``.quit``. Returns the database, so a
+    test can inspect what the script built."""
+    from repro.api import Database
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    db = db if db is not None else Database()
+    stdout.write("repro sql shell — end statements with ';', "
+                 "'.quit' to exit\n")
+    buffer = []
+    stdout.write(PROMPT)
+    stdout.flush()
+    for raw in stdin:
+        line = raw.rstrip("\n")
+        stripped = line.strip()
+        if not buffer and stripped.startswith("."):
+            if not _meta(db, stripped, stdout):
+                return db
+            stdout.write(PROMPT)
+            stdout.flush()
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            statement_text = "\n".join(buffer)
+            buffer = []
+            try:
+                _format_result(db.execute(statement_text), stdout)
+            except ReproError as exc:
+                stdout.write(f"error: {exc}\n")
+        stdout.write(PROMPT if not buffer else CONTINUATION)
+        stdout.flush()
+    return db
+
+
+if __name__ == "__main__":
+    main()

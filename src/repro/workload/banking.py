@@ -19,7 +19,6 @@ point, under any interleaving, abort pattern, or crash.
 """
 
 from repro.common import DeterministicRng, StorageError
-from repro.query import AggregateSpec
 
 ACCOUNTS = "accounts"
 BRANCH_TOTALS = "branch_totals"
@@ -42,14 +41,10 @@ class BankingWorkload:
     def setup(self):
         db = self.db
         db.create_table(ACCOUNTS, ("aid", "branch", "balance"), ("aid",))
-        db.create_aggregate_view(
-            BRANCH_TOTALS,
-            ACCOUNTS,
-            group_by=("branch",),
-            aggregates=[
-                AggregateSpec.count("n_accounts"),
-                AggregateSpec.sum_of("total", "balance"),
-            ],
+        db.create_view(
+            f"CREATE UNIQUE INDEXED VIEW {BRANCH_TOTALS} AS "
+            f"SELECT branch, COUNT(*) AS n_accounts, SUM(balance) AS total "
+            f"FROM {ACCOUNTS} GROUP BY branch"
         )
         txn = db.begin_system()
         aid = 1

@@ -17,7 +17,6 @@ Program factories return zero-argument callables suitable for
 """
 
 from repro.common import DeterministicRng, ZipfGenerator
-from repro.query import AggregateSpec
 
 SALES = "sales"
 PRODUCTS = "products"
@@ -61,34 +60,24 @@ class OrderEntryWorkload:
                 },
             )
         db.commit(txn)
-        db.create_aggregate_view(
-            BY_PRODUCT,
-            SALES,
-            group_by=("product",),
-            aggregates=[
-                AggregateSpec.count("n_sales"),
-                AggregateSpec.sum_of("revenue", "amount"),
-            ],
+        db.create_view(
+            f"CREATE UNIQUE INDEXED VIEW {BY_PRODUCT} AS "
+            f"SELECT product, COUNT(*) AS n_sales, SUM(amount) AS revenue "
+            f"FROM {SALES} GROUP BY product"
         )
         if self.with_join_view:
-            db.create_join_view(
-                SALES_NAMED,
-                SALES,
-                PRODUCTS,
-                on=[("product", "product")],
-                columns=("id", "product", "customer", "amount", "name"),
+            db.create_view(
+                f"CREATE UNIQUE INDEXED VIEW {SALES_NAMED} AS "
+                f"SELECT id, product, customer, amount, name "
+                f"FROM {SALES} JOIN {PRODUCTS} ON {SALES}.product = {PRODUCTS}.product"
             )
         if self.with_category_view:
-            db.create_join_aggregate_view(
-                BY_CATEGORY,
-                SALES,
-                PRODUCTS,
-                on=[("product", "product")],
-                group_by=("category",),
-                aggregates=[
-                    AggregateSpec.count("n_sales"),
-                    AggregateSpec.sum_of("revenue", "amount"),
-                ],
+            db.create_view(
+                f"CREATE UNIQUE INDEXED VIEW {BY_CATEGORY} AS "
+                f"SELECT category, COUNT(*) AS n_sales, "
+                f"SUM(amount) AS revenue "
+                f"FROM {SALES} JOIN {PRODUCTS} ON {SALES}.product = {PRODUCTS}.product "
+                f"GROUP BY category"
             )
         # Seed/reference data must not sit in an open commit group when
         # the caller starts injecting faults: a retracted setup

@@ -1,0 +1,266 @@
+"""The planner (`repro.sql.compiler`): SELECT shape picks the
+ViewDefinition kind, the escrow-eligibility rules of docs/SQL.md §3 are
+enforced with `UnsupportedSqlError`/`BindError`, and every refusal
+carries a position."""
+
+import pytest
+
+from repro.api import Database
+from repro.common import BindError, UnsupportedSqlError
+from repro.query.aggregates import AggFunc
+from repro.sql import bind_options, compile_view, parse_one
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.execute(
+        """
+        CREATE TABLE sales (id, product, amount, PRIMARY KEY (id));
+        CREATE TABLE products (product, category, PRIMARY KEY (product));
+        """
+    )
+    return db
+
+
+def _compile(db, sql):
+    return compile_view(sql, db.catalog)
+
+
+# ---------------------------------------------------------------------
+# kind dispatch: the SELECT shape chooses the maintenance machinery
+# ---------------------------------------------------------------------
+
+
+def test_grouped_single_table_is_aggregate_view(db):
+    view = _compile(
+        db,
+        "CREATE INDEXED VIEW v AS SELECT product, COUNT(*) AS n, "
+        "SUM(amount) AS rev FROM sales GROUP BY product",
+    )
+    assert view.kind == "aggregate"
+    assert view.base == "sales"
+    assert view.group_by == ("product",)
+    assert [(a.out, a.func) for a in view.aggregates] == [
+        ("n", AggFunc.COUNT), ("rev", AggFunc.SUM)
+    ]
+
+
+def test_grouped_join_is_join_aggregate_view(db):
+    view = _compile(
+        db,
+        "CREATE INDEXED VIEW v AS SELECT category, COUNT(*) AS n "
+        "FROM sales JOIN products ON sales.product = products.product "
+        "GROUP BY category",
+    )
+    assert view.kind == "join_aggregate"
+    assert (view.left, view.right) == ("sales", "products")
+    assert view.on == (("product", "product"),)
+
+
+def test_ungrouped_join_is_join_view(db):
+    view = _compile(
+        db,
+        "CREATE INDEXED VIEW v AS SELECT id, amount, "
+        "sales.product, category "
+        "FROM sales JOIN products ON sales.product = products.product",
+    )
+    assert view.kind == "join"
+    assert set(view.columns) >= {"id", "product", "category"}
+
+
+def test_ungrouped_single_table_is_projection_view(db):
+    view = _compile(
+        db,
+        "CREATE INDEXED VIEW v AS SELECT id, amount FROM sales "
+        "WHERE amount >= 100",
+    )
+    assert view.kind == "projection"
+    assert view.where is not None
+    assert "amount >= 100" in view.where.description
+
+
+def test_min_max_compile_on_single_table(db):
+    view = _compile(
+        db,
+        "CREATE INDEXED VIEW v AS SELECT product, COUNT(*) AS n, "
+        "MIN(amount) AS lo, MAX(amount) AS hi FROM sales GROUP BY product",
+    )
+    funcs = {a.func for a in view.aggregates}
+    assert funcs == {AggFunc.COUNT, AggFunc.MIN, AggFunc.MAX}
+
+
+# ---------------------------------------------------------------------
+# escrow eligibility (docs/SQL.md §3)
+# ---------------------------------------------------------------------
+
+
+def test_aggregate_view_requires_count_star(db):
+    with pytest.raises(UnsupportedSqlError, match="COUNT"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT product, SUM(amount) AS rev "
+            "FROM sales GROUP BY product",
+        )
+
+
+def test_count_of_column_is_refused(db):
+    with pytest.raises(UnsupportedSqlError, match=r"COUNT\(\*\)"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT product, COUNT(amount) AS n "
+            "FROM sales GROUP BY product",
+        )
+
+
+def test_extremes_over_a_join_are_refused_with_position(db):
+    with pytest.raises(UnsupportedSqlError) as err:
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT category, COUNT(*) AS n,\n"
+            "MIN(amount) AS lo "
+            "FROM sales JOIN products ON sales.product = products.product "
+            "GROUP BY category",
+        )
+    message = str(err.value)
+    assert "MIN" in message and "escrow" in message
+    assert "line 2" in message
+
+
+def test_aggregate_needs_alias(db):
+    with pytest.raises(BindError, match="AS alias"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT product, COUNT(*) "
+            "FROM sales GROUP BY product",
+        )
+
+
+def test_plain_items_must_match_group_by(db):
+    with pytest.raises(BindError, match="GROUP BY"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT amount, COUNT(*) AS n "
+            "FROM sales GROUP BY product",
+        )
+
+
+def test_group_column_alias_is_refused(db):
+    with pytest.raises(UnsupportedSqlError, match="alias"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT product AS p, COUNT(*) AS n "
+            "FROM sales GROUP BY product",
+        )
+
+
+# ---------------------------------------------------------------------
+# binding failures
+# ---------------------------------------------------------------------
+
+
+def test_unknown_table_is_bind_error(db):
+    with pytest.raises(BindError, match="no table named 'nope'"):
+        _compile(db, "CREATE INDEXED VIEW v AS SELECT a FROM nope")
+
+
+def test_unknown_column_is_bind_error(db):
+    with pytest.raises(BindError):
+        _compile(db, "CREATE INDEXED VIEW v AS SELECT id, wat FROM sales")
+
+
+def test_view_over_view_is_refused(db):
+    db.execute(
+        "CREATE INDEXED VIEW base_v AS SELECT product, COUNT(*) AS n "
+        "FROM sales GROUP BY product"
+    )
+    with pytest.raises(UnsupportedSqlError, match="views over views"):
+        _compile(db, "CREATE INDEXED VIEW v2 AS SELECT product FROM base_v")
+
+
+def test_self_join_is_refused(db):
+    with pytest.raises(UnsupportedSqlError, match="self-join"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT id FROM sales "
+            "JOIN sales ON id = id",
+        )
+
+
+def test_ambiguous_on_column_must_be_qualified(db):
+    with pytest.raises(BindError, match="ambiguous"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT category, COUNT(*) AS n "
+            "FROM sales JOIN products ON product = product "
+            "GROUP BY category",
+        )
+
+
+def test_on_equality_must_cross_sides(db):
+    with pytest.raises(BindError, match="left-table column"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT category, COUNT(*) AS n "
+            "FROM sales JOIN products ON sales.id = sales.amount "
+            "GROUP BY category",
+        )
+
+
+def test_projection_must_include_primary_key(db):
+    with pytest.raises(BindError, match="primary key"):
+        _compile(db, "CREATE INDEXED VIEW v AS SELECT amount FROM sales")
+
+
+def test_join_view_must_project_both_keys(db):
+    with pytest.raises(BindError, match="both primary keys"):
+        _compile(
+            db,
+            "CREATE INDEXED VIEW v AS SELECT id, amount "
+            "FROM sales JOIN products ON sales.product = products.product",
+        )
+
+
+def test_duplicate_projection_is_refused(db):
+    with pytest.raises(BindError, match="twice"):
+        _compile(db, "CREATE INDEXED VIEW v AS SELECT id, id FROM sales")
+
+
+def test_star_in_projection_expands_schema_columns(db):
+    view = _compile(db, "CREATE INDEXED VIEW v AS SELECT * FROM sales")
+    assert view.kind == "projection"
+    assert tuple(view.columns) == ("id", "product", "amount")
+
+
+# ---------------------------------------------------------------------
+# WITH options
+# ---------------------------------------------------------------------
+
+
+def test_bind_options_accepts_the_documented_set():
+    stmt = parse_one(
+        "CREATE INDEXED VIEW v WITH (online = true, deferred = false) "
+        "AS SELECT a FROM t"
+    )
+    assert bind_options(stmt) == {"online": True, "deferred": False}
+
+
+def test_bind_options_rejects_unknown_option():
+    stmt = parse_one(
+        "CREATE INDEXED VIEW v WITH (turbo = true) AS SELECT a FROM t"
+    )
+    with pytest.raises(UnsupportedSqlError, match="turbo"):
+        bind_options(stmt)
+
+
+def test_bind_options_rejects_non_boolean_value():
+    stmt = parse_one(
+        "CREATE INDEXED VIEW v WITH (online = 3) AS SELECT a FROM t"
+    )
+    with pytest.raises(UnsupportedSqlError):
+        bind_options(stmt)
+
+
+def test_compile_view_refuses_non_create_view(db):
+    with pytest.raises(UnsupportedSqlError, match="CREATE INDEXED VIEW"):
+        compile_view("SELECT a FROM sales", db.catalog)

@@ -1,0 +1,219 @@
+"""Round trips and fuzz for the SQL surface.
+
+* Property: any compiler-reachable ViewDefinition, rendered with
+  ``render_view`` and recompiled, has an identical ``plan_signature`` —
+  SQL is a faithful serialization of the maintenance plan.
+* Fuzz: a deterministic corpus of mangled statements may only raise
+  ``ParseError`` (or bind/compile members of the SqlError branch when
+  parsing succeeds) — never an AssertionError or other builtin.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Database
+from repro.common import DeterministicRng, SqlError, UnsupportedSqlError
+from repro.query.aggregates import AggregateSpec
+from repro.query.predicates import Predicate
+from repro.sql import compile_view, parse, parse_one, plan_signature, render_view
+from repro.views.definition import AggregateView
+
+
+def _catalog():
+    db = Database()
+    db.execute(
+        """
+        CREATE TABLE sales (id, product, region, amount, PRIMARY KEY (id));
+        CREATE TABLE products (product, category, price, PRIMARY KEY (product));
+        """
+    )
+    return db.catalog
+
+
+CATALOG = _catalog()
+
+_GROUP_COLS = st.sampled_from([("product",), ("region",),
+                               ("product", "region")])
+_EXTRA_AGGS = st.lists(
+    st.sampled_from(["SUM(amount) AS rev", "MIN(amount) AS lo",
+                     "MAX(amount) AS hi"]),
+    unique=True, max_size=3,
+)
+_WHERE = st.sampled_from([
+    "", " WHERE amount > 10", " WHERE region = 'emea' AND amount <= 5",
+    " WHERE amount BETWEEN 1 AND 9", " WHERE region IN ('a', 'b')",
+    " WHERE NOT (amount < 0 OR region = 'x')",
+])
+_UNIQUE = st.booleans()
+
+
+def _roundtrip(sql):
+    first = compile_view(sql, CATALOG)
+    rendered = render_view(first)
+    second = compile_view(rendered, CATALOG)
+    assert plan_signature(second) == plan_signature(first), rendered
+    # Rendering is a fixed point after one normalization pass.
+    assert render_view(second) == rendered
+
+
+@settings(max_examples=60, deadline=None)
+@given(group=_GROUP_COLS, extra=_EXTRA_AGGS, where=_WHERE, unique=_UNIQUE)
+def test_aggregate_view_roundtrip(group, extra, where, unique):
+    items = list(group) + ["COUNT(*) AS n"] + extra
+    uq = "UNIQUE " if unique else ""
+    _roundtrip(
+        f"CREATE {uq}INDEXED VIEW v AS SELECT {', '.join(items)} "
+        f"FROM sales{where} GROUP BY {', '.join(group)}"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cols=st.permutations(["id", "amount", "region"]),
+    where=_WHERE,
+    unique=_UNIQUE,
+)
+def test_projection_view_roundtrip(cols, where, unique):
+    uq = "UNIQUE " if unique else ""
+    _roundtrip(
+        f"CREATE {uq}INDEXED VIEW v AS SELECT {', '.join(cols)} "
+        f"FROM sales{where}"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    extra=st.lists(st.sampled_from(["category", "amount", "price"]),
+                   unique=True),
+    where=_WHERE,
+)
+def test_join_view_roundtrip(extra, where):
+    cols = ["id", "sales.product"] + extra
+    _roundtrip(
+        "CREATE UNIQUE INDEXED VIEW v AS SELECT "
+        f"{', '.join(cols)} FROM sales JOIN products "
+        f"ON sales.product = products.product{where}"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    group=st.sampled_from([("category",), ("region", "category")]),
+    sums=st.lists(st.sampled_from(["SUM(amount) AS rev",
+                                   "SUM(price) AS list_rev"]), unique=True),
+    where=_WHERE,
+)
+def test_join_aggregate_view_roundtrip(group, sums, where):
+    items = list(group) + ["COUNT(*) AS n"] + sums
+    _roundtrip(
+        f"CREATE UNIQUE INDEXED VIEW v AS SELECT {', '.join(items)} "
+        "FROM sales JOIN products ON sales.product = products.product"
+        f"{where} GROUP BY {', '.join(group)}"
+    )
+
+
+# ---------------------------------------------------------------------
+# render refusals: never silently drop what SQL cannot say
+# ---------------------------------------------------------------------
+
+
+def test_render_refuses_escrow_bounds():
+    view = AggregateView(
+        "bounded", "sales", group_by=("product",),
+        aggregates=[AggregateSpec.count("n"),
+                    AggregateSpec.sum_of("rev", "amount")],
+        bounds={"rev": (0, None)},
+    )
+    with pytest.raises(UnsupportedSqlError, match="bounds"):
+        render_view(view)
+
+
+def test_render_refuses_hand_written_predicates():
+    view = AggregateView(
+        "handmade", "sales", group_by=("product",),
+        aggregates=[AggregateSpec.count("n")],
+        where=Predicate(lambda row: row["amount"] > 3, "amount > 3 (closure)"),
+    )
+    with pytest.raises(UnsupportedSqlError, match="hand-written"):
+        render_view(view)
+
+
+# ---------------------------------------------------------------------
+# parser fuzz: only ParseError, never an assertion
+# ---------------------------------------------------------------------
+
+_SEED_STATEMENTS = [
+    "CREATE TABLE t (a, b, c, PRIMARY KEY (a))",
+    "CREATE UNIQUE INDEXED VIEW v WITH (online = true) AS "
+    "SELECT b, COUNT(*) AS n FROM t GROUP BY b",
+    "INSERT INTO t (a, b) VALUES (1, 'x''y'), (-2, NULL)",
+    "UPDATE t SET b = b + 1 WHERE a BETWEEN 1 AND 3",
+    "DELETE FROM t WHERE b NOT IN ('x', 'y') OR a <> 0",
+    "SELECT t.a, b AS bee FROM t JOIN u ON t.a = u.a WHERE NOT a = 1",
+]
+
+_FRAGMENTS = (
+    list("();,.*=<>!+-'") + ["''", "--", "  ", "\n", "0", "9.5", "-1",
+    "'s'", "select", "from", "where", "group", "by", "join", "on",
+    "and", "or", "not", "in", "between", "as", "insert", "into",
+    "values", "update", "set", "delete", "create", "table", "primary",
+    "key", "unique", "indexed", "view", "with", "true", "false",
+    "null", "count", "sum", "min", "max", "tbl", "col", "v1", "\x00"]
+)
+
+
+def _mangle(rng, text):
+    chars = list(text)
+    for _ in range(rng.randint(1, 4)):
+        kind = rng.randint(0, 2)
+        pos = rng.randint(0, max(0, len(chars) - 1))
+        if kind == 0 and chars:
+            del chars[pos:pos + rng.randint(1, 5)]
+        elif kind == 1:
+            chars.insert(pos, rng.choice(_FRAGMENTS))
+        elif chars:
+            chars[pos] = rng.choice(_FRAGMENTS)
+    return "".join(chars)
+
+
+def test_fuzzed_statements_raise_only_sql_errors():
+    rng = DeterministicRng(20260808)
+    parsed = failed = 0
+    for round_no in range(400):
+        source = rng.choice(_SEED_STATEMENTS)
+        mangled = _mangle(rng, source)
+        try:
+            statements = parse(mangled)
+        except SqlError as err:
+            failed += 1
+            assert "line" in str(err), mangled
+            continue
+        # Parsing may legitimately succeed; compiling what parsed must
+        # still stay inside the SqlError branch.
+        parsed += 1
+        for stmt in statements:
+            if type(stmt).__name__ == "CreateView":
+                try:
+                    compile_view(stmt, CATALOG)
+                except SqlError:
+                    pass
+    # The corpus is useful only if it exercises both sides.
+    assert parsed >= 10 and failed > 100
+
+
+def test_fuzz_random_soup_never_asserts():
+    rng = DeterministicRng(7)
+    for _ in range(300):
+        soup = "".join(
+            rng.choice(_FRAGMENTS) for _ in range(rng.randint(1, 30))
+        )
+        try:
+            parse(soup)
+        except SqlError:
+            continue
+
+
+def test_parse_one_is_exported_and_total():
+    stmt = parse_one("SELECT a FROM t")
+    assert type(stmt).__name__ == "Select"
