@@ -1,17 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: test bench bench-smoke bench-r16 bench-r17 chaos-smoke \
+.PHONY: analyze test bench bench-smoke bench-r16 bench-r17 chaos-smoke \
 	check-results dist-smoke lint sanitize-smoke sql-smoke storage-smoke \
 	verify
 
 # The PR gate, in dependency-cheapest order: the AST lint rules, the
-# full tier-1 test suite, the protocol sanitizers, the paged-storage
-# smoke, the bounded chaos tier (which includes the crash-storm
-# recovery leg), then the sharded 2PC smoke. benchmarks/run_all.py
-# finishes with the same chain.
-verify: lint test sanitize-smoke storage-smoke chaos-smoke dist-smoke \
-	sql-smoke
+# static view-program analyzer, the full tier-1 test suite, the
+# protocol sanitizers, the paged-storage smoke, the bounded chaos tier
+# (which includes the crash-storm recovery leg), then the sharded 2PC
+# smoke. benchmarks/run_all.py finishes with the same chain.
+verify: lint analyze test sanitize-smoke storage-smoke chaos-smoke \
+	dist-smoke sql-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,13 @@ test:
 # See docs/ANALYSIS.md for the rule catalogue.
 lint:
 	$(PYTHON) -m repro.analysis.lint src benchmarks examples
+
+# The static view-program analyzer over the built-in workload schemas:
+# escrow commutativity proofs, lock footprints, deadlock-order and
+# shard checks. Fails only on error-severity SA diagnostics.
+# See docs/ANALYSIS.md for the SA code catalogue.
+analyze:
+	$(PYTHON) -m repro.analysis.check
 
 # The protocol sanitizers (2PL / WAL rule / conflict serializability)
 # against the live engine, plus negative controls proving they can fail.

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Static-analyzer smoke: scaling, the seeded deadlock pair, and a
+clean control — fast.
+
+Three legs over ``repro.analysis.static`` (docs/ANALYSIS.md §5):
+
+1. **scaling** — ``check_all`` over synthetic catalogs of N tables,
+   each carrying a MIN view and a projection view (so every table
+   contributes SA001 + SA010 + SA011). Reported diagnostics grow
+   linearly in N; analyzer wall time must grow *slower* than the
+   diagnostic count (the per-catalog setup cost amortizes), which is
+   the "sub-linear in reported diagnostics" claim.
+2. **seeded deadlock** — the opposite-orientation join-view pair. The
+   lock-order graph flags SA010 naming both views; a cooperative-
+   policy schedule then drives the runtime into the very cycle the
+   analyzer predicted and the deadlock detector fires. Static flag and
+   runtime confirmation must agree.
+3. **clean control** — the banking workload (escrow-only, the paper's
+   sweet spot): zero diagnostics, acyclic graph, and the
+   ``python -m repro.analysis.check`` gate exits 0.
+
+Run:  python benchmarks/analyze_smoke.py
+"""
+
+import io
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.analysis.static import StaticAnalyzer  # noqa: E402
+from repro.api import (  # noqa: E402
+    Database,
+    DeadlockError,
+    LockPolicy,
+    WouldWait,
+)
+
+from harness import claim, emit  # noqa: E402
+
+SIZES = (4, 8, 16, 32)
+TIMING_REPEATS = 3
+
+
+def synthetic_catalog(n_tables):
+    """N independent tables, each with a MIN view (SA001 + the
+    base/view rescan cycle, SA010) and a projection view (fan-out past
+    two indexes, SA011)."""
+    db = Database()
+    for i in range(n_tables):
+        db.execute(
+            f"CREATE TABLE t{i} (id, grp, amount, PRIMARY KEY (id));"
+            f"CREATE UNIQUE INDEXED VIEW low{i} AS "
+            f"  SELECT grp, COUNT(*) AS n, MIN(amount) AS lo "
+            f"  FROM t{i} GROUP BY grp;"
+            f"CREATE UNIQUE INDEXED VIEW flat{i} AS "
+            f"  SELECT id, amount FROM t{i} WHERE amount >= 0;"
+        )
+    return db
+
+
+def leg_scaling():
+    rows = []
+    series = {"millis": {}, "diagnostics": {}}
+    points = []
+    for n_tables in SIZES:
+        db = synthetic_catalog(n_tables)
+        analyzer = StaticAnalyzer(db.catalog)
+        best = None
+        for _ in range(TIMING_REPEATS):
+            start = time.perf_counter()
+            report = analyzer.check_all()
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        n_diags = len(report.diagnostics)
+        points.append((n_tables, best, n_diags))
+        series["millis"][n_tables] = round(best * 1000, 3)
+        series["diagnostics"][n_tables] = n_diags
+        rows.append(
+            [n_tables, len(report.views_checked), n_diags,
+             f"{best * 1000:.2f}",
+             f"{best * 1000 / n_diags:.3f}"]
+        )
+    first, last = points[0], points[-1]
+    time_ratio = last[1] / first[1]
+    diag_ratio = last[2] / first[2]
+    ok = (
+        last[2] == first[2] * (SIZES[-1] // SIZES[0])  # linear diagnostics
+        and time_ratio < diag_ratio
+    )
+    return ok, time_ratio, diag_ratio, rows, series
+
+
+def deadlock_pair_db():
+    db = Database()
+    db.execute(
+        """
+        CREATE TABLE a (aid, bref, x, PRIMARY KEY (aid));
+        CREATE TABLE b (bid, aref, y, PRIMARY KEY (bid));
+        CREATE UNIQUE INDEXED VIEW va AS
+            SELECT aid, bid, x, y FROM a JOIN b ON a.bref = b.bid;
+        CREATE UNIQUE INDEXED VIEW vb AS
+            SELECT bid, aid, y, x FROM b JOIN a ON b.aref = a.aid;
+        INSERT INTO a (aid, bref, x) VALUES (1, 1, 10);
+        INSERT INTO b (bid, aref, y) VALUES (1, 1, 20);
+        """
+    )
+    return db
+
+
+def leg_seeded_deadlock():
+    db = deadlock_pair_db()
+    report = StaticAnalyzer(db.catalog).check_all()
+    flagged = [d for d in report.diagnostics if d.code == "SA010"]
+    statically_flagged = len(flagged) == 1 and all(
+        name in flagged[0].subject for name in ("va", "vb")
+    )
+
+    # Drive the runtime into the predicted cycle: cooperative waiters
+    # retry, the youngest transaction is chosen as the victim.
+    t1 = db.begin(policy=LockPolicy.COOPERATIVE)
+    t2 = db.begin(policy=LockPolicy.COOPERATIVE)
+    runtime_confirmed = False
+    db.update(t1, "a", (1,), {"x": 11})
+    for attempt in ("first", "retry"):
+        try:
+            db.update(t2, "b", (1,), {"y": 21})
+        except WouldWait:
+            if attempt == "first":
+                try:
+                    db.insert(t1, "a", {"aid": 2, "bref": 1, "x": 1})
+                except WouldWait:
+                    pass
+        except DeadlockError:
+            runtime_confirmed = True
+            break
+    db.abort(t2)
+    db.abort(t1)
+    detector_fired = db.locks.stats.deadlocks >= 1
+    return statically_flagged, runtime_confirmed, detector_fired, db
+
+
+def leg_clean_control():
+    from repro.analysis.check import main as analyze_main
+    from repro.api import BankingWorkload
+
+    db = Database()
+    BankingWorkload(db, n_branches=2, accounts_per_branch=2).setup()
+    report = StaticAnalyzer(db.catalog).check_all()
+    clean = not report.diagnostics
+    acyclic = not report.graph.deadlock_components()
+    gate_exit = analyze_main([], out=io.StringIO())
+    return clean, acyclic, gate_exit
+
+
+def scenario():
+    ok_scaling, time_ratio, diag_ratio, rows, series = leg_scaling()
+    flagged, confirmed, fired, db = leg_seeded_deadlock()
+    clean, acyclic, gate_exit = leg_clean_control()
+
+    table_rows = [
+        [f"scaling N={r[0]}", f"{r[1]} views", f"{r[2]} diags",
+         f"{r[3]} ms", f"{r[4]} ms/diag"]
+        for r in rows
+    ]
+    table_rows.append(
+        ["scaling ratios", f"time x{time_ratio:.2f}",
+         f"diags x{diag_ratio:.2f}", "sub-linear" if ok_scaling else "NOT",
+         ""]
+    )
+    table_rows.append(
+        ["seeded deadlock", f"SA010 {'yes' if flagged else 'NO'}",
+         f"runtime {'yes' if confirmed else 'NO'}",
+         f"detector {'yes' if fired else 'NO'}", ""]
+    )
+    table_rows.append(
+        ["clean control", f"diags {'0' if clean else '>0'}",
+         f"acyclic {'yes' if acyclic else 'NO'}",
+         f"gate exit {gate_exit}", ""]
+    )
+
+    verdict = claim(
+        "analyzer wall time grows sub-linearly in reported diagnostics; "
+        "the statically flagged view pair deadlocks at runtime; the "
+        "escrow-only schema is clean",
+        [
+            ("diagnostics scale linearly with the synthetic catalogs",
+             diag_ratio == SIZES[-1] / SIZES[0]),
+            ("wall time grows slower than diagnostics", ok_scaling),
+            ("SA010 names the seeded pair", flagged),
+            ("runtime deadlock detector confirms the flag", confirmed),
+            ("lock-manager deadlock counter advanced", fired),
+            ("banking control is diagnostic-free and acyclic",
+             clean and acyclic),
+            ("python -m repro.analysis.check exits 0", gate_exit == 0),
+        ],
+    )
+    emit(
+        "analyze_smoke",
+        ["leg", "a", "b", "c", "d"],
+        table_rows,
+        "static-analyzer smoke: scaling, seeded deadlock, clean control",
+        params={
+            "sizes": list(SIZES),
+            "timing_repeats": TIMING_REPEATS,
+            "views_per_table": 2,
+        },
+        series=series,
+        claim=verdict,
+        db=db,
+    )
+    assert verdict["verdict"] == "pass", verdict
+    print("analyze_smoke: all legs pass")
+
+
+if __name__ == "__main__":
+    scenario()

@@ -42,6 +42,7 @@ BENCHES = [
     ("storage_smoke", "scenario"),
     ("dist_smoke", "scenario"),
     ("sql_smoke", "scenario"),
+    ("analyze_smoke", "scenario"),
 ]
 
 
@@ -81,6 +82,17 @@ def main():
             print(f"  FAIL {finding}")
         raise SystemExit(1)
     print("  lint gate clean (python -m repro.analysis.lint)")
+    # The static analyzer over the built-in workload schemas — the
+    # `make analyze` leg of the verify chain. Errors (not warnings)
+    # fail the run.
+    from repro.analysis.check import main as analyze_main
+
+    import io
+
+    if analyze_main([], out=io.StringIO()) != 0:
+        print("  FAIL static analysis reported error diagnostics")
+        raise SystemExit(1)
+    print("  static analyzer clean (python -m repro.analysis.check)")
     # Finish with the tier-1 suite so a full evaluation run ends with
     # the complete `make verify` chain: the chaos + sanitizer tiers ran
     # above as benches, lint and the schema gate just passed, and this

@@ -8,6 +8,12 @@ status 1 on any finding), via ``make lint``, or programmatically through
   engine code must be registered in ``repro.obs.events.EVENT_TYPES``.
 * **dead-event** — every catalogue entry must be emitted somewhere
   (checked only when the scan covers ``repro/obs/events.py``).
+* **event-flow** — an ``.emit(name, ...)`` whose first argument is a
+  *variable* is resolved by constant propagation through the enclosing
+  scopes; the resolved string must be registered in ``EVENT_TYPES``,
+  and a name no propagation can resolve is itself a finding — an
+  event the catalogue test cannot see is an event the doc contract
+  cannot pin.
 * **determinism** — no ``random`` imports, ``time.time``/``time_ns``,
   or ``datetime.now/utcnow/today`` outside ``repro/common/rng.py`` and
   ``repro/faults/``; the engine draws randomness from
@@ -16,8 +22,16 @@ status 1 on any finding), via ``make lint``, or programmatically through
   ``repro.common.errors`` classes (plus ``NotImplementedError`` stubs
   and data-model exceptions inside dunder methods).
 * **bare-except** — no ``except:`` anywhere.
+* **swallowed-exception** — a handler that catches a *builtin*
+  exception class and whose body is only ``pass``/``continue``
+  swallows a failure the engine's error hierarchy never saw; return
+  or record the failure, or catch a ``repro.common.errors`` class
+  (whose swallows are deliberate protocol decisions). The hierarchy's
+  home, ``repro/common/errors.py``, is exempt.
 * **import-surface** — ``examples/`` and ``benchmarks/`` import only
-  the ``repro.api`` facade, never engine internals.
+  the ``repro.api`` facade, never engine internals — with one carve-
+  out: ``benchmarks/`` may import ``repro.analysis`` submodules (the
+  lint/sanitizer/static tooling is itself a measurement surface).
 * **page-discipline** — raw page mutation (``insert_record`` /
   ``update_record`` / ``delete_record`` / ``set_page_lsn`` /
   ``write_page``) happens only inside ``repro/storage/pages.py`` and
@@ -42,14 +56,29 @@ import pathlib
 RULES = (
     "unknown-event",
     "dead-event",
+    "event-flow",
     "determinism",
     "error-hierarchy",
     "bare-except",
+    "swallowed-exception",
     "import-surface",
     "page-discipline",
     "dist-isolation",
     "view-entry-point",
 )
+
+#: a constant-propagation cell bound more than once with different
+#: values (or to a non-string): resolution gives up rather than guess.
+_AMBIGUOUS = object()
+
+#: the error hierarchy's own module — exempt from swallowed-exception
+#: (it defines what a deliberate swallow even is).
+_ERRORS_MODULE = ("common", "errors.py")
+
+#: benchmarks/ may import the analysis tooling directly; the lint gate,
+#: sanitizers and static analyzer are measurement surfaces, not engine
+#: internals.
+_BENCH_EXTRA_SURFACE = "repro.analysis"
 
 #: the deprecated view-creation wrappers; ``Database.create_view`` (or
 #: ``execute`` with CREATE INDEXED VIEW SQL) is the supported entry.
@@ -106,6 +135,17 @@ class Finding:
 
     def __repr__(self):
         return f"Finding({self})"
+
+
+def _caught_names(node):
+    """Exception class names named by an ``except`` clause type."""
+    if isinstance(node, ast.Tuple):
+        return [n for elt in node.elts for n in _caught_names(elt)]
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
 
 
 def _allowed_error_names():
@@ -175,12 +215,14 @@ def iter_python_files(paths):
 
 
 class _FileLinter(ast.NodeVisitor):
-    def __init__(self, path, rules, allowed_errors):
+    def __init__(self, path, rules, allowed_errors, registry=None):
         self.path = path
         self.rules = rules
         self.allowed_errors = allowed_errors
+        self.registry = registry or {}
         self.engine = is_engine_file(path)
         self.client = is_client_file(path)
+        self.bench = any(part == "benchmarks" for part in path.parts)
         self.check_determinism = (
             "determinism" in rules and not _determinism_exempt(path)
         )
@@ -192,9 +234,17 @@ class _FileLinter(ast.NodeVisitor):
             "dist-isolation" in rules
             and (_rel_to_repro(path) or ())[:1] != ("dist",)
         )
+        self.check_swallow = (
+            "swallowed-exception" in rules
+            and (self.engine or self.client)
+            and _rel_to_repro(path) != _ERRORS_MODULE
+        )
         self.findings = []
         self.emitted = []  # (name, line) literals seen in .emit() calls
         self._func_stack = []
+        #: constant-propagation scopes (module frame + one per def):
+        #: name -> propagated string constant, or _AMBIGUOUS.
+        self._scopes = [{}]
 
     def flag(self, node, rule, message):
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -202,10 +252,66 @@ class _FileLinter(ast.NodeVisitor):
     # ------------------------------------------------------------ defs
     def visit_FunctionDef(self, node):
         self._func_stack.append(node.name)
+        self._scopes.append({})
         self.generic_visit(node)
+        self._scopes.pop()
         self._func_stack.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef
+
+    # ---------------------------------------- constant propagation
+    def _bind(self, name, value):
+        scope = self._scopes[-1]
+        if name in scope and scope[name] != value:
+            scope[name] = _AMBIGUOUS
+        else:
+            scope[name] = value
+
+    def _bind_targets(self, targets, value):
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._bind(target.id, value)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                self._bind_targets(target.elts, _AMBIGUOUS)
+
+    def visit_Assign(self, node):
+        value = node.value
+        const = (
+            value.value
+            if isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            else _AMBIGUOUS
+        )
+        self._bind_targets(node.targets, const)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        self._bind_targets([node.target], _AMBIGUOUS)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None:
+            const = (
+                node.value.value
+                if isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+                else _AMBIGUOUS
+            )
+            self._bind_targets([node.target], const)
+        self.generic_visit(node)
+
+    def visit_For(self, node):
+        self._bind_targets([node.target], _AMBIGUOUS)
+        self.generic_visit(node)
+
+    def _resolve_constant(self, name):
+        """The propagated string bound to ``name``, searching enclosing
+        scopes innermost-out; ``None`` when unbound or ambiguous."""
+        for scope in reversed(self._scopes):
+            if name in scope:
+                value = scope[name]
+                return None if value is _AMBIGUOUS else value
+        return None
 
     def _in_dunder(self):
         return any(
@@ -254,7 +360,9 @@ class _FileLinter(ast.NodeVisitor):
                 and module == "repro"
             ):
                 for alias in node.names:
-                    if alias.name != "api":
+                    if alias.name != "api" and not (
+                        self.bench and alias.name == "analysis"
+                    ):
                         self.flag(
                             node,
                             "import-surface",
@@ -268,6 +376,11 @@ class _FileLinter(ast.NodeVisitor):
             return
         if module.startswith("repro."):
             if module != "repro.api" and not module.startswith("repro.api."):
+                if self.bench and (
+                    module == _BENCH_EXTRA_SURFACE
+                    or module.startswith(_BENCH_EXTRA_SURFACE + ".")
+                ):
+                    return
                 self.flag(
                     node,
                     "import-surface",
@@ -279,14 +392,16 @@ class _FileLinter(ast.NodeVisitor):
     def visit_Call(self, node):
         func = node.func
         if isinstance(func, ast.Attribute):
-            if (
-                func.attr == "emit"
-                and self.engine
-                and node.args
-                and isinstance(node.args[0], ast.Constant)
-                and isinstance(node.args[0].value, str)
-            ):
-                self.emitted.append((node.args[0].value, node.lineno))
+            if func.attr == "emit" and self.engine and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(
+                    arg.value, str
+                ):
+                    self.emitted.append((arg.value, node.lineno))
+                elif "event-flow" in self.rules and isinstance(
+                    arg, ast.Name
+                ):
+                    self._check_event_flow(node, arg)
             if self.check_determinism:
                 self._check_wallclock_call(node, func)
             if self.check_pages and func.attr in _PAGE_MUTATORS:
@@ -322,6 +437,27 @@ class _FileLinter(ast.NodeVisitor):
                 "(or .partition(pid)) so 2PC cannot be bypassed",
             )
         self.generic_visit(node)
+
+    def _check_event_flow(self, node, arg):
+        resolved = self._resolve_constant(arg.id)
+        if resolved is None:
+            self.flag(
+                node,
+                "event-flow",
+                f"emit name {arg.id!r} is not a statically-resolvable "
+                f"string constant; the event catalogue and its doc "
+                f"contract cannot check this emission",
+            )
+        elif resolved in self.registry:
+            # Resolved to a catalogue entry: dead-event credit.
+            self.emitted.append((resolved, node.lineno))
+        else:
+            self.flag(
+                node,
+                "event-flow",
+                f"emit of {arg.id} = {resolved!r}, which is not "
+                f"registered in obs.events.EVENT_TYPES",
+            )
 
     def _check_wallclock_call(self, node, func):
         base = func.value
@@ -389,7 +525,29 @@ class _FileLinter(ast.NodeVisitor):
                 "bare `except:` swallows SystemExit/KeyboardInterrupt; "
                 "catch a class",
             )
+        if self.check_swallow and node.type is not None:
+            self._check_swallow(node)
         self.generic_visit(node)
+
+    def _check_swallow(self, node):
+        if not all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in node.body
+        ):
+            return
+        caught = [
+            name
+            for name in _caught_names(node.type)
+            if name in _BUILTIN_EXCEPTIONS
+        ]
+        if caught:
+            self.flag(
+                node,
+                "swallowed-exception",
+                f"handler catches builtin {', '.join(caught)} and "
+                f"swallows it (body is only pass/continue); return or "
+                f"record the failure, or catch a repro.common.errors "
+                f"class",
+            )
 
 
 # ---------------------------------------------------------------------
@@ -403,6 +561,7 @@ def lint_paths(paths, rules=RULES):
     allowed_errors = (
         _allowed_error_names() if "error-hierarchy" in rules else frozenset()
     )
+    registry = _event_registry() if "event-flow" in rules else None
     findings = []
     emitted = {}  # event name -> first (path, line)
     events_file = None
@@ -414,7 +573,7 @@ def lint_paths(paths, rules=RULES):
                 Finding(path, exc.lineno or 1, "syntax", str(exc.msg))
             )
             continue
-        linter = _FileLinter(path, rules, allowed_errors)
+        linter = _FileLinter(path, rules, allowed_errors, registry)
         linter.visit(tree)
         findings.extend(linter.findings)
         if linter.engine:

@@ -1,0 +1,356 @@
+"""The analyzer proper: compose prover, footprints, lock graph and
+shard checks into reports.
+
+Three entry points:
+
+* :meth:`StaticAnalyzer.check_view` — everything the analyzer knows
+  about one registered view (``CHECK VIEW name`` in the shell);
+* :meth:`StaticAnalyzer.explain` — the inferred lock footprint of one
+  statement shape (``EXPLAIN <stmt>``);
+* :meth:`StaticAnalyzer.check_all` — the whole catalog: per-view
+  diagnostics plus the global lock-order verdict (``make analyze``,
+  ``python -m repro.analysis.check``).
+
+Reports are plain objects with ``diagnostics`` (a list of
+:class:`~repro.analysis.static.diagnostics.Diagnostic`, sorted most
+severe first) and ``render_lines()`` for human output; ``to_doc()``
+produces the dict shape validated by
+:func:`repro.obs.schema.validate_static_report`.
+"""
+
+from repro.analysis.static.diagnostics import Diagnostic
+from repro.analysis.static.footprint import (
+    fanout_indexes,
+    is_opaque,
+    statement_footprint,
+    view_read_footprint,
+)
+from repro.analysis.static.lockgraph import LockOrderGraph
+from repro.analysis.static.shard import check_copartition
+from repro.common import CatalogError
+
+
+def _sorted_diagnostics(diagnostics):
+    return sorted(diagnostics, key=lambda d: d.sort_key())
+
+
+class ViewCheckReport:
+    """``CHECK VIEW`` output: proofs, footprints, diagnostics."""
+
+    def __init__(self, view, proofs, footprints, diagnostics):
+        self.view = view
+        self.proofs = tuple(proofs)  # (column, Proof) pairs
+        self.footprints = tuple(footprints)
+        self.diagnostics = _sorted_diagnostics(diagnostics)
+
+    @property
+    def ok(self):
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def render_lines(self):
+        lines = [f"CHECK VIEW {self.view.name} ({self.view.kind}):"]
+        for column, proof in self.proofs:
+            verdict = "escrow" if proof.eligible else "exclusive"
+            lines.append(
+                f"  column {column}: {verdict} [{proof.rule}] — "
+                f"{proof.reason}"
+            )
+        for footprint in self.footprints:
+            lines.extend("  " + line for line in footprint.render_lines())
+        if self.diagnostics:
+            lines.append("  diagnostics:")
+            lines.extend(
+                f"    {d.render()}" for d in self.diagnostics
+            )
+        else:
+            lines.append("  diagnostics: none")
+        return lines
+
+    def __repr__(self):
+        return (
+            f"ViewCheckReport({self.view.name!r}, "
+            f"{len(self.diagnostics)} diagnostics)"
+        )
+
+
+class ExplainReport:
+    """``EXPLAIN`` output: one statement's inferred footprint."""
+
+    def __init__(self, label, footprints, diagnostics=()):
+        self.label = label
+        self.footprints = tuple(footprints)
+        self.diagnostics = _sorted_diagnostics(diagnostics)
+
+    def render_lines(self):
+        lines = [f"EXPLAIN {self.label}:"]
+        for footprint in self.footprints:
+            lines.extend("  " + line for line in footprint.render_lines())
+        if self.diagnostics:
+            lines.append("  diagnostics:")
+            lines.extend(f"    {d.render()}" for d in self.diagnostics)
+        return lines
+
+    def __repr__(self):
+        return f"ExplainReport({self.label!r})"
+
+
+class StaticReport:
+    """``check_all`` output over a whole catalog."""
+
+    def __init__(self, views_checked, diagnostics, graph):
+        self.views_checked = tuple(views_checked)
+        self.diagnostics = _sorted_diagnostics(diagnostics)
+        self.graph = graph
+
+    @property
+    def ok(self):
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    def counts(self):
+        out = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity] += 1
+        return out
+
+    def render_lines(self):
+        counts = self.counts()
+        lines = [
+            f"static analysis: {len(self.views_checked)} views, "
+            f"{counts['error']} errors, {counts['warning']} warnings, "
+            f"{counts['info']} notes"
+        ]
+        lines.extend(f"  {d.render()}" for d in self.diagnostics)
+        lines.extend(self.graph.render_lines())
+        return lines
+
+    def to_doc(self):
+        return {
+            "views_checked": list(self.views_checked),
+            "counts": self.counts(),
+            "diagnostics": [d.to_doc() for d in self.diagnostics],
+            "graph_nodes": len(self.graph.nodes),
+            "graph_edges": len(self.graph.edges),
+            "deadlock_components": [
+                list(scc) for scc in self.graph.deadlock_components()
+            ],
+        }
+
+
+class StaticAnalyzer:
+    """Analyze the views registered in one catalog.
+
+    ``strategy`` and ``serializable`` mirror the engine configuration
+    the footprints should model; ``partitioner`` switches on the shard
+    co-partitioning checks (the sharded engine passes its own).
+    """
+
+    def __init__(self, catalog, strategy="escrow", serializable=True,
+                 partitioner=None):
+        self.catalog = catalog
+        self.strategy = strategy
+        self.serializable = serializable
+        self.partitioner = partitioner
+
+    # -- building blocks ----------------------------------------------
+
+    def lock_order_graph(self):
+        return LockOrderGraph.from_catalog(
+            self.catalog, self.strategy, self.serializable
+        )
+
+    def proof_diagnostics(self, view):
+        """SA001 per non-escrow aggregate column, with the proof's
+        reasoning as evidence."""
+        out = []
+        for spec in getattr(view, "aggregates", ()):
+            if not spec.proof.eligible:
+                out.append(
+                    Diagnostic(
+                        "SA001",
+                        view.name,
+                        f"column {spec.out!r} ({spec.func.name}"
+                        f"({spec.source})): {spec.proof.reason}",
+                        evidence=spec.proof.evidence,
+                    )
+                )
+        return out
+
+    def predicate_diagnostics(self, view):
+        if is_opaque(view):
+            return [
+                Diagnostic(
+                    "SA003",
+                    view.name,
+                    f"predicate ({view.where.description}) is a "
+                    f"hand-written closure with no AST; the analyzer "
+                    f"assumes every base row is relevant",
+                )
+            ]
+        return []
+
+    def fanout_diagnostics(self, view):
+        out = []
+        for table in view.base_tables():
+            fanout = fanout_indexes(self.catalog, table)
+            if len(fanout) > 1:
+                out.append(
+                    Diagnostic(
+                        "SA011",
+                        f"insert {table}",
+                        f"one statement maintains {len(fanout)} extra "
+                        f"indexes beyond the base: {', '.join(fanout)}",
+                    )
+                )
+        return out
+
+    def deadlock_diagnostics(self, graph=None, only_view=None):
+        """SA010 per deadlock-prone SCC, naming the views involved and
+        the statement shapes inducing each internal edge."""
+        graph = graph or self.lock_order_graph()
+        out = []
+        components = graph.deadlock_components()
+        edge_map = graph.component_edge_map(components)
+        for i, component in enumerate(components):
+            views = graph.views_in_component(self.catalog, component)
+            if only_view is not None and only_view not in views:
+                continue
+            edges = edge_map[i]
+            edge_text = "; ".join(
+                f"{u} -> {v} ({', '.join(labels)})"
+                for u, v, labels in edges
+            )
+            out.append(
+                Diagnostic(
+                    "SA010",
+                    ", ".join(views) if views else ", ".join(component),
+                    f"locks on {{{', '.join(component)}}} can be "
+                    f"requested in conflicting orders: {edge_text} — "
+                    f"concurrent statements from these shapes can "
+                    f"deadlock",
+                    evidence=tuple(
+                        f"{u} -> {v} via {label}"
+                        for u, v, labels in edges
+                        for label in labels
+                    ),
+                )
+            )
+        return out
+
+    def shard_diagnostics(self, view):
+        if self.partitioner is None:
+            return []
+        return check_copartition(self.catalog, view, self.partitioner)
+
+    # -- entry points -------------------------------------------------
+
+    def check_view(self, name):
+        view = self.catalog.view(name)
+        proofs = [
+            (spec.out, spec.proof)
+            for spec in getattr(view, "aggregates", ())
+        ]
+        footprints = []
+        for table in view.base_tables():
+            footprints.append(
+                statement_footprint(
+                    self.catalog, table, "insert", self.strategy,
+                    self.serializable,
+                )
+            )
+            footprints.append(
+                statement_footprint(
+                    self.catalog, table, "delete", self.strategy,
+                    self.serializable,
+                )
+            )
+        footprints.append(view_read_footprint(view))
+        diagnostics = (
+            self.proof_diagnostics(view)
+            + self.predicate_diagnostics(view)
+            + self.fanout_diagnostics(view)
+            + self.deadlock_diagnostics(only_view=name)
+            + self.shard_diagnostics(view)
+        )
+        return ViewCheckReport(view, proofs, footprints, diagnostics)
+
+    def explain(self, op, target):
+        """Footprint of one statement shape: ``op`` in insert/update/
+        delete against a base table, or select/read against any index."""
+        if op in ("insert", "update", "delete"):
+            if not self.catalog.has_table(target):
+                raise CatalogError(
+                    f"EXPLAIN: no base table named {target!r}"
+                )
+            footprint = statement_footprint(
+                self.catalog, target, op, self.strategy, self.serializable
+            )
+            diagnostics = []
+            fanout = fanout_indexes(self.catalog, target)
+            if len(fanout) > 1:
+                diagnostics.append(
+                    Diagnostic(
+                        "SA011",
+                        f"{op} {target}",
+                        f"one statement maintains {len(fanout)} extra "
+                        f"indexes beyond the base: {', '.join(fanout)}",
+                    )
+                )
+            return ExplainReport(f"{op} {target}", [footprint], diagnostics)
+        if op == "select":
+            if self.catalog.has_view(target):
+                view = self.catalog.view(target)
+                return ExplainReport(
+                    f"select {target}",
+                    [view_read_footprint(view, point=False)],
+                )
+            # a base-table scan: same shape, no view machinery
+            self.catalog.table(target)
+            from repro.analysis.static.footprint import Footprint, LockStep
+
+            steps = [
+                LockStep(
+                    target, "range *", "RangeS-S",
+                    "serializable scan locks every key plus the tail "
+                    "fence",
+                )
+            ]
+            return ExplainReport(
+                f"select {target}", [Footprint(f"scan {target}", steps)]
+            )
+        raise CatalogError(f"EXPLAIN: unknown statement shape {op!r}")
+
+    def check_all(self):
+        graph = self.lock_order_graph()
+        diagnostics = []
+        names = []
+        for view in self.catalog.views():
+            names.append(view.name)
+            diagnostics.extend(self.proof_diagnostics(view))
+            diagnostics.extend(self.predicate_diagnostics(view))
+            diagnostics.extend(self.shard_diagnostics(view))
+        diagnostics.extend(self.deadlock_diagnostics(graph))
+        # fan-out is per-table, not per-view: report once per table
+        for schema in self.catalog.tables():
+            fanout = fanout_indexes(self.catalog, schema.name)
+            if len(fanout) > 1:
+                diagnostics.append(
+                    Diagnostic(
+                        "SA011",
+                        f"insert {schema.name}",
+                        f"one statement maintains {len(fanout)} extra "
+                        f"indexes beyond the base: "
+                        f"{', '.join(fanout)}",
+                    )
+                )
+        return StaticReport(sorted(names), diagnostics, graph)
+
+
+def check_view(db, name):
+    """Convenience: run ``CHECK VIEW name`` against a live engine,
+    picking up its strategy and isolation configuration."""
+    analyzer = StaticAnalyzer(
+        db.catalog,
+        strategy=db.config.aggregate_strategy,
+        serializable=db.config.serializable,
+    )
+    return analyzer.check_view(name)

@@ -1,0 +1,333 @@
+"""Symbolic lock footprints of statement shapes.
+
+A *footprint* is the ordered list of locks a statement shape may
+acquire, written against symbolic keys (``<pk(sales)>``, ``<group>``,
+``<fk>``) because actual key values are unknown statically. Each step
+mirrors one plan the runtime actually builds:
+
+* base DML takes a table IX intention lock, then the key-range plan of
+  :mod:`repro.locking.keyrange` (fence RangeI-N + key X for inserts,
+  key X for updates/ghost deletes);
+* aggregate maintenance takes E on the group's view row under the
+  escrow strategy (X under xlock, and always X for MIN/MAX columns),
+  with the group-creation fence + X as the worst-case alternative;
+* deleting from a MIN/MAX view's base may *rescan the group* — S
+  range locks back on the base table, acquired while the view row's X
+  is held (the reverse edge that makes extreme views deadlock-prone);
+* join maintenance reads the other side: a left-side insert point-reads
+  the right table (S), a right-side insert scans the ``<v>#leftfk``
+  secondary and point-reads the left table (S) — opposite orders, the
+  classic deadlock shape.
+
+The footprint grammar (``docs/ANALYSIS.md``)::
+
+    step     := index '/' resource ':' mode '-- ' reason
+    resource := 'table' | 'key' sym | 'gap' sym | 'range' sym
+    sym      := '<pk(T)>' | '<group>' | '<fk>' | '<matches>' | '*'
+
+Footprints are *worst-case*: a step that only happens on some branch
+(group creation, fk change) is still listed, flagged in its reason.
+The lock-order graph consumes the step order; ``EXPLAIN`` renders the
+steps verbatim.
+"""
+
+from repro.common import CatalogError
+from repro.views.definition import is_aggregate_kind
+
+
+class LockStep:
+    """One ``(index, resource, mode)`` acquisition with its reason."""
+
+    __slots__ = ("index", "resource", "mode", "reason")
+
+    def __init__(self, index, resource, mode, reason):
+        self.index = index
+        self.resource = resource
+        self.mode = mode
+        self.reason = reason
+
+    def render(self):
+        return f"{self.index}/{self.resource}: {self.mode} -- {self.reason}"
+
+    def __repr__(self):
+        return f"LockStep({self.render()!r})"
+
+
+class Footprint:
+    """The ordered worst-case lock acquisitions of one statement shape."""
+
+    __slots__ = ("label", "steps", "notes")
+
+    def __init__(self, label, steps, notes=()):
+        self.label = label
+        self.steps = tuple(steps)
+        self.notes = tuple(notes)
+
+    def indexes_in_order(self):
+        """Distinct index names in first-acquisition order."""
+        seen = []
+        for step in self.steps:
+            if step.index not in seen:
+                seen.append(step.index)
+        return tuple(seen)
+
+    def render_lines(self):
+        lines = [f"footprint {self.label}:"]
+        lines.extend(f"  {step.render()}" for step in self.steps)
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return lines
+
+    def __repr__(self):
+        return f"Footprint({self.label!r}, {len(self.steps)} steps)"
+
+
+def secondary_index_name(view_name):
+    return f"{view_name}#right"
+
+
+def leftfk_index_name(view_name):
+    return f"{view_name}#leftfk"
+
+
+def _pk_sym(table):
+    return f"<pk({table})>"
+
+
+def _agg_row_mode(view, strategy):
+    """The lock mode maintenance takes on an *existing* group row."""
+    if view.has_extremes() or strategy != "escrow":
+        return "X"
+    return "E"
+
+
+def _agg_delta_steps(view, strategy, sign_word):
+    """Steps for folding one contribution into a view group row."""
+    mode = _agg_row_mode(view, strategy)
+    why = (
+        f"{sign_word} the group's counters "
+        f"({'escrow delta commutes with concurrent deltas' if mode == 'E' else 'exclusive read-modify-write'})"
+    )
+    steps = [LockStep(view.name, "key <group>", mode, why)]
+    steps.append(
+        LockStep(
+            view.name, "gap <group>", "RangeI-N",
+            "only if the group does not exist yet: fence its gap",
+        )
+    )
+    steps.append(
+        LockStep(
+            view.name, "key <group>", "X",
+            "only on group creation/revival: install the zero row",
+        )
+    )
+    return steps
+
+
+def _extreme_rescan_steps(view):
+    """Deleting a group's current MIN/MAX forces a rescan of the base
+    table's group rows — read locks taken *while the view row's X is
+    held*, which is what turns extreme views into deadlock-order
+    hazards."""
+    return [
+        LockStep(
+            view.base, "range <group rows>", "S",
+            "rescan the group to recompute MIN/MAX after deleting the "
+            "current extreme (worst case)",
+        )
+    ]
+
+
+def _view_insert_steps(view, serializable=True):
+    steps = []
+    if serializable:
+        steps.append(
+            LockStep(
+                view.name, "gap <view key>", "RangeI-N",
+                "fence the gap receiving the new view row",
+            )
+        )
+    steps.append(
+        LockStep(view.name, "key <view key>", "X", "the new view row")
+    )
+    return steps
+
+
+def _opaque_note(view):
+    if view.where is not None and getattr(view.where, "ast", None) is None:
+        return (
+            f"view {view.name}: hand-written predicate "
+            f"({view.where.description}) is opaque; footprint assumes "
+            f"every base row is relevant",
+        )
+    return ()
+
+
+def _maintenance_steps(view, table, op, strategy, serializable):
+    """The maintenance tail of ``op`` on ``table`` for one view."""
+    steps = []
+    if view.kind == "projection":
+        if op == "insert":
+            steps.extend(_view_insert_steps(view, serializable))
+        else:
+            steps.append(
+                LockStep(
+                    view.name, f"key {_pk_sym(table)}", "X",
+                    "patch/ghost the projected row",
+                )
+            )
+    elif view.kind == "aggregate":
+        sign = {"insert": "increment", "delete": "decrement",
+                "update": "move/adjust"}[op]
+        steps.extend(_agg_delta_steps(view, strategy, sign))
+        if view.has_extremes() and op in ("delete", "update"):
+            steps.extend(_extreme_rescan_steps(view))
+    elif view.kind in ("join", "join_aggregate"):
+        steps.extend(
+            _join_maintenance_steps(view, table, op, strategy, serializable)
+        )
+    return steps
+
+
+def _join_maintenance_steps(view, table, op, strategy, serializable):
+    """Join maintenance mirrors :mod:`repro.views.join`: the side being
+    written determines which *other* indexes are read, and in what
+    order."""
+    steps = []
+    is_left = table == view.left
+    aggregate = view.kind == "join_aggregate"
+
+    def emit_view_write(sign_word):
+        if aggregate:
+            steps.extend(_agg_delta_steps(view, strategy, sign_word))
+        elif sign_word == "increment":
+            steps.extend(_view_insert_steps(view, serializable))
+        else:
+            steps.append(
+                LockStep(
+                    view.name, "key <view key>", "X",
+                    "ghost/patch the joined view row",
+                )
+            )
+
+    if is_left:
+        if op in ("insert", "update"):
+            steps.append(
+                LockStep(
+                    view.right, "key <fk>", "S",
+                    "point-read the matched right row (gap-S fence when "
+                    "absent)",
+                )
+            )
+        emit_view_write("increment" if op == "insert" else "move/adjust")
+    else:
+        steps.append(
+            LockStep(
+                leftfk_index_name(view.name), "range <matches>", "S",
+                "scan the fk secondary for left rows matching the right "
+                "key",
+            )
+        )
+        steps.append(
+            LockStep(
+                view.left, f"key {_pk_sym(view.left)}", "S",
+                "point-read each matching left row",
+            )
+        )
+        emit_view_write("increment" if op == "insert" else "move/adjust")
+    return steps
+
+
+def statement_footprint(catalog, table, op, strategy="escrow",
+                        serializable=True):
+    """The worst-case footprint of ``op`` (insert/update/delete) on
+    ``table``, including maintenance fan-out over every registered view,
+    in the order the runtime performs it."""
+    if op not in ("insert", "update", "delete"):
+        raise CatalogError(f"unknown statement shape {op!r}")
+    pk = _pk_sym(table)
+    steps = [LockStep(table, "table", "IX", "intention lock for row DML")]
+    if op == "insert":
+        if serializable:
+            steps.append(
+                LockStep(
+                    table, f"gap {pk}", "RangeI-N",
+                    "fence the gap receiving the new key",
+                )
+            )
+        steps.append(LockStep(table, f"key {pk}", "X", "the new base row"))
+    else:
+        steps.append(
+            LockStep(
+                table, f"key {pk}", "X",
+                "the updated row" if op == "update" else
+                "ghost the deleted row",
+            )
+        )
+    notes = []
+    views = catalog.views_on(table)
+    for view in views:
+        steps.extend(
+            _maintenance_steps(view, table, op, strategy, serializable)
+        )
+        notes.extend(_opaque_note(view))
+    return Footprint(f"{op} {table}", steps, notes)
+
+
+def view_read_footprint(view, point=True):
+    """Reading a view touches only its own index (the reason reads
+    never contribute reverse edges to the lock-order graph)."""
+    if point:
+        steps = [
+            LockStep(
+                view.name, "key <view key>", "S",
+                "point read (converts held E to X when reading exact)",
+            )
+        ]
+        return Footprint(f"read {view.name}", steps)
+    steps = [
+        LockStep(
+            view.name, "range *", "RangeS-S",
+            "serializable scan locks every key plus the tail fence",
+        )
+    ]
+    return Footprint(f"scan {view.name}", steps)
+
+
+def view_footprints(catalog, view, strategy="escrow", serializable=True):
+    """All statement footprints that involve ``view``: every DML shape
+    on each of its base tables (which covers sibling views registered on
+    the same tables — fan-out is part of the footprint)."""
+    prints = []
+    for table in view.base_tables():
+        for op in ("insert", "update", "delete"):
+            prints.append(
+                statement_footprint(catalog, table, op, strategy,
+                                    serializable)
+            )
+    return prints
+
+
+def fanout_indexes(catalog, table):
+    """Indexes (beyond the base) written or read when ``table`` changes
+    — the maintenance fan-out a DML statement signs up for."""
+    out = []
+    for view in catalog.views_on(table):
+        out.append(view.name)
+        if view.kind in ("join", "join_aggregate"):
+            other = view.right if table == view.left else view.left
+            out.append(other)
+            if table != view.left:
+                out.append(leftfk_index_name(view.name))
+    seen = []
+    for name in out:
+        if name not in seen and name != table:
+            seen.append(name)
+    return tuple(seen)
+
+
+def is_opaque(view):
+    """True when the view's predicate is a hand-written closure with no
+    AST — the analyzer must assume every row matches (SA003)."""
+    return (
+        view.where is not None and getattr(view.where, "ast", None) is None
+    )

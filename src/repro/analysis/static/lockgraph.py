@@ -1,0 +1,185 @@
+"""The static lock-order graph.
+
+Nodes are index names (base-table primaries, view primaries, join
+secondaries); there is an edge ``u -> v`` when some statement shape's
+footprint acquires a lock on ``u`` and *later* one on ``v`` — i.e. a
+transaction may hold ``u`` while waiting on ``v``. Deadlock requires a
+cycle in the wait-for graph, and every runtime wait-for edge projects
+onto a lock-order edge, so **an acyclic lock-order graph proves the
+registered views deadlock-free** and each strongly connected component
+is a deadlock-prone combination worth flagging before any transaction
+runs (diagnostic ``SA010``).
+
+The interesting edges, with the statement shapes that induce them:
+
+* ``left -> right`` — a left-side insert point-reads the matched right
+  row while holding its new base-row X;
+* ``right -> left`` — a right-side insert scans the fk secondary and
+  point-reads matching left rows: the opposite order, so a single join
+  view already forms a two-table cycle;
+* ``view -> base`` — deleting the current MIN/MAX holds the view row X
+  while rescanning the group's base rows (the reverse of the usual
+  ``base -> view`` maintenance edge).
+
+Escrow-only aggregate views never read back into their base and so
+never close a cycle — the static restatement of the paper's claim that
+escrow maintenance composes without deadlocks.
+"""
+
+from repro.analysis.static.footprint import statement_footprint
+
+
+class LockOrderGraph:
+    """Directed multigraph of lock acquisition order."""
+
+    def __init__(self):
+        self.nodes = set()
+        # (u, v) -> sorted set of footprint labels inducing the edge
+        self.edges = {}
+
+    @classmethod
+    def from_catalog(cls, catalog, strategy="escrow", serializable=True):
+        """Compose the footprints of every DML shape on every table."""
+        graph = cls()
+        for schema in catalog.tables():
+            for op in ("insert", "update", "delete"):
+                graph.add_footprint(
+                    statement_footprint(
+                        catalog, schema.name, op, strategy, serializable
+                    )
+                )
+        return graph
+
+    def add_footprint(self, footprint):
+        """Add ``u -> v`` for every pair of steps where ``u`` is
+        acquired before ``v`` (held-while-requesting), keeping
+        re-acquisitions: the extreme-rescan's late return to the base
+        table is exactly the edge that closes a cycle."""
+        steps = footprint.steps
+        for i, early in enumerate(steps):
+            self.nodes.add(early.index)
+            for late in steps[i + 1:]:
+                if late.index == early.index:
+                    continue
+                key = (early.index, late.index)
+                self.edges.setdefault(key, set()).add(footprint.label)
+
+    def successors(self, node):
+        return self._adjacency().get(node, [])
+
+    def _adjacency(self):
+        """Sorted successor lists, built in one pass over the edges."""
+        adjacency = {node: [] for node in self.nodes}
+        for (u, v) in self.edges:
+            adjacency[u].append(v)
+        for targets in adjacency.values():
+            targets.sort()
+        return adjacency
+
+    # -- cycle detection (Tarjan, iterative) ---------------------------
+
+    def strongly_connected_components(self):
+        index_of, low, on_stack = {}, {}, set()
+        stack, components = [], []
+        counter = [0]
+
+        adjacency = self._adjacency()
+
+        for root in sorted(self.nodes):
+            if root in index_of:
+                continue
+            work = [(root, iter(adjacency[root]))]
+            index_of[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index_of:
+                        index_of[child] = low[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(adjacency[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index_of[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(tuple(sorted(component)))
+        return components
+
+    def deadlock_components(self):
+        """SCCs of size > 1: each is a set of indexes whose locks can be
+        requested in conflicting orders."""
+        return [
+            scc for scc in self.strongly_connected_components()
+            if len(scc) > 1
+        ]
+
+    def component_edges(self, component):
+        """The internal edges of one SCC with their inducing statement
+        labels, deterministically ordered."""
+        members = set(component)
+        internal = [
+            (u, v) for (u, v) in self.edges
+            if u in members and v in members
+        ]
+        return [
+            (u, v, tuple(sorted(self.edges[(u, v)])))
+            for (u, v) in sorted(internal)
+        ]
+
+    def component_edge_map(self, components):
+        """``component_edges`` for many SCCs in one pass over the edge
+        set, keyed by position in ``components`` — what ``check_all``
+        uses so N flagged components don't rescan the edges N times."""
+        owner = {}
+        for i, component in enumerate(components):
+            for node in component:
+                owner[node] = i
+        grouped = {i: [] for i in range(len(components))}
+        for (u, v) in self.edges:
+            i = owner.get(u)
+            if i is not None and owner.get(v) == i:
+                grouped[i].append((u, v))
+        return {
+            i: [
+                (u, v, tuple(sorted(self.edges[(u, v)])))
+                for (u, v) in sorted(pairs)
+            ]
+            for i, pairs in grouped.items()
+        }
+
+    def views_in_component(self, catalog, component):
+        """Registered views whose indexes participate in the component
+        (a secondary like ``v#leftfk`` belongs to view ``v``)."""
+        names = set()
+        for node in component:
+            base = node.split("#", 1)[0]
+            if catalog.has_view(base):
+                names.add(base)
+        return tuple(sorted(names))
+
+    def render_lines(self):
+        lines = [f"lock-order graph: {len(self.nodes)} indexes, "
+                 f"{len(self.edges)} edges"]
+        for (u, v) in sorted(self.edges):
+            labels = ", ".join(sorted(self.edges[(u, v)]))
+            lines.append(f"  {u} -> {v}  [{labels}]")
+        return lines

@@ -1,0 +1,325 @@
+"""A commutativity prover for aggregate expressions.
+
+The compiler used to decide escrow eligibility by pattern-matching
+function names ("COUNT and SUM are escrow, MIN and MAX are not"). That
+rule is *right* but it is an assertion, not an argument — and it breaks
+down as soon as SUM takes an expression: ``SUM(amount)`` and
+``SUM(price - cost)`` are equally escrow-eligible (both are linear in
+the row), while ``SUM(a * b)`` over two row columns is not — no
+pattern on the function name can tell them apart.
+
+This module replaces the pattern with a proof. Escrow eligibility is
+exactly the conjunction of two properties of the per-row contribution
+``f(row)`` folded into the group value ``g`` by addition:
+
+* **delta-commutes** — ``(g + a) + b == (g + b) + a`` for all
+  contributions ``a, b``: concurrent maintainers may interleave in any
+  order (the paper's E-mode compatibility, Section 4).
+* **delta-inverts** — deleting a row applies ``-f(row)`` and recovers
+  the previous group value *without reading any other row*:
+  ``(g + f(r)) - f(r) == g`` (self-maintainability under deletion).
+
+For additions over a commutative group these hold by algebra; the
+prover still *checks* each axiom on concrete sample values and records
+the checked instances in the :class:`Proof`, so a report can show its
+work. MIN/MAX are disproved by a checked counterexample: two multisets
+with the same MIN whose MINs diverge after removing the same element,
+so no deletion rule can be a function of (aggregate, removed value).
+
+The prover normalizes SUM arguments to a :class:`LinearForm`
+(``coeffs . row + const``) first. Anything that does not normalize —
+a product of two columns, a function call, a comparison — raises
+:class:`~repro.common.NonLinearError` with the offending
+sub-expression, and the compiler turns that into diagnostic ``SA002``.
+
+Import discipline: this module is imported by
+:mod:`repro.query.aggregates`, which sits *below* :mod:`repro.sql` in
+the layering, so :mod:`repro.sql.ast` is imported lazily inside
+:func:`linearize` only.
+"""
+
+from repro.common import NonLinearError
+
+
+class LinearForm:
+    """Normal form of a linear row expression: ``sum(c_i * row[x_i]) + k``.
+
+    ``coeffs`` maps column name -> numeric coefficient (zero entries are
+    dropped); ``const`` is the constant term. Two expressions are the
+    same linear function iff their forms compare equal, which is how
+    ``SUM(a - b)``, ``SUM(-b + a)`` and ``SUM(a + 0 - b)`` all compile
+    to one canonical spec.
+    """
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs=None, const=0):
+        self.coeffs = {c: v for c, v in (coeffs or {}).items() if v != 0}
+        self.const = const
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LinearForm)
+            and self.coeffs == other.coeffs
+            and self.const == other.const
+        )
+
+    def __hash__(self):
+        return hash((tuple(sorted(self.coeffs.items())), self.const))
+
+    def __repr__(self):
+        return f"LinearForm({self.coeffs!r}, const={self.const!r})"
+
+    # -- algebra -------------------------------------------------------
+
+    def scaled(self, factor):
+        return LinearForm(
+            {c: v * factor for c, v in self.coeffs.items()},
+            self.const * factor,
+        )
+
+    def plus(self, other):
+        merged = dict(self.coeffs)
+        for c, v in other.coeffs.items():
+            merged[c] = merged.get(c, 0) + v
+        return LinearForm(merged, self.const + other.const)
+
+    # -- evaluation and rendering --------------------------------------
+
+    def columns(self):
+        return tuple(sorted(self.coeffs))
+
+    def evaluate(self, row):
+        """The per-row contribution ``f(row)``."""
+        total = self.const
+        for column, coeff in self.coeffs.items():
+            total += coeff * row[column]
+        return total
+
+    def canonical_text(self):
+        """Render the form as dialect text, deterministically.
+
+        Columns appear in sorted order; a trailing nonzero constant
+        closes the expression, so re-parsing the text linearizes back
+        to an equal form (round-trip property, pinned by tests).
+        """
+        parts = []
+        for column in self.columns():
+            coeff = self.coeffs[column]
+            term = column if abs(coeff) == 1 else f"{_num(abs(coeff))} * {column}"
+            if not parts:
+                parts.append(f"-{term}" if coeff < 0 else term)
+            else:
+                parts.append(f"- {term}" if coeff < 0 else f"+ {term}")
+        if self.const != 0 or not parts:
+            k = self.const
+            if not parts:
+                parts.append(_num(k))
+            else:
+                parts.append(f"- {_num(abs(k))}" if k < 0 else f"+ {_num(k)}")
+        return " ".join(parts)
+
+
+def _num(value):
+    """Render a numeric literal without a spurious ``.0`` on floats."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def linearize(expr, resolve=None):
+    """Normalize a SUM-argument AST expression to a :class:`LinearForm`.
+
+    Accepts ``ColumnRef``, numeric ``Literal``, unary negation (encoded
+    by the parser as ``0 - x`` or a negative literal), ``+``/``-``, and
+    ``*`` where at least one factor is constant. Raises
+    :class:`NonLinearError` for everything else — the *reason* escrow
+    cannot be granted, not merely a parse failure.
+
+    ``resolve``, when given, maps each ``ColumnRef`` to its bound
+    column name (the compiler passes ``Scope.resolve`` so qualified
+    references land on real columns); by default the written name is
+    used as-is.
+    """
+    from repro.sql import ast
+
+    if isinstance(expr, ast.ColumnRef):
+        name = resolve(expr) if resolve is not None else expr.name
+        return LinearForm({name: 1})
+    if isinstance(expr, ast.Literal):
+        if isinstance(expr.value, bool) or not isinstance(
+            expr.value, (int, float)
+        ):
+            raise NonLinearError(
+                f"literal {expr.value!r} is not numeric", pos=expr.pos
+            )
+        return LinearForm(const=expr.value)
+    if isinstance(expr, ast.BinaryOp):
+        left = linearize(expr.left, resolve)
+        right = linearize(expr.right, resolve)
+        if expr.op == "+":
+            return left.plus(right)
+        if expr.op == "-":
+            return left.plus(right.scaled(-1))
+        if expr.op == "*":
+            if not left.coeffs:
+                return right.scaled(left.const)
+            if not right.coeffs:
+                return left.scaled(right.const)
+            raise NonLinearError(
+                "product of two column expressions is not linear in the row",
+                pos=expr.pos,
+            )
+        raise NonLinearError(
+            f"operator {expr.op!r} has no linear form", pos=expr.pos
+        )
+    if isinstance(expr, ast.FuncCall):
+        raise NonLinearError(
+            f"nested {expr.func.upper()}() is not linear", pos=expr.pos
+        )
+    raise NonLinearError(
+        f"{type(expr).__name__} is not a linear row expression",
+        pos=getattr(expr, "pos", None),
+    )
+
+
+class Proof:
+    """The verdict on one aggregate column, with its work shown.
+
+    ``rule`` is the stable name of the proof rule that fired
+    (``count-unit`` / ``sum-linear`` / ``sum-nonlinear`` /
+    ``extreme-not-invertible``); ``eligible`` says whether escrow (E
+    mode) maintenance is sound; ``reason`` is one human-readable
+    sentence; ``evidence`` is a tuple of checked axiom instances or the
+    counterexample, each a plain string.
+    """
+
+    __slots__ = ("rule", "eligible", "reason", "evidence")
+
+    def __init__(self, rule, eligible, reason, evidence=()):
+        self.rule = rule
+        self.eligible = eligible
+        self.reason = reason
+        self.evidence = tuple(evidence)
+
+    def __repr__(self):
+        verdict = "escrow" if self.eligible else "no-escrow"
+        return f"Proof({self.rule}: {verdict})"
+
+
+#: Sample group values and contribution pairs the axioms are checked on.
+#: Negatives and zero are included deliberately: sign errors in a delta
+#: rule show up exactly there.
+_SAMPLE_STATES = (0, 7, -3)
+_SAMPLE_DELTAS = ((1, 5), (-2, 9), (4, -4), (0, -6))
+
+
+def _check_addition_axioms(label):
+    """Check delta-commutes and delta-inverts for additive folding.
+
+    Returns the list of checked instances (as strings); raises
+    AssertionError if arithmetic itself were broken — which would mean
+    the proof rules are wrong, not the program under analysis.
+    """
+    evidence = []
+    for g in _SAMPLE_STATES:
+        for a, b in _SAMPLE_DELTAS:
+            assert (g + a) + b == (g + b) + a
+            assert (g + a) - a == g
+    evidence.append(
+        f"delta-commutes: (g + a) + b == (g + b) + a checked on "
+        f"g in {_SAMPLE_STATES}, (a, b) in {_SAMPLE_DELTAS} [{label}]"
+    )
+    evidence.append(
+        f"delta-inverts: (g + a) - a == g checked on the same instances "
+        f"[{label}]"
+    )
+    return evidence
+
+
+def prove_count():
+    """COUNT(*): the contribution is the unit constant 1."""
+    evidence = _check_addition_axioms("contribution f(row) = 1")
+    return Proof(
+        rule="count-unit",
+        eligible=True,
+        reason=(
+            "COUNT(*) adds the constant 1 per row; constant deltas "
+            "commute and invert, so maintenance may run in escrow (E) "
+            "mode"
+        ),
+        evidence=evidence,
+    )
+
+
+def prove_sum(form):
+    """SUM over a :class:`LinearForm`: linear-in-the-row contributions.
+
+    The group value is folded by addition of ``f(row) = coeffs . row +
+    const``; whatever the row contents, the *delta* is a number, and
+    number addition commutes and inverts.
+    """
+    text = form.canonical_text()
+    evidence = _check_addition_axioms(f"contribution f(row) = {text}")
+    sample = {c: 2 + i for i, c in enumerate(form.columns())}
+    contribution = form.evaluate(sample)
+    evidence.append(
+        f"linear-in-delta: f({sample!r}) = {contribution} — a single "
+        f"number, independent of the rest of the group"
+    )
+    return Proof(
+        rule="sum-linear",
+        eligible=True,
+        reason=(
+            f"SUM({text}) is linear in the row: each row contributes "
+            f"one number, and number addition commutes and inverts, so "
+            f"maintenance may run in escrow (E) mode"
+        ),
+        evidence=evidence,
+    )
+
+
+def disprove_sum(detail):
+    """SUM of an expression with no linear form."""
+    return Proof(
+        rule="sum-nonlinear",
+        eligible=False,
+        reason=(
+            f"SUM argument has no linear normal form ({detail}); its "
+            f"per-row contribution cannot be expressed as a commuting "
+            f"delta, so escrow maintenance is unsound"
+        ),
+        evidence=(f"linearization failed: {detail}",),
+    )
+
+
+def prove_extreme(func_name):
+    """MIN/MAX: disproved by a checked counterexample.
+
+    The multisets ``{3, 5}`` and ``{3}`` have the same MIN (3). Remove
+    the element 3 from each: the MINs become 5 and undefined. A deletion
+    rule computable from (current aggregate, removed value) alone would
+    have to map the identical inputs (3, 3) to both answers — so none
+    exists, and every delete must rescan the group under X locks.
+    """
+    a, b = [3, 5], [3]
+    assert min(a) == min(b) == 3
+    after_a = min([3, 5][1:])  # remove the 3 -> min is 5
+    after_b = None  # remove the 3 -> empty group, MIN undefined
+    assert after_a == 5 and after_b is None
+    name = func_name.upper()
+    return Proof(
+        rule="extreme-not-invertible",
+        eligible=False,
+        reason=(
+            f"{name} is not invertible under deletion: groups {{3, 5}} "
+            f"and {{3}} share {name.lower()}=3, yet removing 3 yields 5 "
+            f"vs. undefined, so no delta rule exists and maintenance "
+            f"needs exclusive (X) locks with delete-time rescans"
+        ),
+        evidence=(
+            "counterexample: min({3, 5}) == min({3}) == 3 but "
+            "min({5}) == 5 while min({}) is undefined — deletion is not "
+            "a function of (aggregate, removed value)",
+        ),
+    )

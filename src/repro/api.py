@@ -36,9 +36,11 @@ Grouped by concern:
   schema (:func:`validate_result`), metrics primitives, and the
   ``repro.core.inspect`` report helpers;
 * **analysis** — the protocol sanitizers (:class:`SanitizerSuite`,
-  :func:`check_trace`, :class:`History`) and the lint gate
-  (:func:`lint_paths`, :func:`check_import_surface`); see
-  ``docs/ANALYSIS.md``;
+  :func:`check_trace`, :class:`History`), the lint gate
+  (:func:`lint_paths`, :func:`check_import_surface`), and the static
+  view-program analyzer (:class:`StaticAnalyzer`, :class:`Diagnostic`,
+  :func:`validate_static_report`, ``CHECK VIEW`` / ``EXPLAIN`` in
+  SQL); see ``docs/ANALYSIS.md``;
 * **distribution** — the sharded fleet (:class:`ShardedDatabase`,
   :class:`RangePartitioner`, :class:`TwoPhaseCoordinator`,
   :func:`check_conservation`) and its retryable routing error
@@ -47,6 +49,7 @@ Grouped by concern:
 
 from repro.analysis import History, SanitizerSuite, Violation, check_trace
 from repro.analysis.lint import check_import_surface, lint_paths
+from repro.analysis.static import Diagnostic, StaticAnalyzer
 from repro.common import (
     BindError,
     CatalogError,
@@ -69,6 +72,7 @@ from repro.common import (
     TransactionStateError,
     UnsupportedSqlError,
     WalCorruptionError,
+    WouldWait,
     WalError,
     ZipfGenerator,
 )
@@ -102,10 +106,12 @@ from repro.obs import (
     RECOVERY_REPORT_FIELDS,
     RESULT_SCHEMA_VERSION,
     SALVAGE_REPORT_FIELDS,
+    STATIC_REPORT_FIELDS,
     EngineMetrics,
     Tracer,
     validate_recovery_report,
     validate_result,
+    validate_static_report,
 )
 from repro.query import (
     AggregateSpec,
@@ -197,6 +203,7 @@ __all__ = [
     "PartitionUnavailableError",
     "SimulatedCrash",
     "WalCorruptionError",
+    "WouldWait",
     # fault injection
     "FaultInjector",
     "FaultSpec",
@@ -251,6 +258,10 @@ __all__ = [
     "check_trace",
     "check_import_surface",
     "lint_paths",
+    "Diagnostic",
+    "StaticAnalyzer",
+    "STATIC_REPORT_FIELDS",
+    "validate_static_report",
     # distribution
     "DistTransaction",
     "RangePartitioner",

@@ -16,6 +16,7 @@ from repro.common.errors import (
     BindError,
     LatchError,
     LockTimeoutError,
+    NonLinearError,
     ParseError,
     PartitionUnavailableError,
     ReproError,
@@ -47,6 +48,7 @@ __all__ = [
     "LatchError",
     "LockTimeoutError",
     "LogicalClock",
+    "NonLinearError",
     "ParseError",
     "PartitionUnavailableError",
     "ReproError",

@@ -42,6 +42,20 @@ class CatalogError(ReproError):
     """A schema object is missing, duplicated, or ill-formed."""
 
 
+class NonLinearError(CatalogError):
+    """A SUM argument that has no linear normal form, so its deltas
+    cannot be proved to commute (static analyzer diagnostic ``SA002``).
+
+    ``detail`` names the offending construct; ``pos`` (when known) is
+    the ``(line, column)`` of the sub-expression that broke linearity.
+    """
+
+    def __init__(self, detail, pos=None):
+        super().__init__(detail)
+        self.detail = detail
+        self.pos = pos
+
+
 class TransactionStateError(ReproError):
     """An operation was attempted in an illegal transaction state.
 

@@ -536,6 +536,10 @@ class Database(RecoveryTarget):
                 )
             elif isinstance(stmt, sql_ast.CreateView):
                 result = self.create_view(stmt)
+            elif isinstance(stmt, sql_ast.CheckView):
+                result = self.check_view_static(stmt.name)
+            elif isinstance(stmt, sql_ast.Explain):
+                result = self.explain(stmt.statement)
             elif txn is not None:
                 txn.require_active()
                 result = execute_statement(self, txn, stmt)
@@ -559,6 +563,88 @@ class Database(RecoveryTarget):
             if txn.state is TxnState.ACTIVE:
                 self.abort(txn)
             raise
+
+    def _static_analyzer(self):
+        from repro.analysis.static import StaticAnalyzer
+
+        return StaticAnalyzer(
+            self.catalog,
+            strategy=self.config.aggregate_strategy,
+            serializable=self.config.serializable,
+        )
+
+    def _trace_static_check(self, subject, kind, diagnostics):
+        if not self.tracer.enabled:
+            return
+        by_severity = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in diagnostics:
+            by_severity[diagnostic.severity] += 1
+        self.tracer.emit(
+            "static_check",
+            subject=subject,
+            kind=kind,
+            errors=by_severity["error"],
+            warnings=by_severity["warning"],
+            notes=by_severity["info"],
+        )
+
+    def check_view_static(self, name):
+        """``CHECK VIEW name``: run the static analyzer over one
+        registered view — escrow-eligibility proofs, worst-case lock
+        footprints, deadlock-order and predicate diagnostics. Touches
+        no data; see ``docs/ANALYSIS.md`` for the diagnostic codes."""
+        report = self._static_analyzer().check_view(name)
+        self._trace_static_check(name, "check_view", report.diagnostics)
+        return report
+
+    def explain(self, statement):
+        """``EXPLAIN <stmt>``: infer the statement's lock footprint
+        (including view-maintenance fan-out) without executing it.
+
+        ``statement`` is a parsed AST statement; ``EXPLAIN CREATE
+        ... VIEW`` analyzes the would-be view against a scratch copy of
+        the catalog without registering it.
+        """
+        from repro.sql import ast as sql_ast
+        from repro.sql import compile_view
+
+        analyzer = self._static_analyzer()
+        if isinstance(statement, sql_ast.Insert):
+            report = analyzer.explain("insert", statement.table)
+        elif isinstance(statement, sql_ast.Update):
+            report = analyzer.explain("update", statement.table)
+        elif isinstance(statement, sql_ast.Delete):
+            report = analyzer.explain("delete", statement.table)
+        elif isinstance(statement, sql_ast.Select):
+            report = analyzer.explain("select", statement.table.name)
+        elif isinstance(statement, sql_ast.CreateView):
+            definition = compile_view(statement, self.catalog)
+            scratch = Catalog()
+            for schema in self.catalog.tables():
+                scratch.add_table(schema)
+            for registered in self.catalog.views():
+                scratch.add_view(registered)
+            scratch.add_view(definition)
+            scratch_analyzer = type(analyzer)(
+                scratch,
+                strategy=self.config.aggregate_strategy,
+                serializable=self.config.serializable,
+            )
+            check = scratch_analyzer.check_view(definition.name)
+            from repro.analysis.static.analyzer import ExplainReport
+
+            report = ExplainReport(
+                f"create view {definition.name}",
+                check.footprints,
+                check.diagnostics,
+            )
+        else:
+            raise UnsupportedSqlError(
+                f"EXPLAIN has no plan for "
+                f"{type(statement).__name__} statements"
+            )
+        self._trace_static_check(report.label, "explain", report.diagnostics)
+        return report
 
     # ==================================================================
     # transactions

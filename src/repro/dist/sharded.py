@@ -25,6 +25,7 @@ resolves every in-doubt branch from the coordinator's durable decision
 log (undecided = presumed abort), and rejoins it.
 """
 
+from repro.analysis.static import StaticAnalyzer, check_copartition
 from repro.common import (
     CatalogError,
     LogicalClock,
@@ -90,6 +91,9 @@ class ShardedDatabase:
         self._down = set()
         self._schemas = {}  # table -> TableSchema (for routing)
         self._views = {}  # view name -> ViewDefinition (for folding)
+        #: SA020 diagnostics accepted at DDL time: views that are legal
+        #: but force scatter-gather reads (docs/ANALYSIS.md).
+        self.copartition_warnings = []
         self.global_txns = 0
         self.single_partition_commits = 0
         self.two_phase_commits = 0
@@ -149,12 +153,7 @@ class ShardedDatabase:
             from repro.sql import compile_view
 
             probe = compile_view(view, self._engines[0].catalog)
-        if probe.kind in ("join", "join_aggregate"):
-            raise CatalogError(
-                "join views are not supported in dist mode: the join "
-                "sides cannot be co-partitioned in general (documented "
-                "limitation)"
-            )
+        self._shard_check(probe)
         result = None
         for engine in self._engines:
             result = engine.create_view(
@@ -166,6 +165,9 @@ class ShardedDatabase:
     def create_aggregate_view(self, name, base, group_by, aggregates,
                               where=None, bounds=None, *, unique=True,
                               deferred=False):
+        self._shard_check(
+            AggregateView(name, base, group_by, aggregates, where, bounds)
+        )
         view = None
         for engine in self._engines:
             view = engine.create_view(
@@ -178,6 +180,13 @@ class ShardedDatabase:
 
     def create_projection_view(self, name, base, columns, where=None, *,
                                unique=True, deferred=False):
+        self._shard_check(
+            ProjectionView(
+                name, base,
+                self._engines[0].catalog.table(base).primary_key,
+                columns, where,
+            )
+        )
         view = None
         for engine in self._engines:
             view = engine.create_view(
@@ -189,6 +198,66 @@ class ShardedDatabase:
             )
         self._views[name] = view
         return view
+
+    # ------------------------------------------------------------------
+    # static analysis (docs/ANALYSIS.md)
+    # ------------------------------------------------------------------
+
+    def _analyzer(self):
+        """Every partition runs the same schema, so partition 0's
+        catalog stands in for the fleet; the partitioner switches on
+        the co-partitioning checks."""
+        return StaticAnalyzer(
+            self._engines[0].catalog,
+            strategy=self.config.aggregate_strategy,
+            serializable=self.config.serializable,
+            partitioner=self.partitioner,
+        )
+
+    def _trace_static_check(self, subject, kind, diagnostics):
+        if not self.tracer.enabled:
+            return
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in diagnostics:
+            counts[diagnostic.severity] += 1
+        self.tracer.emit(
+            "static_check", subject=subject, kind=kind,
+            errors=counts["error"], warnings=counts["warning"],
+            notes=counts["info"],
+        )
+
+    def _shard_check(self, probe):
+        """DDL-time shard safety. An SA021 (cross-partition join)
+        refuses the view outright; SA020 (legal but scatter-gather) is
+        recorded on :attr:`copartition_warnings`, traced, and lets the
+        DDL proceed."""
+        diagnostics = check_copartition(
+            self._engines[0].catalog, probe, self.partitioner
+        )
+        self._trace_static_check(probe.name, "check_view", diagnostics)
+        errors = [d for d in diagnostics if d.severity == "error"]
+        if errors:
+            raise CatalogError(
+                "join views are not supported in dist mode: the join "
+                "sides cannot be co-partitioned in general (documented "
+                f"limitation) — [{errors[0].code}] {errors[0].message}"
+            )
+        self.copartition_warnings.extend(diagnostics)
+        return diagnostics
+
+    def check_view(self, name):
+        """``CHECK VIEW`` against the fleet: the single-engine report
+        plus the co-partitioning verdict (SA020/SA021)."""
+        report = self._analyzer().check_view(name)
+        self._trace_static_check(name, "check_view", report.diagnostics)
+        return report
+
+    def check_all(self):
+        """Whole-catalog static analysis with the fleet's partitioner
+        wired in; returns a ``StaticReport``."""
+        report = self._analyzer().check_all()
+        self._trace_static_check("catalog", "check_all", report.diagnostics)
+        return report
 
     def create_join_view(self, *args, **kwargs):
         raise CatalogError(

@@ -12,14 +12,17 @@ from repro.obs.schema import (
     FLOOR_MARKER_FIELDS,
     PAGE_HEADER_FIELDS,
     PAGE_STATES,
+    DIAGNOSTIC_FIELDS,
     RECOVERY_REPORT_FIELDS,
     RESULT_SCHEMA_VERSION,
     SALVAGE_REPORT_FIELDS,
     SEGMENT_HEADER_FIELDS,
     SEGMENT_TRAILER_FIELDS,
+    STATIC_REPORT_FIELDS,
     VERDICTS,
     validate_recovery_report,
     validate_result,
+    validate_static_report,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -27,6 +30,7 @@ __all__ = [
     "BUFFER_POOL_STATS_FIELDS",
     "CATEGORIES",
     "CHECKPOINT_RECORD_FIELDS",
+    "DIAGNOSTIC_FIELDS",
     "EVENT_TYPES",
     "FLOOR_MARKER_FIELDS",
     "Event",
@@ -40,8 +44,10 @@ __all__ = [
     "SALVAGE_REPORT_FIELDS",
     "SEGMENT_HEADER_FIELDS",
     "SEGMENT_TRAILER_FIELDS",
+    "STATIC_REPORT_FIELDS",
     "Tracer",
     "VERDICTS",
     "validate_recovery_report",
     "validate_result",
+    "validate_static_report",
 ]

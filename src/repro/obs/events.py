@@ -239,6 +239,18 @@ EVENT_TYPES = {
             "decision or presumed abort)",
         },
     },
+    # -------------------------------------------------------- analysis
+    "static_check": {
+        "category": "analysis",
+        "fields": {
+            "subject": "what was analyzed (a view name or statement "
+            "shape)",
+            "kind": "check_view | explain | check_all",
+            "errors": "error-severity diagnostics reported",
+            "warnings": "warning-severity diagnostics reported",
+            "notes": "info-severity diagnostics reported",
+        },
+    },
     # ------------------------------------------------------- integrity
     "integrity_check": {
         "category": "integrity",

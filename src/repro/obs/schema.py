@@ -58,6 +58,29 @@ RECOVERY_REPORT_FIELDS = {
     "restarts": int,
 }
 
+#: pinned shape of one serialized static-analysis diagnostic
+#: (``Diagnostic.to_doc()``; the ``SA...`` catalogue is in
+#: docs/ANALYSIS.md).
+DIAGNOSTIC_FIELDS = {
+    "code": str,
+    "severity": str,
+    "subject": str,
+    "message": str,
+    "evidence": list,
+}
+
+#: pinned shape of ``StaticReport.to_doc()`` — the whole-catalog
+#: analyzer verdict (``make analyze``, ``python -m repro.analysis.check``,
+#: the analyze_smoke benchmark).
+STATIC_REPORT_FIELDS = {
+    "views_checked": list,
+    "counts": dict,
+    "diagnostics": list,
+    "graph_nodes": int,
+    "graph_edges": int,
+    "deadlock_components": list,
+}
+
 # ---------------------------------------------------------------------
 # the on-disk storage contract (docs/STORAGE.md is the prose side; the
 # contract test asserts the doc's field tables match these sets)
@@ -124,6 +147,56 @@ def validate_recovery_report(doc, label="recovery_report"):
         for key in target:
             if key not in fields:
                 problems.append(f"{where}: unexpected extra key {key!r}")
+    return problems
+
+
+def validate_static_report(doc, label="static_report"):
+    """Validate a ``StaticReport.to_doc()`` document, including each
+    diagnostic's shape and severity/count agreement. Returns problem
+    strings (empty = valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"{label}: document is {type(doc).__name__}, not an object"]
+    for key, expected in STATIC_REPORT_FIELDS.items():
+        if key not in doc:
+            problems.append(f"{label}: missing key {key!r}")
+        elif not isinstance(doc[key], expected):
+            problems.append(f"{label}: {key!r} is {type(doc[key]).__name__}")
+    for key in doc:
+        if key not in STATIC_REPORT_FIELDS:
+            problems.append(f"{label}: unexpected extra key {key!r}")
+    if problems:
+        return problems
+    counts = doc["counts"]
+    if set(counts) != {"error", "warning", "info"}:
+        problems.append(f"{label}: counts keys are {sorted(counts)}")
+    tally = {"error": 0, "warning": 0, "info": 0}
+    for i, diag in enumerate(doc["diagnostics"]):
+        where = f"{label}.diagnostics[{i}]"
+        if not isinstance(diag, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, expected in DIAGNOSTIC_FIELDS.items():
+            if key not in diag:
+                problems.append(f"{where}: missing key {key!r}")
+            elif not isinstance(diag[key], expected):
+                problems.append(f"{where}: {key!r} is "
+                                f"{type(diag[key]).__name__}")
+        for key in diag:
+            if key not in DIAGNOSTIC_FIELDS:
+                problems.append(f"{where}: unexpected extra key {key!r}")
+        severity = diag.get("severity")
+        if severity in tally:
+            tally[severity] += 1
+        else:
+            problems.append(f"{where}: unknown severity {severity!r}")
+        code = diag.get("code")
+        if not (isinstance(code, str) and code.startswith("SA")):
+            problems.append(f"{where}: code {code!r} is not an SA code")
+    if not problems and tally != counts:
+        problems.append(
+            f"{label}: counts {counts} disagree with diagnostics {tally}"
+        )
     return problems
 
 

@@ -15,6 +15,15 @@ containing them is maintained entirely under exclusive locks, forfeiting
 escrow concurrency for the whole view row. See
 :class:`repro.views.definition.AggregateView` (``has_extremes``).
 
+Classification is no longer a hard-coded function-name pattern: each
+spec carries a :class:`~repro.analysis.static.prover.Proof` (computed
+lazily, cached) and :meth:`AggregateSpec.is_extreme` is simply "the
+prover could not establish escrow eligibility". SUM additionally
+accepts a *linear row expression* (``SUM(price - cost)``,
+``SUM(-adjust)``): the contribution is stored as a
+coefficient-per-column normal form, so algebraically equal expressions
+compile to one canonical spec.
+
 AVG is available as a *derived* column: it is never stored, but
 :func:`derive_averages` computes it from a SUM/COUNT pair at read time.
 """
@@ -50,16 +59,27 @@ class AggregateSpec:
     AggregateSpec(cheapest=MIN(amount))
     """
 
-    __slots__ = ("out", "func", "source")
+    __slots__ = ("out", "func", "source", "coeffs", "const", "_proof")
 
-    def __init__(self, out, func, source=None):
+    def __init__(self, out, func, source=None, coeffs=None, const=0):
         if func is AggFunc.COUNT and source is not None:
             raise CatalogError("COUNT(*) takes no source column")
         if func is not AggFunc.COUNT and source is None:
             raise CatalogError(f"{func.name} needs a source column")
+        if coeffs is not None and func is not AggFunc.SUM:
+            raise CatalogError(
+                f"{func.name} does not take an expression argument"
+            )
         self.out = out
         self.func = func
         self.source = source
+        # SUM over an expression: contribution = coeffs . row + const.
+        # None means the classic single-column form (contribution =
+        # row[source]); kept distinct so plain SUM(col) specs compare
+        # and render exactly as before.
+        self.coeffs = dict(coeffs) if coeffs is not None else None
+        self.const = const
+        self._proof = None
 
     @classmethod
     def count(cls, out="row_count"):
@@ -68,6 +88,31 @@ class AggregateSpec:
     @classmethod
     def sum_of(cls, out, source):
         return cls(out, AggFunc.SUM, source)
+
+    @classmethod
+    def sum_expr(cls, out, form):
+        """SUM over a linear row expression, given its
+        :class:`~repro.analysis.static.prover.LinearForm`.
+
+        The canonical rendering of the form becomes ``source``, so the
+        plan signature is stable across algebraically equal spellings.
+        A form that is exactly one column (coefficient 1, no constant)
+        collapses to the classic :meth:`sum_of` spec.
+        """
+        columns = form.columns()
+        if (
+            len(columns) == 1
+            and form.coeffs[columns[0]] == 1
+            and form.const == 0
+        ):
+            return cls.sum_of(out, columns[0])
+        return cls(
+            out,
+            AggFunc.SUM,
+            form.canonical_text(),
+            coeffs=form.coeffs,
+            const=form.const,
+        )
 
     @classmethod
     def min_of(cls, out, source):
@@ -82,8 +127,37 @@ class AggregateSpec:
             return f"AggregateSpec({self.out}=COUNT(*))"
         return f"AggregateSpec({self.out}={self.func.name}({self.source}))"
 
+    @property
+    def proof(self):
+        """The escrow-eligibility :class:`Proof` for this column.
+
+        Computed by :mod:`repro.analysis.static.prover` on first access
+        and cached; imported lazily because the prover sits above this
+        module in the layering.
+        """
+        if self._proof is None:
+            from repro.analysis.static import prover
+
+            if self.func is AggFunc.COUNT:
+                self._proof = prover.prove_count()
+            elif self.func is AggFunc.SUM:
+                form = prover.LinearForm(
+                    self.coeffs if self.coeffs is not None
+                    else {self.source: 1},
+                    self.const,
+                )
+                self._proof = prover.prove_sum(form)
+            else:
+                self._proof = prover.prove_extreme(self.func.value)
+        return self._proof
+
     def is_extreme(self):
-        return self.func in EXTREME_FUNCS
+        """Whether this column needs exclusive-lock maintenance.
+
+        Delegates to the prover: an "extreme" is any column whose
+        escrow eligibility could not be proved.
+        """
+        return not self.proof.eligible
 
     def initial_value(self):
         """The value of a group with no rows: 0 for counters, None for
@@ -97,6 +171,11 @@ class AggregateSpec:
             raise CatalogError(f"{self.func.name} is not delta-maintainable")
         if self.func is AggFunc.COUNT:
             return sign
+        if self.coeffs is not None:
+            total = self.const
+            for column, coeff in self.coeffs.items():
+                total += coeff * row[column]
+            return sign * total
         return sign * row[self.source]
 
     def fold_extreme(self, current, value):

@@ -67,7 +67,9 @@ def group_aggregate(rows, group_by, aggregates):
             if spec.func is AggFunc.COUNT:
                 acc[spec.out] += 1
             elif spec.func is AggFunc.SUM:
-                acc[spec.out] += row[spec.source]
+                # delta_for evaluates expression arguments
+                # (SUM(a - b)) as well as the plain-column form.
+                acc[spec.out] += spec.delta_for(row, +1)
             else:
                 acc[spec.out] = spec.fold_extreme(acc[spec.out], row[spec.source])
     result = {}

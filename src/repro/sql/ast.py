@@ -14,6 +14,8 @@ Statements::
     Update(table, sets, where)
     Delete(table, where)
     Select(items, table, join, where, group_by)
+    CheckView(name)                                -- CHECK VIEW name
+    Explain(statement)                             -- EXPLAIN <stmt>
 
 Expressions (the WHERE / SET grammar)::
 
@@ -133,6 +135,28 @@ class Select(Statement):
         self.group_by = tuple(group_by) if group_by is not None else None
 
 
+class CheckView(Statement):
+    """``CHECK VIEW name`` — run the static analyzer over one
+    registered view and return its report."""
+
+    _fields = ("name",)
+
+    def __init__(self, name, pos=None):
+        super().__init__(pos)
+        self.name = name
+
+
+class Explain(Statement):
+    """``EXPLAIN <stmt>`` — compile the wrapped statement and return
+    its inferred lock footprint instead of executing it."""
+
+    _fields = ("statement",)
+
+    def __init__(self, statement, pos=None):
+        super().__init__(pos)
+        self.statement = statement
+
+
 class SelectItem(Node):
     """One projection item: an expression with an optional ``AS`` alias."""
 
@@ -195,8 +219,10 @@ class Star(Expr):
 
 
 class FuncCall(Expr):
-    """``COUNT(*)`` / ``SUM(col)`` / ``MIN(col)`` / ``MAX(col)``;
-    ``func`` is the upper-cased name, ``arg`` a ColumnRef or Star."""
+    """``COUNT(*)`` / ``SUM(expr)`` / ``MIN(col)`` / ``MAX(col)``;
+    ``func`` is the upper-cased name, ``arg`` a ColumnRef, Star, or
+    (for SUM) an arithmetic expression tree of BinaryOp/Literal/
+    ColumnRef nodes."""
 
     _fields = ("func", "arg")
 
@@ -265,7 +291,8 @@ class Not(Expr):
 
 
 class BinaryOp(Expr):
-    """Arithmetic in SET expressions: ``col + 5`` / ``col - 5``."""
+    """Arithmetic in SET expressions (``col + 5`` / ``col - 5``) and in
+    aggregate arguments, where ``*`` also appears (``SUM(2 * x)``)."""
 
     _fields = ("op", "left", "right")
 

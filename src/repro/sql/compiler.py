@@ -156,7 +156,17 @@ def _classify_items(select):
 
 def _aggregate_spec(item, scope, joined):
     """Turn one ``FUNC(...) AS alias`` select item into an
-    AggregateSpec, enforcing the escrow-eligibility rules."""
+    AggregateSpec.
+
+    Escrow eligibility is decided by the commutativity prover
+    (:mod:`repro.analysis.static.prover`), not by pattern-matching
+    function names: SUM arguments are normalized to a linear form, so
+    ``SUM(a - b)`` and ``SUM(-x)`` are both escrow-eligible and
+    algebraically equal spellings compile to one canonical spec. An
+    argument with no linear form is refused with diagnostic ``SA002``.
+    """
+    from repro.analysis.static.prover import NonLinearError, linearize
+
     call = item.expr
     if item.alias is None:
         raise BindError(
@@ -170,15 +180,26 @@ def _aggregate_spec(item, scope, joined):
                 **_pos_kwargs(call),
             )
         return AggregateSpec.count(item.alias)
-    if not isinstance(call.arg, ast.ColumnRef):
-        raise UnsupportedSqlError(
-            f"{call.func} needs a column argument",
-            **_pos_kwargs(call),
-        )
-    source = scope.resolve(call.arg)
     if call.func == "SUM":
-        return AggregateSpec.sum_of(item.alias, source)
+        try:
+            form = linearize(call.arg, resolve=scope.resolve)
+        except NonLinearError as exc:
+            pos_kwargs = _pos_kwargs(call)
+            if exc.pos is not None:
+                pos_kwargs = {"line": exc.pos[0], "column": exc.pos[1]}
+            raise UnsupportedSqlError(
+                f"SUM argument is not escrow-eligible [SA002]: "
+                f"{exc.detail} — the per-row contribution must be "
+                f"linear in the row for deltas to commute",
+                **pos_kwargs,
+            ) from exc
+        return AggregateSpec.sum_expr(item.alias, form)
     if call.func in ("MIN", "MAX"):
+        if not isinstance(call.arg, ast.ColumnRef):
+            raise UnsupportedSqlError(
+                f"{call.func} needs a column argument",
+                **_pos_kwargs(call),
+            )
         if joined:
             raise UnsupportedSqlError(
                 f"{call.func} is not supported over joins: extremes are "
@@ -186,6 +207,7 @@ def _aggregate_spec(item, scope, joined):
                 "only the escrow-eligible COUNT/SUM",
                 **_pos_kwargs(call),
             )
+        source = scope.resolve(call.arg)
         if call.func == "MIN":
             return AggregateSpec.min_of(item.alias, source)
         return AggregateSpec.max_of(item.alias, source)

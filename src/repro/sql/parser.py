@@ -9,7 +9,7 @@ The grammar, in one screen::
 
     script      := statement (';' statement)* [';']
     statement   := create_table | create_view | insert | update
-                 | delete | select
+                 | delete | select | check_view | explain
     create_table:= CREATE TABLE name '(' col,.. ',' PRIMARY KEY '(' col,.. ')' ')'
     create_view := CREATE [UNIQUE] INDEXED VIEW name
                    [WITH '(' opt '=' literal ,.. ')'] AS select
@@ -18,7 +18,13 @@ The grammar, in one screen::
     delete      := DELETE FROM name [WHERE expr]
     select      := SELECT item,.. FROM name [JOIN name ON eq [AND eq]..]
                    [WHERE expr] [GROUP BY col,..]
-    item        := '*' | agg '(' ('*'|col) ')' [AS name] | col [AS name]
+    check_view  := CHECK VIEW name
+    explain     := EXPLAIN (insert | update | delete | select | create_view)
+    item        := '*' | agg '(' agg_arg ')' [AS name] | col [AS name]
+    agg_arg     := '*' | arith
+    arith       := arith_term (('+'|'-') arith_term)*
+    arith_term  := arith_factor ('*' arith_factor)*
+    arith_factor:= ['-'] (number | col | '(' arith ')')
     expr        := or-tree over comparisons, BETWEEN, [NOT] IN, NOT, parens
     set_expr    := (col | literal) (('+'|'-') (col | literal))*
 """
@@ -31,7 +37,8 @@ from repro.sql.lexer import tokenize
 KEYWORDS = frozenset(
     """select from where group by join on and or not in between as
     insert into values update set delete create table primary key
-    unique indexed view with true false null count sum min max""".split()
+    unique indexed view with true false null count sum min max
+    check explain""".split()
 )
 
 _AGG_FUNCS = frozenset({"count", "sum", "min", "max"})
@@ -163,7 +170,29 @@ class _Parser:
             return self._delete()
         if word == "select":
             return self._select()
+        if word == "check":
+            return self._check_view()
+        if word == "explain":
+            return self._explain()
         self._error(f"unknown statement {token.value!r}")
+
+    def _check_view(self):
+        start = self._expect_kw("check")
+        self._expect_kw("view")
+        name = self._expect_name("view name")
+        return ast.CheckView(name.value, pos=self._pos(start))
+
+    def _explain(self):
+        start = self._expect_kw("explain")
+        token = self._peek()
+        if token.kind == "ident" and token.value.lower() in (
+            "check", "explain"
+        ):
+            self._error(
+                "EXPLAIN takes a data statement (INSERT, UPDATE, DELETE "
+                "or SELECT)", token=token,
+            )
+        return ast.Explain(self._statement(), pos=self._pos(start))
 
     def _create(self):
         start = self._expect_kw("create")
@@ -312,9 +341,11 @@ class _Parser:
             func_tok = self._advance()
             self._expect_op("(")
             if self._at_op("*"):
+                # A lone '*' is COUNT's Star; '*' cannot begin an
+                # arithmetic expression, so one token decides.
                 arg = ast.Star(pos=self._pos(self._advance()))
             else:
-                arg = self._column_ref()
+                arg = self._arith()
             self._expect_op(")")
             alias = None
             if self._take_kw("as"):
@@ -461,6 +492,51 @@ class _Parser:
                 first.value, second.value, pos=self._pos(first)
             )
         return ast.ColumnRef(None, first.value, pos=self._pos(first))
+
+    def _arith(self):
+        """Linear arithmetic inside aggregate arguments: ``a - b``,
+        ``-adjust``, ``2 * x + 1``. '*' binds tighter than '+'/'-';
+        unary minus is encoded as ``0 - x`` so the AST needs no new
+        node kinds."""
+        left = self._arith_term()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._advance()
+                left = ast.BinaryOp(
+                    token.value, left, self._arith_term(),
+                    pos=self._pos(token),
+                )
+                continue
+            return left
+
+    def _arith_term(self):
+        left = self._arith_factor()
+        while self._at_op("*"):
+            token = self._advance()
+            left = ast.BinaryOp(
+                "*", left, self._arith_factor(), pos=self._pos(token)
+            )
+        return left
+
+    def _arith_factor(self):
+        token = self._peek()
+        if self._at_op("-"):
+            minus = self._advance()
+            if self._peek().kind == "number":
+                number = self._advance()
+                return ast.Literal(-number.value, pos=self._pos(minus))
+            return ast.BinaryOp(
+                "-", ast.Literal(0, pos=self._pos(minus)),
+                self._arith_factor(), pos=self._pos(minus),
+            )
+        if self._take_op("("):
+            inner = self._arith()
+            self._expect_op(")")
+            return inner
+        if token.kind in ("number", "string") or self._at_literal_kw():
+            return self._literal()
+        return self._column_ref()
 
     def _set_expr(self):
         left = self._set_operand()

@@ -23,7 +23,11 @@ CONTINUATION = "...> "
 def _format_result(result, out):
     if result is None:
         return
-    if isinstance(result, list):
+    if hasattr(result, "render_lines"):
+        # CHECK VIEW / EXPLAIN reports print themselves.
+        for line in result.render_lines():
+            out.write(line + "\n")
+    elif isinstance(result, list):
         for row in result:
             out.write(
                 " | ".join(f"{k}={v!r}" for k, v in row.items()) + "\n"

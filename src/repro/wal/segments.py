@@ -86,10 +86,25 @@ def _write_floor(directory, first_lsn, segments):
 
 
 def _remove_floor(directory):
+    """Remove the truncation marker. Returns ``None`` on success (an
+    already-absent marker counts) or the ``OSError`` when the remove
+    failed — the caller decides whether a stale marker matters."""
     try:
         os.remove(floor_path(directory))
-    except OSError:
-        pass
+    except OSError as exc:
+        return exc
+    return None
+
+
+def _read_head_first_lsn(path):
+    """``first_lsn`` from a segment file's header line, or ``None``
+    when the head is unreadable (the old floor marker then keeps
+    :func:`load_segments` wary instead of being overwritten)."""
+    try:
+        with open(path) as f:
+            return json.loads(f.readline())["first_lsn"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
 
 
 def read_floor(directory):
@@ -286,12 +301,9 @@ def recycle_segments(directory, keep_from_lsn):
     if removed:
         remaining = segment_files(directory)
         if remaining:
-            try:
-                with open(remaining[0][1]) as f:
-                    first_lsn = json.loads(f.readline())["first_lsn"]
+            first_lsn = _read_head_first_lsn(remaining[0][1])
+            if first_lsn is not None:
                 _write_floor(directory, first_lsn, len(remaining))
-            except (OSError, ValueError, KeyError, TypeError):
-                pass  # head unreadable: the old marker keeps load wary
         else:
             # everything below the floor was recycled and nothing is
             # left — an empty directory is a legitimate empty chain

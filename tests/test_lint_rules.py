@@ -277,11 +277,192 @@ def test_rules_tuple_is_the_documented_set():
     assert RULES == (
         "unknown-event",
         "dead-event",
+        "event-flow",
         "determinism",
         "error-hierarchy",
         "bare-except",
+        "swallowed-exception",
         "import-surface",
         "page-discipline",
         "dist-isolation",
         "view-entry-point",
     )
+
+
+# ---------------------------------------------------------------------
+# the dataflow rules
+# ---------------------------------------------------------------------
+
+
+def test_event_flow_resolves_propagated_constants(tmp_path):
+    bad = _plant(
+        tmp_path,
+        "src/repro/flowy.py",
+        '''
+        NAME = "bogus_event"
+
+        def go(tracer):
+            tracer.emit(NAME, n=1)
+        ''',
+    )
+    findings = lint_paths([bad], rules=("event-flow",))
+    assert _rules(findings) == {"event-flow"}
+    assert "bogus_event" in findings[0].message
+
+
+def test_event_flow_accepts_a_registered_constant(tmp_path):
+    name = sorted(EVENT_TYPES)[0]
+    ok = _plant(
+        tmp_path,
+        "src/repro/flowy.py",
+        f'''
+        NAME = "{name}"
+
+        def go(tracer):
+            tracer.emit(NAME)
+        ''',
+    )
+    assert lint_paths([ok], rules=("event-flow",)) == []
+
+
+def test_event_flow_local_shadows_module_constant(tmp_path):
+    name = sorted(EVENT_TYPES)[0]
+    bad = _plant(
+        tmp_path,
+        "src/repro/flowy.py",
+        f'''
+        NAME = "{name}"
+
+        def go(tracer):
+            NAME = "shadowed_event"
+            tracer.emit(NAME)
+        ''',
+    )
+    findings = lint_paths([bad], rules=("event-flow",))
+    assert _rules(findings) == {"event-flow"}
+    assert "shadowed_event" in findings[0].message
+
+
+def test_event_flow_flags_unresolvable_names(tmp_path):
+    # A rebound or parameter-passed name cannot be checked against the
+    # catalogue — that opacity is itself the finding.
+    for body in (
+        'def go(tracer, which):\n    tracer.emit(which)\n',
+        'def go(tracer, cond):\n'
+        '    name = "a_event" if cond else "b_event"\n'
+        '    tracer.emit(name)\n',
+    ):
+        bad = _plant(tmp_path, "src/repro/flowy.py", body)
+        findings = lint_paths([bad], rules=("event-flow",))
+        assert _rules(findings) == {"event-flow"}, body
+        assert "not a statically-resolvable" in findings[0].message
+
+
+def test_event_flow_gives_dead_event_credit(tmp_path):
+    # An event emitted only through a propagated constant still counts
+    # as live for the dead-event rule.
+    name = sorted(EVENT_TYPES)[0]
+    _plant(tmp_path, "src/repro/obs/events.py", '"""stub registry"""\n')
+    _plant(
+        tmp_path,
+        "src/repro/flowy.py",
+        f'NAME = "{name}"\n\ndef go(tracer):\n    tracer.emit(NAME)\n',
+    )
+    findings = lint_paths(
+        [tmp_path / "src"], rules=("dead-event", "event-flow")
+    )
+    flagged = {f.message.split("'")[1] for f in findings}
+    assert name not in flagged
+    assert flagged == set(EVENT_TYPES) - {name}
+
+
+def test_swallowed_exception_fires_on_builtin_pass(tmp_path):
+    bad = _plant(
+        tmp_path,
+        "src/repro/gulp.py",
+        '''
+        def quiet(path):
+            try:
+                return open(path).read()
+            except OSError:
+                pass
+        ''',
+    )
+    findings = lint_paths([bad], rules=("swallowed-exception",))
+    assert _rules(findings) == {"swallowed-exception"}
+    assert "OSError" in findings[0].message
+
+
+def test_swallowed_exception_fires_on_continue_in_tuple(tmp_path):
+    bad = _plant(
+        tmp_path,
+        "benchmarks/gulp.py",
+        '''
+        def quiet(paths):
+            for p in paths:
+                try:
+                    yield open(p).read()
+                except (ValueError, KeyError):
+                    continue
+        ''',
+    )
+    findings = lint_paths([bad], rules=("swallowed-exception",))
+    assert _rules(findings) == {"swallowed-exception"}
+    assert "ValueError, KeyError" in findings[0].message
+
+
+def test_swallowed_exception_allows_handled_and_repro_errors(tmp_path):
+    ok = _plant(
+        tmp_path,
+        "src/repro/polite.py",
+        '''
+        from repro.common.errors import StorageError
+
+        def a(path):
+            try:
+                return open(path).read()
+            except OSError as exc:
+                return exc  # recorded, not swallowed
+
+        def b(records):
+            for r in records:
+                try:
+                    r.load()
+                except StorageError:
+                    continue  # engine-hierarchy swallows are deliberate
+        ''',
+    )
+    assert lint_paths([ok], rules=("swallowed-exception",)) == []
+
+
+def test_swallowed_exception_exempts_the_errors_module(tmp_path):
+    ok = _plant(
+        tmp_path,
+        "src/repro/common/errors.py",
+        '''
+        def probe(x):
+            try:
+                return int(x)
+            except ValueError:
+                pass
+        ''',
+    )
+    assert lint_paths([ok], rules=("swallowed-exception",)) == []
+
+
+def test_import_surface_allows_analysis_in_benchmarks_only(tmp_path):
+    ok = _plant(
+        tmp_path,
+        "benchmarks/gate.py",
+        "from repro.analysis.lint import lint_paths\n"
+        "from repro.analysis.static import StaticAnalyzer\n"
+        "from repro import analysis\n",
+    )
+    assert lint_paths([ok], rules=("import-surface",)) == []
+    bad = _plant(
+        tmp_path,
+        "examples/gate.py",
+        "from repro.analysis.lint import lint_paths\n",
+    )
+    findings = lint_paths([bad], rules=("import-surface",))
+    assert _rules(findings) == {"import-surface"}

@@ -1,0 +1,88 @@
+"""The ``docs/ANALYSIS.md`` §5 contract: the documented SA diagnostic
+catalogue, prover rule names, and lock-footprint grammar must match the
+static analyzer's code."""
+
+import pathlib
+import re
+
+from repro.analysis.static import StaticAnalyzer, prove_count, prove_extreme
+from repro.analysis.static.diagnostics import CATALOG
+from repro.analysis.static.prover import LinearForm, prove_sum
+from repro.core.database import Database
+
+DOC = (
+    pathlib.Path(__file__).resolve().parent.parent / "docs" / "ANALYSIS.md"
+).read_text()
+
+SECTION = re.search(
+    r"^## 5\. Static analysis$(.*)", DOC, re.MULTILINE | re.DOTALL
+).group(1)
+
+
+def test_sa_catalogue_table_matches_code():
+    rows = re.findall(
+        r"^\| `(SA\d+)` \| (\w+) \| (.+?) \|$", SECTION, re.MULTILINE
+    )
+    documented = {code: (severity, title) for code, severity, title in rows}
+    assert documented == CATALOG
+
+
+def test_proof_rule_names_documented():
+    live_rules = {
+        prove_count().rule,
+        prove_sum(LinearForm({"a": 1})).rule,
+        prove_sum(LinearForm({"a": 1, "b": -1})).rule,
+        prove_extreme("min").rule,
+        "sum-nonlinear",  # the refusal path (SA002) names this rule
+    }
+    assert live_rules == {
+        "count-unit", "sum-linear", "sum-nonlinear",
+        "extreme-not-invertible",
+    }
+    for rule in live_rules:
+        assert f"`{rule}`" in SECTION, rule
+
+
+def test_axiom_names_documented():
+    proof = prove_count()
+    for axiom in ("delta-commutes", "delta-inverts"):
+        assert any(axiom in line for line in proof.evidence), axiom
+        assert f"**{axiom}**" in SECTION, axiom
+
+
+def test_footprint_grammar_covers_live_modes_and_resources():
+    grammar_modes = set(
+        re.findall(r"'(IX|S|X|E|RangeI-N|RangeS-S)'", SECTION)
+    )
+    db = Database()
+    db.execute(
+        """
+        CREATE TABLE t (id, grp, amount, PRIMARY KEY (id));
+        CREATE UNIQUE INDEXED VIEW v AS
+            SELECT grp, COUNT(*) AS n, SUM(amount) AS total,
+                   MIN(amount) AS lo
+            FROM t GROUP BY grp;
+        """
+    )
+    analyzer = StaticAnalyzer(db.catalog)
+    step_re = re.compile(
+        r"^(\S+)/(table|key <[^>]+>|gap <[^>]+>|range <[^>]+>|range \*): "
+        r"(\S+) -- "
+    )
+    seen_modes = set()
+    for op in ("insert", "update", "delete"):
+        footprint = analyzer.explain(op, "t").footprints[0]
+        for line in footprint.render_lines()[1:]:
+            match = step_re.match(line.strip())
+            assert match, f"footprint step breaks documented grammar: {line}"
+            seen_modes.add(match.group(3))
+    assert seen_modes <= grammar_modes
+
+
+def test_entry_points_documented():
+    for needle in (
+        "CHECK VIEW", "EXPLAIN", "make analyze",
+        "python -m repro.analysis.check", "validate_static_report",
+        "`static_check`", "LockPolicy.COOPERATIVE",
+    ):
+        assert needle in SECTION, needle

@@ -1,0 +1,243 @@
+"""The commutativity prover: LinearForm algebra, linearization of SUM
+arguments, and the proof rules that replaced the compiler's
+function-name pattern (docs/ANALYSIS.md §5).
+
+Includes the satellite regression for this PR: ``SUM(a - b)`` and
+``SUM(-x)`` used to be refused by the column-argument pattern; the
+prover makes both escrow-eligible, and algebraically equal spellings
+compile to one canonical spec.
+"""
+
+import pytest
+
+from repro.analysis.static.prover import (
+    LinearForm,
+    NonLinearError,
+    disprove_sum,
+    linearize,
+    prove_count,
+    prove_extreme,
+    prove_sum,
+)
+from repro.common import CatalogError, UnsupportedSqlError
+from repro.core.database import Database
+from repro.sql import ast
+
+
+# -- LinearForm algebra ----------------------------------------------------
+
+
+def test_linear_form_drops_zero_coefficients():
+    assert LinearForm({"a": 1, "b": 0}) == LinearForm({"a": 1})
+
+
+def test_linear_form_plus_and_scaled():
+    a_minus_b = LinearForm({"a": 1}).plus(LinearForm({"b": 1}).scaled(-1))
+    assert a_minus_b == LinearForm({"a": 1, "b": -1})
+    # a - a cancels entirely
+    assert LinearForm({"a": 1}).plus(LinearForm({"a": -1})) == LinearForm()
+
+
+def test_linear_form_evaluate_is_the_row_contribution():
+    form = LinearForm({"price": 1, "cost": -1}, const=5)
+    assert form.evaluate({"price": 10, "cost": 3}) == 12
+
+
+def test_linear_form_hashable_and_equal_across_spellings():
+    direct = LinearForm({"a": 1, "b": -1})
+    built = LinearForm({"b": -1}).plus(LinearForm({"a": 1}))
+    assert direct == built
+    assert len({direct, built}) == 1
+
+
+def test_canonical_text_round_trips_through_the_parser():
+    for form in (
+        LinearForm({"a": 1, "b": -1}),
+        LinearForm({"x": -1}),
+        LinearForm({"a": 2, "b": -3}, const=7),
+        LinearForm(const=-4),
+    ):
+        text = form.canonical_text()
+        stmt = _parse_select(f"SELECT SUM({text}) AS s FROM t GROUP BY g")
+        reparsed = linearize(stmt.items[0].expr.arg)
+        assert reparsed == form, text
+
+
+def _parse_select(sql):
+    from repro.sql import parse
+
+    (stmt,) = parse(sql)
+    return stmt
+
+
+# -- linearize over SQL expressions ----------------------------------------
+
+
+def _sum_arg(sql_expr):
+    stmt = _parse_select(f"SELECT SUM({sql_expr}) AS s FROM t GROUP BY g")
+    return stmt.items[0].expr.arg
+
+
+def test_linearize_column_and_difference():
+    assert linearize(_sum_arg("amount")) == LinearForm({"amount": 1})
+    assert linearize(_sum_arg("price - cost")) == LinearForm(
+        {"price": 1, "cost": -1}
+    )
+
+
+def test_linearize_negation_and_constant_factors():
+    assert linearize(_sum_arg("-x")) == LinearForm({"x": -1})
+    assert linearize(_sum_arg("3 * x")) == LinearForm({"x": 3})
+    assert linearize(_sum_arg("x * 3 - 2 * y + 1")) == LinearForm(
+        {"x": 3, "y": -2}, const=1
+    )
+
+
+def test_linearize_resolve_maps_qualified_columns():
+    arg = _sum_arg("t.amount")
+    resolved = linearize(arg, resolve=lambda ref: f"bound:{ref.name}")
+    assert resolved == LinearForm({"bound:amount": 1})
+
+
+def test_linearize_rejects_column_products_with_position():
+    with pytest.raises(NonLinearError) as info:
+        linearize(_sum_arg("a * b"))
+    assert "product of two column expressions" in info.value.detail
+    assert info.value.pos is not None
+
+
+def test_linearize_rejects_nested_calls_and_nonnumeric_literals():
+    with pytest.raises(NonLinearError, match="nested MIN"):
+        linearize(ast.FuncCall("MIN", ast.ColumnRef(None, "a")))
+    with pytest.raises(NonLinearError, match="not numeric"):
+        linearize(ast.Literal("oops"))
+    with pytest.raises(NonLinearError, match="not a linear row expression"):
+        linearize(ast.Star())
+
+
+def test_nonlinear_error_is_a_catalog_error():
+    exc = NonLinearError("detail text", pos=(3, 9))
+    assert isinstance(exc, CatalogError)
+    assert exc.detail == "detail text"
+    assert exc.pos == (3, 9)
+
+
+# -- proof rules -----------------------------------------------------------
+
+
+def test_prove_count_checks_both_axioms():
+    proof = prove_count()
+    assert proof.rule == "count-unit" and proof.eligible
+    assert any("delta-commutes" in line for line in proof.evidence)
+    assert any("delta-inverts" in line for line in proof.evidence)
+
+
+def test_prove_sum_shows_its_contribution():
+    proof = prove_sum(LinearForm({"price": 1, "cost": -1}))
+    assert proof.rule == "sum-linear" and proof.eligible
+    assert "SUM(cost" not in proof.reason  # canonical order is sorted
+    assert any("linear-in-delta" in line for line in proof.evidence)
+
+
+def test_disprove_sum_names_the_failure():
+    proof = disprove_sum("product of two column expressions")
+    assert proof.rule == "sum-nonlinear" and not proof.eligible
+    assert "product of two column expressions" in proof.reason
+
+
+def test_prove_extreme_carries_the_counterexample():
+    for func in ("min", "max"):
+        proof = prove_extreme(func)
+        assert proof.rule == "extreme-not-invertible"
+        assert not proof.eligible
+        assert any("counterexample" in line for line in proof.evidence)
+
+
+# -- the satellite regression: SUM(a - b) / SUM(-x) ------------------------
+
+
+def _sum_spec(db):
+    return next(
+        s for s in db.catalog.view("v").aggregates if s.func.name == "SUM"
+    )
+
+
+def _aggregate_specs(extra_views):
+    db = Database()
+    db.execute(
+        """
+        CREATE TABLE t (id, g, a, b, x, PRIMARY KEY (id));
+        """
+        + extra_views
+    )
+    return db
+
+
+def test_sum_of_difference_is_escrow_eligible():
+    db = _aggregate_specs(
+        "CREATE UNIQUE INDEXED VIEW v AS "
+        "SELECT g, COUNT(*) AS n, SUM(a - b) AS net FROM t GROUP BY g;"
+    )
+    spec = _sum_spec(db)
+    assert spec.proof.eligible and spec.proof.rule == "sum-linear"
+    assert not spec.is_extreme()
+    assert not db.catalog.view("v").has_extremes()
+
+
+def test_sum_of_negation_is_escrow_eligible():
+    db = _aggregate_specs(
+        "CREATE UNIQUE INDEXED VIEW v AS "
+        "SELECT g, COUNT(*) AS n, SUM(-x) AS drain FROM t GROUP BY g;"
+    )
+    spec = _sum_spec(db)
+    assert spec.proof.eligible
+    assert spec.source == "-x"
+
+
+def test_equal_spellings_compile_to_one_canonical_spec():
+    specs = []
+    for expr in ("a - b", "-b + a", "a + 0 - b", "a - 1 * b"):
+        db = _aggregate_specs(
+            f"CREATE UNIQUE INDEXED VIEW v AS "
+            f"SELECT g, COUNT(*) AS n, SUM({expr}) AS net FROM t GROUP BY g;"
+        )
+        spec = _sum_spec(db)
+        specs.append(spec)
+    assert len({s.source for s in specs}) == 1
+    assert {s.source for s in specs} == {"a - b"}
+    assert all(s.coeffs == {"a": 1, "b": -1} for s in specs)
+
+
+def test_expression_sums_maintain_correctly():
+    db = _aggregate_specs(
+        "CREATE UNIQUE INDEXED VIEW v AS "
+        "SELECT g, SUM(a - b) AS net, COUNT(*) AS n FROM t GROUP BY g;"
+    )
+    db.execute(
+        "INSERT INTO t (id, g, a, b, x) VALUES "
+        "(1, 'k', 10, 3, 0), (2, 'k', 5, 1, 0), (3, 'j', 8, 8, 0)"
+    )
+    db.execute("DELETE FROM t WHERE id = 2")
+    db.execute("UPDATE t SET a = 20 WHERE id = 1")
+    assert db.check_all_views() == []
+    rows = {row["g"]: row["net"] for row in db.execute("SELECT * FROM v")}
+    assert rows == {"k": 17, "j": 0}
+
+
+def test_plain_sum_spec_is_unchanged_by_the_prover():
+    db = _aggregate_specs(
+        "CREATE UNIQUE INDEXED VIEW v AS "
+        "SELECT g, COUNT(*) AS n, SUM(a) AS total FROM t GROUP BY g;"
+    )
+    spec = _sum_spec(db)
+    assert spec.source == "a" and spec.coeffs is None
+
+
+def test_nonlinear_sum_is_refused_with_sa002():
+    db = _aggregate_specs("")
+    with pytest.raises(UnsupportedSqlError, match=r"\[SA002\]") as info:
+        db.execute(
+            "CREATE UNIQUE INDEXED VIEW v AS "
+            "SELECT g, COUNT(*) AS n, SUM(a * b) AS cross FROM t GROUP BY g"
+        )
+    assert "linear" in str(info.value)
