@@ -2,16 +2,17 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
 .PHONY: analyze test bench bench-smoke bench-r16 bench-r17 chaos-smoke \
-	check-results dist-smoke lint sanitize-smoke sql-smoke storage-smoke \
-	verify
+	check-results dist-smoke lint net-smoke sanitize-smoke sql-smoke \
+	storage-smoke verify
 
 # The PR gate, in dependency-cheapest order: the AST lint rules, the
 # static view-program analyzer, the full tier-1 test suite, the
 # protocol sanitizers, the paged-storage smoke, the bounded chaos tier
 # (which includes the crash-storm recovery leg), then the sharded 2PC
-# smoke. benchmarks/run_all.py finishes with the same chain.
+# smoke and its message-transport tier. benchmarks/run_all.py finishes
+# with the same chain.
 verify: lint analyze test sanitize-smoke storage-smoke chaos-smoke \
-	dist-smoke sql-smoke
+	dist-smoke net-smoke sql-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -77,6 +78,15 @@ chaos-smoke:
 # and the presumed-abort negative control, then the schema gate.
 dist-smoke:
 	cd benchmarks && $(PYTHON) -c "import dist_smoke as b; b.scenario()"
+	$(PYTHON) benchmarks/check_results.py
+
+# The message-transport smoke: a quiet network is transparent, a lossy
+# one (all five net.* sites armed) still settles every global
+# transaction atomically, and a coordinator crash storm at every
+# protocol step recovers from the durable decision log, then the
+# schema gate.
+net-smoke:
+	cd benchmarks && $(PYTHON) -c "import net_smoke as b; b.scenario()"
 	$(PYTHON) benchmarks/check_results.py
 
 # The SQL-surface smoke: dialect execution against engine-level

@@ -1,0 +1,305 @@
+#!/usr/bin/env python
+"""Message-transport smoke: lossy-network 2PC and coordinator crashes.
+
+Three legs on a 4-partition ``ShardedDatabase``, all of whose traffic
+rides the deterministic ``repro.dist.net`` transport
+(``docs/ARCHITECTURE.md`` §9, ``docs/ROBUSTNESS.md`` "lossy network"):
+
+1. **healthy transport** — deposits and cross-partition moves over a
+   quiet network: every message delivered first try, zero retries, zero
+   dedup work, conservation exactly clean. The transport must be
+   invisible when nothing is armed.
+2. **lossy network** — all five ``net.*`` sites armed with seeded
+   probabilities (drop requests, drop replies, duplicate, reorder,
+   delay) over a stream of zero-sum moves. At-least-once retries plus
+   endpoint dedup must keep every global transaction atomic — each move
+   commits exactly once or aborts without trace — and settlement
+   restores conservation.
+3. **coordinator crash storm** — ``dist.coordinator_crash`` kills the
+   coordinator at every protocol step in turn (before phase 1, between
+   prepares, at the decision point, before phase 2, mid phase 2).
+   Survivor traffic forces a hand-off each time; decisions on the
+   durable log stand, undecided gids presume abort, and the decision
+   log never holds a duplicate record.
+
+This is the ``make net-smoke`` / ``run_all.py`` gate for
+``repro.dist.net`` — a regression in retry/backoff, dedup, the failure
+detector, or coordinator recovery shows up here in seconds.
+
+Run:  python benchmarks/net_smoke.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.api import (
+    EngineConfig,
+    FaultInjector,
+    ShardedDatabase,
+    TransactionAborted,
+    check_conservation,
+)  # noqa: E402
+
+from harness import claim, emit  # noqa: E402
+
+BOUNDS = (250, 500, 750)  # 4 partitions
+REGIONS = ("east", "west", "north")
+SEED_PER_REGION = 400
+
+#: armed probability per net.* site in the lossy leg
+LOSSY_SCHEDULE = (
+    ("net.request_lost", 0.15),
+    ("net.reply_lost", 0.10),
+    ("net.duplicate", 0.20),
+    ("net.reorder", 0.10),
+    ("net.delay", 0.10),
+)
+
+
+def build():
+    db = ShardedDatabase(BOUNDS, EngineConfig(aggregate_strategy="escrow"))
+    db.create_table("accounts", ("id", "region", "amount"), ("id",))
+    db.create_view(
+        "CREATE UNIQUE INDEXED VIEW region_totals AS "
+        "SELECT region, COUNT(*) AS n_accounts, SUM(amount) AS balance "
+        "FROM accounts GROUP BY region"
+    )
+    key = 0
+    for region in REGIONS:
+        for base in (0, 250, 500, 750):
+            txn = db.begin()
+            db.insert(txn, "accounts", {
+                "id": base + key, "region": region,
+                "amount": SEED_PER_REGION // 4,
+            })
+            db.commit(txn)
+        key += 1
+    return db
+
+
+def move(db, src, dst, region, amount):
+    """A zero-sum cross-partition transfer; returns its outcome and the
+    transaction (for later settlement)."""
+    txn = db.begin()
+    try:
+        db.insert(txn, "accounts", {"id": dst, "region": region,
+                                    "amount": amount})
+        db.insert(txn, "accounts", {"id": src, "region": region,
+                                    "amount": -amount})
+        outcome = db.commit(txn)
+    except TransactionAborted:
+        if txn.state == "active":
+            db.abort(txn, reason="net fault")
+        outcome = "abort"
+    return outcome, txn
+
+
+def region_balances(db):
+    return {
+        region: db.read_folded("region_totals", (region,))["balance"]
+        for region in REGIONS
+    }
+
+
+def atomic(db, src, dst, amount, outcome):
+    """Both rows of a move present exactly once, or neither."""
+    debit = db.read_committed("accounts", (src,))
+    credit = db.read_committed("accounts", (dst,))
+    if outcome == "commit":
+        return (credit is not None and credit["amount"] == amount
+                and debit is not None and debit["amount"] == -amount)
+    return credit is None and debit is None
+
+
+def leg_healthy():
+    db = build()
+    moves = 0
+    for i, region in enumerate(REGIONS * 4):
+        outcome, _ = move(db, 20 + i, 770 + i, region, 5 + i)
+        assert outcome == "commit"
+        moves += 1
+    stats = db.stats()["net"]
+    balances = region_balances(db)
+    ok = (
+        all(b == SEED_PER_REGION for b in balances.values())
+        and stats["messages"] > 0
+        and stats["delivered"] == stats["messages"]
+        and stats["retries"] == 0
+        and stats["gave_up"] == 0
+        and stats["dedup_absorbed"] == 0
+        and check_conservation(db) == []
+    )
+    return ok, [
+        ["healthy: messages delivered", stats["delivered"]],
+        ["healthy: retries", stats["retries"]],
+        ["healthy: conservation problems", len(check_conservation(db))],
+    ]
+
+
+def leg_lossy_network():
+    db = build()
+    inj = FaultInjector(seed=31)
+    db.install_fault_injector(inj)
+    for site, probability in LOSSY_SCHEDULE:
+        inj.arm(site, probability=probability, delay=3)
+    outcomes = []
+    for i, region in enumerate(REGIONS * 4):
+        outcome, txn = move(db, 20 + i, 770 + i, region, 5)
+        outcomes.append((20 + i, 770 + i, outcome, txn))
+    inj.disarm()
+    # Settlement: resolve anything in doubt, then a coordinator hand-off
+    # sweeps leftover prepared branches from the in-doubt reports.
+    for _, _, _, txn in outcomes:
+        if txn.state == "in_doubt":
+            db.resolve(txn)
+    for pid in list(db.down_partitions()):
+        db.recover_partition(pid)
+    db.recover_coordinator()
+    stats = db.stats()["net"]
+    commits = sum(1 for _, _, o, _ in outcomes if o == "commit")
+    aborts = len(outcomes) - commits
+    all_atomic = all(
+        atomic(db, src, dst, 5, outcome)
+        for src, dst, outcome, _ in outcomes
+    )
+    ok = (
+        stats["request_lost"] > 0
+        and stats["retries"] > 0
+        and stats["duplicates"] > 0
+        and stats["dedup_absorbed"] > 0
+        and commits > 0
+        and all_atomic
+        and db.in_doubt_total() == 0
+        and all(b == SEED_PER_REGION for b in region_balances(db).values())
+        and check_conservation(db) == []
+    )
+    return ok, [
+        ["lossy: moves committed / aborted", f"{commits} / {aborts}"],
+        ["lossy: messages lost (req+reply)",
+         stats["request_lost"] + stats["reply_lost"]],
+        ["lossy: retries / gave up", f"{stats['retries']} / "
+         f"{stats['gave_up']}"],
+        ["lossy: duplicates absorbed", stats["dedup_absorbed"]],
+        ["lossy: conservation problems", len(check_conservation(db))],
+    ]
+
+
+def leg_coordinator_storm():
+    db = build()
+    inj = FaultInjector(seed=32)
+    db.install_fault_injector(inj)
+    # (src, dst, crash step); None = crash at the decision point, which
+    # is matched by the transaction's own gid.
+    storm = [
+        (300, 780, "prepare_send:1"),
+        (301, 781, "prepare_send:3"),
+        (302, 782, None),
+        (303, 783, "decide_send:1"),
+        (304, 784, "decide_send:3"),
+    ]
+    outcomes = []
+    crashes_observed = 0
+    survivor_commits = 0
+    for offset, (src, dst) in enumerate((s[:2] for s in storm)):
+        step = storm[offset][2]
+        txn = db.begin()
+        inj.arm("dist.coordinator_crash",
+                match=step if step is not None else txn.gid, times=1)
+        try:
+            db.insert(txn, "accounts",
+                      {"id": dst, "region": "east", "amount": 8})
+            db.insert(txn, "accounts",
+                      {"id": src, "region": "east", "amount": -8})
+            outcome = db.commit(txn)
+        except TransactionAborted:
+            outcome = "abort"
+        if db.coordinator.crashed:
+            crashes_observed += 1
+        inj.disarm("dist.coordinator_crash")
+        # Survivor traffic forces the hand-off: begin() recovers the
+        # coordinator and sweeps leftover prepared branches.
+        survivor = db.begin()
+        db.insert(survivor, "accounts",
+                  {"id": 600 + offset, "region": "west", "amount": 1})
+        if db.commit(survivor) == "commit":
+            survivor_commits += 1
+        if txn.state == "in_doubt":
+            outcome = db.resolve(txn)
+        outcomes.append((src, dst, txn.gid, outcome))
+    stats = db.stats()["dist"]
+    # A decision that reached the durable log stands; anything less is
+    # presumed abort — and the log never holds a duplicate record.
+    decisions_consistent = all(
+        db.coordinator.durable_decision(gid) == (
+            "commit" if outcome == "commit" else None
+        )
+        for _, _, gid, outcome in outcomes
+    )
+    durable_commits = sum(1 for *_, o in outcomes if o == "commit")
+    all_atomic = all(
+        atomic(db, src, dst, 8, outcome)
+        for src, dst, _, outcome in outcomes
+    )
+    ok = (
+        crashes_observed == len(storm)
+        and stats["coordinator_recoveries"] == len(storm)
+        and db.coordinator.epoch == len(storm)
+        and survivor_commits == len(storm)
+        and decisions_consistent
+        and db.coordinator.stats()["log_records"] == durable_commits
+        and all_atomic
+        and db.in_doubt_total() == 0
+        and check_conservation(db) == []
+    )
+    return ok, [
+        ["storm: coordinator crashes / recoveries",
+         f"{crashes_observed} / {stats['coordinator_recoveries']}"],
+        ["storm: survivor commits during storm", survivor_commits],
+        ["storm: durable decision records", len(db.coordinator.log)],
+        ["storm: presumed aborts", stats["presumed_aborts"]],
+        ["storm: conservation problems", len(check_conservation(db))],
+    ]
+
+
+def scenario():
+    rows = []
+    checks = []
+    legs = [
+        ("healthy transport is transparent", leg_healthy),
+        ("lossy network settles atomically", leg_lossy_network),
+        ("coordinator crash storm recovers", leg_coordinator_storm),
+    ]
+    for label, leg in legs:
+        ok, leg_rows = leg()
+        checks.append((label, ok))
+        rows.extend(leg_rows)
+    emit(
+        "net",
+        ["measure", "value"],
+        rows,
+        "net smoke: lossy-network 2PC, exactly-once effects, "
+        "coordinator crash storm",
+        params={
+            "partitions": len(BOUNDS) + 1,
+            "boundaries": list(BOUNDS),
+            "lossy_schedule": {site: p for site, p in LOSSY_SCHEDULE},
+            "storm_steps": 5,
+        },
+        claim=claim(
+            "all fleet traffic rides the faultable transport: a lossy "
+            "network degrades to retries and clean aborts but never "
+            "half-applies a global transaction, and a coordinator crash "
+            "at any protocol step recovers from the durable decision "
+            "log with no decision lost or duplicated",
+            checks,
+        ),
+    )
+    assert all(ok for _, ok in checks), [l for l, ok in checks if not ok]
+    return checks
+
+
+if __name__ == "__main__":
+    scenario()

@@ -41,6 +41,7 @@ BENCHES = [
     ("sanitize_smoke", "scenario"),
     ("storage_smoke", "scenario"),
     ("dist_smoke", "scenario"),
+    ("net_smoke", "scenario"),
     ("sql_smoke", "scenario"),
     ("analyze_smoke", "scenario"),
 ]

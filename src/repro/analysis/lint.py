@@ -42,6 +42,13 @@ status 1 on any finding), via ``make lint``, or programmatically through
   touched only inside ``repro/dist/``; everything else goes through the
   ``ShardedDatabase`` facade (or its ``partition()`` accessor), so no
   code path can reach across partitions behind the coordinator's back.
+* **transport-discipline** — *inside* ``repro/dist/``, the 2PC/DML
+  protocol methods (``insert``/``commit``/``prepare``/``decide``/
+  ``resolve``/``recover_*``/...) never touch ``._engines`` directly:
+  all coordinator → partition traffic rides the ``repro.dist.net``
+  transport, so the ``net.*`` fault sites see every protocol message.
+  Construction, schema fan-out, folded reads, and operator accessors
+  may still hold the engine list.
 * **view-entry-point** — the deprecated ``create_*_view`` wrappers are
   not called by engine or client code; views are created through
   ``Database.create_view`` (a definition or ``CREATE INDEXED VIEW``
@@ -64,6 +71,7 @@ RULES = (
     "import-surface",
     "page-discipline",
     "dist-isolation",
+    "transport-discipline",
     "view-entry-point",
 )
 
@@ -100,6 +108,16 @@ _PAGE_LAYER = (("storage", "pages.py"), ("storage", "bufferpool.py"))
 #: the attribute that holds a ShardedDatabase's partition engines;
 #: reaching it outside ``repro/dist/`` bypasses the 2PC facade.
 _DIST_ENGINES_ATTR = "_engines"
+
+#: protocol methods inside ``repro/dist/`` that must reach partitions
+#: only through the ``repro.dist.net`` transport — a direct
+#: ``._engines`` access from (a function nested in) one of these would
+#: bypass the ``net.*`` fault sites and the endpoint dedup tables.
+_DIST_COMMIT_PATH = frozenset({
+    "insert", "update", "delete", "read", "commit", "abort", "prepare",
+    "decide", "resolve", "_two_phase_commit", "_apply_decision",
+    "recover_partition", "recover_coordinator",
+})
 
 #: builtin exception class names (to distinguish ``raise SomeBuiltin``
 #: from re-raising a local variable).
@@ -233,6 +251,10 @@ class _FileLinter(ast.NodeVisitor):
         self.check_dist = (
             "dist-isolation" in rules
             and (_rel_to_repro(path) or ())[:1] != ("dist",)
+        )
+        self.check_transport = (
+            "transport-discipline" in rules
+            and (_rel_to_repro(path) or ())[:1] == ("dist",)
         )
         self.check_swallow = (
             "swallowed-exception" in rules
@@ -435,6 +457,19 @@ class _FileLinter(ast.NodeVisitor):
                 "direct partition-engine access ._engines outside "
                 "repro/dist/; go through the ShardedDatabase facade "
                 "(or .partition(pid)) so 2PC cannot be bypassed",
+            )
+        if (
+            self.check_transport
+            and node.attr == _DIST_ENGINES_ATTR
+            and any(name in _DIST_COMMIT_PATH for name in self._func_stack)
+        ):
+            self.flag(
+                node,
+                "transport-discipline",
+                "direct ._engines access from a commit-path method in "
+                "repro/dist/; coordinator-to-partition traffic goes "
+                "through the repro.dist.net transport so the net.* "
+                "fault sites see every protocol message",
             )
         self.generic_visit(node)
 

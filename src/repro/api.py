@@ -93,6 +93,7 @@ from repro.core.inspect import (
 from repro.core.session import Session
 from repro.dist import (
     DistTransaction,
+    FailureDetector,
     RangePartitioner,
     ShardedDatabase,
     TwoPhaseCoordinator,
@@ -103,6 +104,7 @@ from repro.integrity import Damage, IntegrityReport, check_database
 from repro.metrics import Counters, Histogram, format_table
 from repro.obs import (
     EVENT_TYPES,
+    NET_STATS_FIELDS,
     RECOVERY_REPORT_FIELDS,
     RESULT_SCHEMA_VERSION,
     SALVAGE_REPORT_FIELDS,
@@ -264,6 +266,8 @@ __all__ = [
     "validate_static_report",
     # distribution
     "DistTransaction",
+    "FailureDetector",
+    "NET_STATS_FIELDS",
     "RangePartitioner",
     "ShardedDatabase",
     "TwoPhaseCoordinator",

@@ -1,12 +1,20 @@
-"""Range-sharded engines with two-phase commit (see docs/ARCHITECTURE.md §9)."""
+"""Range-sharded engines with two-phase commit over a faultable message
+transport (see docs/ARCHITECTURE.md §9)."""
 
 from repro.dist.coordinator import TwoPhaseCoordinator
+from repro.dist.detector import FailureDetector
 from repro.dist.integrity import check_conservation
+from repro.dist.net import Channel, Envelope, Network, PartitionEndpoint
 from repro.dist.partitioner import RangePartitioner
 from repro.dist.sharded import DistTransaction, ShardedDatabase
 
 __all__ = [
+    "Channel",
     "DistTransaction",
+    "Envelope",
+    "FailureDetector",
+    "Network",
+    "PartitionEndpoint",
     "RangePartitioner",
     "ShardedDatabase",
     "TwoPhaseCoordinator",

@@ -1,0 +1,102 @@
+"""Heartbeat failure detector for the sharded engine.
+
+Replaces the facade's ad-hoc ``_mark_down`` bookkeeping with explicit
+evidence: partitions are pinged through the same faultable transport as
+2PC traffic, a partition that misses ``threshold`` consecutive
+heartbeats becomes *suspect* (``partition_suspected``), and a suspect
+that answers again — or a down partition that completes
+``recover_partition`` — is re-admitted (``partition_readmitted``).
+
+Three states per partition:
+
+- ``up`` — routable; DML and 2PC traffic flows.
+- ``suspect`` — missed too many heartbeats; treated as down for routing
+  (statements raise ``PartitionUnavailableError``, prepare votes no),
+  but still pinged, so a mere lossy network heals itself.
+- ``down`` — crash observed synchronously (a ``SimulatedCrash`` escaped
+  a handler) or declared by the operator. Only ``recover_partition``
+  brings it back; heartbeats stop wasting messages on it.
+
+Heartbeats are driven explicitly via ``heartbeat_round()`` — there is no
+background thread, so schedules stay deterministic.
+"""
+
+from repro.obs.tracer import NULL_TRACER
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+class FailureDetector:
+    def __init__(self, partitions, net, threshold=3, tracer=NULL_TRACER):
+        self.net = net
+        self.threshold = threshold
+        self.tracer = tracer
+        self._status = [UP] * partitions
+        self._missed = [0] * partitions
+        self.heartbeats = 0
+        self.suspected = 0
+        self.readmitted = 0
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def is_down(self, pid):
+        return self._status[pid] != UP
+
+    def status(self, pid):
+        return self._status[pid]
+
+    def down_partitions(self):
+        return [pid for pid, status in enumerate(self._status) if status != UP]
+
+    # ------------------------------------------------------------------
+    # transitions
+
+    def confirm_down(self, pid):
+        """A crash was observed synchronously — no suspicion needed."""
+        self._status[pid] = DOWN
+        self._missed[pid] = 0
+
+    def heartbeat_round(self):
+        """Ping every partition not confirmed down; update suspicion.
+
+        Returns the post-round ``down_partitions()`` list.
+        """
+        for pid, status in enumerate(self._status):
+            if status == DOWN:
+                continue
+            self.heartbeats += 1
+            if self.net.ping(pid):
+                self._missed[pid] = 0
+                if status == SUSPECT:
+                    self._readmit(pid, via="heartbeat")
+            else:
+                self._missed[pid] += 1
+                if status == UP and self._missed[pid] >= self.threshold:
+                    self._status[pid] = SUSPECT
+                    self.suspected += 1
+                    self.tracer.emit(
+                        "partition_suspected",
+                        partition=pid, missed=self._missed[pid],
+                    )
+        return self.down_partitions()
+
+    def readmit(self, pid):
+        """Re-admit after ``recover_partition`` ran engine recovery."""
+        if self._status[pid] != UP:
+            self._readmit(pid, via="recovery")
+
+    def _readmit(self, pid, via):
+        self._status[pid] = UP
+        self._missed[pid] = 0
+        self.readmitted += 1
+        self.tracer.emit("partition_readmitted", partition=pid, via=via)
+
+    def stats(self):
+        return {
+            "heartbeats": self.heartbeats,
+            "suspected": self.suspected,
+            "readmitted": self.readmitted,
+        }

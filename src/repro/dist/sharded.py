@@ -1,4 +1,5 @@
-"""A range-sharded engine fleet with two-phase commit.
+"""A range-sharded engine fleet with two-phase commit over a faultable
+message transport.
 
 :class:`ShardedDatabase` stamps out N fully independent
 :class:`~repro.core.database.Database` instances — each with its own
@@ -12,17 +13,36 @@ aggregate group whose members span partitions exists as one
 this sound: COUNT/SUM sub-counters commute across partitions exactly as
 escrow deltas commute across transactions.
 
+All coordinator → partition traffic — DML routing, prepare, decide,
+recovery probes, heartbeats — travels through the
+:class:`~repro.dist.net.Network` transport, where the ``net.*`` fault
+sites can lose, duplicate, reorder, and delay messages. The transport
+retries with seeded backoff; the partition-side
+:class:`~repro.dist.net.PartitionEndpoint` deduplicates, so redelivered
+prepares and decides are exactly-once in effect.
+
 Cross-partition transactions commit by **two-phase commit with presumed
 abort** (see :mod:`repro.dist.coordinator`). The robustness headline is
-*partial failure*: ``dist.partition_crash`` can kill one partition
-mid-protocol — after its branch prepared, before it learned the decision
-— and the fleet degrades instead of dying. The surviving N-1 partitions
-keep committing; statements routed at the dead partition raise
-:class:`~repro.common.errors.PartitionUnavailableError` (retryable); the
-crashed partition's in-doubt branch blocks only the keys it touched.
-:meth:`recover_partition` then runs ARIES recovery on the dead engine,
-resolves every in-doubt branch from the coordinator's durable decision
-log (undecided = presumed abort), and rejoins it.
+*partial failure*, in three failure domains:
+
+* **Partitions** — ``dist.partition_crash`` can kill one partition
+  mid-protocol: after its branch prepared, before it learned the
+  decision. The fleet degrades instead of dying; the surviving N-1
+  partitions keep committing; statements routed at the dead partition
+  raise :class:`~repro.common.errors.PartitionUnavailableError`
+  (retryable); the crashed partition's in-doubt branch blocks only the
+  keys it touched. :meth:`recover_partition` then runs ARIES recovery,
+  resolves every in-doubt branch from the coordinator's durable decision
+  log (undecided = presumed abort), and rejoins it.
+* **The network** — the :class:`~repro.dist.detector.FailureDetector`
+  turns missed heartbeats into suspicion instead of ad-hoc down marks,
+  and re-admits partitions that answer again.
+* **The coordinator** — ``dist.coordinator_crash`` can kill the
+  coordinator at any protocol step (``prepare_send:<pid>``, the decision
+  point, ``decide_send:<pid>``); in-flight commits park in doubt,
+  and :meth:`recover_coordinator` stands up a fresh coordinator from the
+  durable decision log plus partition in-doubt reports, presuming abort
+  for undecided gids.
 """
 
 from repro.analysis.static import StaticAnalyzer, check_copartition
@@ -39,21 +59,26 @@ from repro.catalog import TableSchema
 from repro.core.config import EngineConfig
 from repro.core.database import Database
 from repro.dist.coordinator import TwoPhaseCoordinator
+from repro.dist.detector import FailureDetector
+from repro.dist.net import Network, PartitionEndpoint
 from repro.dist.partitioner import RangePartitioner
 from repro.faults import NULL_INJECTOR
 from repro.obs import Tracer
-from repro.txn.transaction import TxnState
-from repro.views.definition import AggregateView, ProjectionView
 
 
 class DistTransaction:
-    """A global transaction: one gid, one lazy branch per partition."""
+    """A global transaction: one gid, one lazy branch per partition.
+
+    ``branches`` maps partition id → the branch transaction's id *on
+    that partition*. The handles themselves live at the partition
+    endpoints — the facade only ever talks to them over the network.
+    """
 
     __slots__ = ("gid", "branches", "state")
 
     def __init__(self, gid):
         self.gid = gid
-        self.branches = {}  # partition index -> engine txn handle
+        self.branches = {}  # partition index -> branch txn_id
         self.state = "active"  # active | committed | aborted | in_doubt
 
     def __repr__(self):
@@ -70,7 +95,8 @@ class DistTransaction:
 
 
 class ShardedDatabase:
-    """N independent engines behind one facade, glued by 2PC."""
+    """N independent engines behind one facade, glued by 2PC over a
+    faultable transport."""
 
     def __init__(self, boundaries, config=None):
         self.partitioner = RangePartitioner(boundaries)
@@ -81,14 +107,27 @@ class ShardedDatabase:
         self.faults = NULL_INJECTOR
         self.coordinator = TwoPhaseCoordinator(tracer=self.tracer)
         #: the partition engines; direct access outside ``repro.dist`` is
-        #: a lint violation (``dist-isolation``) — go through the facade
-        #: or :meth:`partition`.
+        #: a lint violation (``dist-isolation``), and commit-path methods
+        #: inside it must go through the transport instead
+        #: (``transport-discipline``) — use the facade or
+        #: :meth:`partition`.
         self._engines = [
             # Identical knobs, decorrelated retry jitter per partition.
             Database(base.clone(retry_seed=base.retry_seed + pid))
             for pid in range(self.partitioner.partitions)
         ]
-        self._down = set()
+        self.net = Network(
+            clock=self.clock, tracer=self.tracer,
+            seed=base.retry_seed + 509,
+        )
+        self._endpoints = []
+        for pid, engine in enumerate(self._engines):
+            endpoint = PartitionEndpoint(pid, engine)
+            self._endpoints.append(endpoint)
+            self.net.register(pid, endpoint)
+        self.detector = FailureDetector(
+            self.partitioner.partitions, self.net, tracer=self.tracer
+        )
         self._schemas = {}  # table -> TableSchema (for routing)
         self._views = {}  # view name -> ViewDefinition (for folding)
         #: SA020 diagnostics accepted at DDL time: views that are legal
@@ -98,6 +137,7 @@ class ShardedDatabase:
         self.single_partition_commits = 0
         self.two_phase_commits = 0
         self.presumed_aborts = 0
+        self.coordinator_recoveries = 0
         self.in_doubt_resolved = {"commit": 0, "abort": 0}
 
     # ------------------------------------------------------------------
@@ -115,14 +155,17 @@ class ShardedDatabase:
         return self._engines[pid]
 
     def down_partitions(self):
-        return sorted(self._down)
+        return self.detector.down_partitions()
 
     def install_fault_injector(self, injector):
-        """Thread one injector through the facade, the coordinator, and
-        every partition engine — a single seeded stream drives the whole
-        fleet's chaos schedule."""
+        """Thread one injector through the facade, the transport, every
+        partition endpoint, the coordinator, and every partition engine —
+        a single seeded stream drives the whole fleet's chaos schedule."""
         self.faults = injector if injector is not None else NULL_INJECTOR
         self.coordinator.faults = self.faults
+        self.net.faults = self.faults
+        for endpoint in self._endpoints:
+            endpoint.faults = self.faults
         for engine in self._engines:
             engine.install_fault_injector(injector)
         if injector is not None:
@@ -165,6 +208,8 @@ class ShardedDatabase:
     def create_aggregate_view(self, name, base, group_by, aggregates,
                               where=None, bounds=None, *, unique=True,
                               deferred=False):
+        from repro.views.definition import AggregateView
+
         self._shard_check(
             AggregateView(name, base, group_by, aggregates, where, bounds)
         )
@@ -180,6 +225,8 @@ class ShardedDatabase:
 
     def create_projection_view(self, name, base, columns, where=None, *,
                                unique=True, deferred=False):
+        from repro.views.definition import ProjectionView
+
         self._shard_check(
             ProjectionView(
                 name, base,
@@ -279,42 +326,67 @@ class ShardedDatabase:
         return self._schemas[table].key_of(row)
 
     def _require_up(self, pid, gid=None):
-        if pid in self._down:
+        if self.detector.is_down(pid):
             raise PartitionUnavailableError(gid, partition=pid)
 
-    def _branch(self, dtxn, pid):
-        """The global transaction's branch on ``pid``, begun lazily."""
-        dtxn.require_active()
-        txn = dtxn.branches.get(pid)
-        if txn is None:
-            self._require_up(pid, dtxn.gid)
-            txn = self._engines[pid].begin()
-            dtxn.branches[pid] = txn
-        return txn
+    def _confirm_down(self, pid):
+        """A ``SimulatedCrash`` escaped a partition's message handler —
+        synchronous evidence; no heartbeat suspicion needed."""
+        self.detector.confirm_down(pid)
 
     # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
 
     def begin(self):
+        self._ensure_coordinator()
         self.global_txns += 1
         self.clock.tick()
         return DistTransaction(self.coordinator.new_gid())
 
+    def _op(self, dtxn, pid, payload):
+        """Route one statement to its partition over the transport.
+
+        Every op — not just the one that opens the branch — checks the
+        failure detector first: an already-open branch on a partition
+        that has since gone down must fail fast with
+        :class:`PartitionUnavailableError`, never proceed against a dead
+        engine.
+        """
+        dtxn.require_active()
+        self._require_up(pid, dtxn.gid)
+        try:
+            reply = self.net.request(
+                pid, "op", payload,
+                gid=dtxn.gid, txn_id=dtxn.branches.get(pid),
+            )
+        except SimulatedCrash:
+            self._confirm_down(pid)
+            raise
+        dtxn.branches[pid] = reply["txn_id"]
+        return reply["result"]
+
     def insert(self, dtxn, table, values):
         key = self._key_of(table, values)
         pid = self.partitioner.partition_of(key)
-        return self._engines[pid].insert(self._branch(dtxn, pid), table, values)
+        return self._op(
+            dtxn, pid, {"op": "insert", "table": table, "values": values}
+        )
 
     def update(self, dtxn, table, key, changes):
         key = tuple(key)
         pid = self.partitioner.partition_of(key)
-        return self._engines[pid].update(self._branch(dtxn, pid), table, key, changes)
+        return self._op(
+            dtxn, pid,
+            {"op": "update", "table": table, "key": key, "changes": changes},
+        )
 
     def delete(self, dtxn, table, key):
         key = tuple(key)
         pid = self.partitioner.partition_of(key)
-        return self._engines[pid].delete(self._branch(dtxn, pid), table, key)
+        return self._op(
+            dtxn, pid, {"op": "delete", "table": table, "key": key}
+        )
 
     def read(self, dtxn, table, key, for_update=False):
         """Transactional point read of a *base table* row (routed by
@@ -322,8 +394,10 @@ class ShardedDatabase:
         :meth:`read_folded`."""
         key = tuple(key)
         pid = self.partitioner.partition_of(key)
-        return self._engines[pid].read(
-            self._branch(dtxn, pid), table, key, for_update=for_update
+        return self._op(
+            dtxn, pid,
+            {"op": "read", "table": table, "key": key,
+             "for_update": for_update},
         )
 
     def commit(self, dtxn):
@@ -333,17 +407,19 @@ class ShardedDatabase:
         (the single-partition fast path — no coordinator involvement,
         just the partition's own WAL rule). Two or more branches run the
         full protocol: phase 1 asks every branch to
-        :meth:`~repro.core.database.Database.prepare` (an exception or an
-        armed loss site is a no vote); the decision is commit iff every
-        vote arrived yes, logged durably at the coordinator; phase 2
-        applies it branch-by-branch. A branch whose partition dies
-        between prepare and decision stays **in-doubt** there — the
-        surviving branches still apply the decision, and the dead
-        partition resolves on :meth:`recover_partition`.
+        :meth:`~repro.core.database.Database.prepare` (an exception, a
+        transport give-up, or an armed loss site is a no vote); the
+        decision is commit iff every vote arrived yes, logged durably at
+        the coordinator; phase 2 applies it branch-by-branch. A branch
+        whose partition dies between prepare and decision stays
+        **in-doubt** there — the surviving branches still apply the
+        decision, and the dead partition resolves on
+        :meth:`recover_partition`.
 
         Returns the decision (``"commit"`` / ``"abort"``); a lost
-        decision returns ``"in_doubt"`` (resolve via :meth:`resolve`).
-        Raises :class:`~repro.common.TransactionAborted` when the global
+        decision or a coordinator crash mid-protocol returns
+        ``"in_doubt"`` (resolve via :meth:`resolve`). Raises
+        :class:`~repro.common.TransactionAborted` when the global
         transaction aborted.
         """
         dtxn.require_active()
@@ -352,19 +428,45 @@ class ShardedDatabase:
             dtxn.state = "committed"
             return "commit"
         if len(branches) == 1:
-            ((pid, txn),) = branches.items()
+            ((pid, txn_id),) = branches.items()
             try:
-                self._engines[pid].commit(txn)
+                self._require_up(pid, dtxn.gid)
+                self.net.request(
+                    pid, "commit", {}, gid=dtxn.gid, txn_id=txn_id
+                )
             except SimulatedCrash:
-                self._mark_down(pid)
+                self._confirm_down(pid)
                 raise
             except TransactionAborted:
+                # The branch died with its partition, or the commit was
+                # refused engine-side: the single branch is the whole
+                # outcome, so the global transaction aborted.
                 dtxn.state = "aborted"
                 raise
             dtxn.state = "committed"
             self.single_partition_commits += 1
             return "commit"
         return self._two_phase_commit(dtxn)
+
+    def _coordinator_step(self, detail):
+        """One coordinator protocol step: ``True`` when the coordinator
+        is (or just became) dead and the protocol cannot continue.
+
+        ``dist.coordinator_crash`` is evaluated here with the step name
+        as detail (``prepare_send:<pid>``, ``decide_send:<pid>``), so
+        chaos can kill the coordinator at any hop — the decision point
+        itself is evaluated inside
+        :meth:`~repro.dist.coordinator.TwoPhaseCoordinator.decide` with
+        the gid as detail.
+        """
+        if self.coordinator.crashed:
+            return True
+        if self.faults.active and self.faults.fires(
+            "dist.coordinator_crash", detail=detail
+        ) is not None:
+            self.coordinator.crash()
+            return True
+        return False
 
     def _two_phase_commit(self, dtxn):
         gid = dtxn.gid
@@ -373,27 +475,27 @@ class ShardedDatabase:
         # ---- phase 1: collect votes --------------------------------
         votes = {}
         for pid in sorted(branches):
-            txn = branches[pid]
-            engine = self._engines[pid]
+            txn_id = branches[pid]
+            if self._coordinator_step(f"prepare_send:{pid}"):
+                dtxn.state = "in_doubt"
+                return "in_doubt"
             vote = False
-            if pid in self._down:
+            if self.detector.is_down(pid):
                 pass  # a dead partition cannot vote yes
-            elif self.faults.active and self.faults.fires(
-                "dist.partition_crash", txn_id=txn.txn_id,
-                detail=f"prepare:{pid}",
-            ) is not None:
-                # Crash before the vote: nothing durable, plain loser.
-                self._crash_partition(pid)
             else:
                 try:
-                    engine.prepare(txn, gid)
-                    vote = True
-                except TransactionAborted:
-                    vote = False  # flush fault: the promise never held
+                    reply = self.net.request(
+                        pid, "prepare", {}, gid=gid, txn_id=txn_id
+                    )
+                    vote = reply["vote"]
                 except SimulatedCrash:
-                    self._mark_down(pid)
+                    # Crash at / before the vote: nothing usable arrived.
+                    self._confirm_down(pid)
+                except TransactionAborted:
+                    vote = False  # transport gave up, or the flush
+                    # fault engine-side: the promise never held
                 if vote and self.faults.active and self.faults.fires(
-                    "dist.prepare_lost", txn_id=txn.txn_id, detail=str(pid)
+                    "dist.prepare_lost", txn_id=txn_id, detail=str(pid)
                 ) is not None:
                     # Durably prepared, but the coordinator never hears
                     # it: counts as no, and presumed abort squares the
@@ -423,31 +525,31 @@ class ShardedDatabase:
 
     def _apply_decision(self, dtxn, decision, votes=None):
         for pid in sorted(dtxn.branches):
-            txn = dtxn.branches[pid]
-            engine = self._engines[pid]
-            if pid in self._down:
+            txn_id = dtxn.branches[pid]
+            if votes is not None and self._coordinator_step(
+                f"decide_send:{pid}"
+            ):
+                # The coordinator died mid-phase-2. The decision is
+                # already durable — the client outcome stands — but the
+                # remaining branches learn it only from the decision log
+                # once recover_coordinator() probes them.
+                return
+            if self.detector.is_down(pid):
                 continue  # resolves from the decision log on rejoin
-            if votes is not None and votes.get(pid) and self.faults.active:
-                if self.faults.fires(
-                    "dist.partition_crash", txn_id=txn.txn_id,
-                    detail=f"decide:{pid}",
-                ) is not None:
-                    # The headline fault: durably prepared, killed before
-                    # the decision arrives — in-doubt until rejoin.
-                    self._crash_partition(pid)
-                    continue
-            if txn.state is not TxnState.ACTIVE:
-                continue  # already finished (e.g. aborted as no-voter)
             try:
-                if decision == "commit":
-                    engine.commit(txn)
-                else:
-                    engine.abort(txn, reason="2pc abort")
-            except (TransactionAborted, SimulatedCrash) as failure:
-                if isinstance(failure, SimulatedCrash):
-                    self._mark_down(pid)
-                # A committing branch that died here is prepared and
-                # durable-decided: recovery + the decision log finish it.
+                self.net.request(
+                    pid, "decide", {"decision": decision},
+                    gid=dtxn.gid, txn_id=txn_id,
+                )
+            except SimulatedCrash:
+                # The headline fault: durably prepared, killed before
+                # the decision arrives — in-doubt until rejoin.
+                self._confirm_down(pid)
+            except TransactionAborted:
+                # Transport gave up, or a committing branch died
+                # engine-side: it is prepared and durable-decided, so
+                # recovery + the decision log finish it.
+                pass
 
     def abort(self, dtxn, reason="user"):
         """Abort the global transaction (phase 1 never ran)."""
@@ -458,31 +560,36 @@ class ShardedDatabase:
         dtxn.state = "aborted"
 
     def resolve(self, dtxn):
-        """Resolve a global transaction stuck in doubt (lost decision):
-        consult the durable decision log; an undecided gid is presumed
-        aborted. Live prepared branches finish through their handles,
-        recovered ones through the in-doubt registry."""
+        """Resolve a global transaction stuck in doubt (lost decision or
+        crashed coordinator): consult the durable decision log; an
+        undecided gid is presumed aborted. Live prepared branches finish
+        through their endpoint handles, recovered ones through the
+        engine's in-doubt registry — both over the transport."""
         if dtxn.state != "in_doubt":
             raise TransactionStateError(
                 f"global transaction {dtxn.gid} is {dtxn.state}, not in doubt"
             )
+        self._ensure_coordinator()
         decision = self.coordinator.durable_decision(dtxn.gid)
         if decision is None:
             decision = "abort"
             self.presumed_aborts += 1
         for pid in sorted(dtxn.branches):
-            txn = dtxn.branches[pid]
-            engine = self._engines[pid]
-            if pid in self._down:
+            txn_id = dtxn.branches[pid]
+            if self.detector.is_down(pid):
                 continue
-            if txn.txn_id in engine.in_doubt_transactions():
-                engine.resolve_in_doubt(txn.txn_id, decision)
+            try:
+                reply = self.net.request(
+                    pid, "decide", {"decision": decision},
+                    gid=dtxn.gid, txn_id=txn_id,
+                )
+            except SimulatedCrash:
+                self._confirm_down(pid)
+                continue
+            except TransactionAborted:
+                continue  # transport gave up; rejoin settles the branch
+            if reply.get("via") == "in_doubt":
                 self.in_doubt_resolved[decision] += 1
-            elif txn.state is TxnState.ACTIVE:
-                if decision == "commit":
-                    engine.commit(txn)
-                else:
-                    engine.abort(txn, reason="2pc presumed abort")
         dtxn.state = decision
         return decision
 
@@ -490,41 +597,46 @@ class ShardedDatabase:
     # partial failure
     # ------------------------------------------------------------------
 
-    def _mark_down(self, pid):
-        self._down.add(pid)
-
-    def _crash_partition(self, pid):
-        """Kill one engine: its volatile state (locks, buffer pool, open
-        transactions, unflushed log suffix) is gone; the durable WAL and
-        page store survive for :meth:`recover_partition`."""
-        self._engines[pid].log.crash()
-        self._mark_down(pid)
-
     def crash_partition(self, pid):
-        """Operator/chaos entry point for killing a partition outright."""
-        self._crash_partition(pid)
+        """Operator/chaos entry point for killing a partition outright:
+        its volatile state (locks, buffer pool, open transactions,
+        unflushed log suffix, endpoint dedup tables) is gone; the durable
+        WAL and page store survive for :meth:`recover_partition`."""
+        self._endpoints[pid].crash()
+        self._confirm_down(pid)
+
+    def heartbeat_round(self):
+        """One failure-detector sweep over the fleet (see
+        :class:`~repro.dist.detector.FailureDetector`). Heartbeats ride
+        the same faultable transport as 2PC traffic, so a lossy network
+        produces suspicion and a healed one produces re-admission.
+        Returns the post-round down list."""
+        return self.detector.heartbeat_round()
 
     def recover_partition(self, pid):
         """Run ARIES recovery on a down partition, resolve every in-doubt
         branch from the coordinator's durable decision log (undecided =
         presumed abort), and rejoin it. Returns the
         :class:`~repro.wal.recovery.RecoveryReport`."""
-        engine = self._engines[pid]
-        report = engine.simulate_crash_and_recover()
+        self._ensure_coordinator()
+        report = self._endpoints[pid].recover()
+        self.detector.readmit(pid)
         resolved_commit = 0
         resolved_abort = 0
-        for txn_id, gid in sorted(engine.in_doubt_transactions().items()):
+        probe = self.net.request(pid, "probe", {})
+        for txn_id, gid in sorted(probe.items()):
             decision = self.coordinator.durable_decision(gid)
             if decision is None:
                 decision = "abort"
                 self.presumed_aborts += 1
-            engine.resolve_in_doubt(txn_id, decision)
+            self.net.request(
+                pid, "decide", {"decision": decision}, gid=gid, txn_id=txn_id
+            )
             self.in_doubt_resolved[decision] += 1
             if decision == "commit":
                 resolved_commit += 1
             else:
                 resolved_abort += 1
-        self._down.discard(pid)
         if self.tracer.enabled:
             self.tracer.emit(
                 "partition_recovered", partition=pid,
@@ -533,6 +645,53 @@ class ShardedDatabase:
                 resolved_abort=resolved_abort,
             )
         return report
+
+    def _ensure_coordinator(self):
+        if self.coordinator.crashed:
+            self.recover_coordinator()
+
+    def recover_coordinator(self):
+        """Stand up a fresh coordinator after a crash.
+
+        The new instance rebuilds its state from exactly two sources —
+        the *durable prefix* of the decision log and the partitions'
+        in-doubt reports gathered over the transport. Every reported gid
+        with a durable decision is finished accordingly; a gid with no
+        durable decision is presumed aborted. New gids carry a bumped
+        epoch so they can never collide with pre-crash in-flight ones.
+        """
+        self.coordinator = TwoPhaseCoordinator.recover(
+            self.coordinator, tracer=self.tracer, faults=self.faults
+        )
+        self.coordinator_recoveries += 1
+        for pid in range(self.partitions):
+            if self.detector.is_down(pid):
+                continue  # its branches resolve on recover_partition
+            try:
+                report = self.net.request(pid, "probe", {})
+            except SimulatedCrash:
+                self._confirm_down(pid)
+                continue
+            except TransactionAborted:
+                continue  # unreachable over a quiet net; lossy rejoin
+            for txn_id, gid in sorted(report.items()):
+                decision = self.coordinator.durable_decision(gid)
+                if decision is None:
+                    decision = "abort"
+                    self.presumed_aborts += 1
+                try:
+                    reply = self.net.request(
+                        pid, "decide", {"decision": decision},
+                        gid=gid, txn_id=txn_id,
+                    )
+                except SimulatedCrash:
+                    self._confirm_down(pid)
+                    break
+                except TransactionAborted:
+                    continue
+                if reply.get("via") == "in_doubt":
+                    self.in_doubt_resolved[decision] += 1
+        return self.coordinator
 
     # ------------------------------------------------------------------
     # reads
@@ -556,7 +715,7 @@ class ShardedDatabase:
         key = tuple(key)
         sub_rows = []
         for pid, engine in enumerate(self._engines):
-            if pid in self._down:
+            if self.detector.is_down(pid):
                 continue
             row = engine.read_committed(view_name, key)
             if row is not None:
@@ -569,7 +728,7 @@ class ShardedDatabase:
         view = self._views[view_name]
         by_key = {}
         for pid, engine in enumerate(self._engines):
-            if pid in self._down:
+            if self.detector.is_down(pid):
                 continue
             for key, record in engine.index(view_name).scan():
                 row = record.read_as_of(engine.clock.now())
@@ -609,7 +768,10 @@ class ShardedDatabase:
         )
 
     def stats(self):
-        """The fleet-level ``dist`` block (docs/OBSERVABILITY.md)."""
+        """The fleet-level ``dist`` and ``net`` blocks
+        (docs/OBSERVABILITY.md)."""
+        net = self.net.stats()
+        net.update(self.detector.stats())
         return {
             "dist": {
                 "partitions": self.partitions,
@@ -622,5 +784,7 @@ class ShardedDatabase:
                 "presumed_aborts": self.presumed_aborts,
                 "in_doubt": self.in_doubt_total(),
                 "in_doubt_resolved": dict(self.in_doubt_resolved),
+                "coordinator_recoveries": self.coordinator_recoveries,
             },
+            "net": net,
         }

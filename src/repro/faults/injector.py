@@ -169,10 +169,48 @@ FAULT_SITES = {
     },
     "dist.coordinator_crash": {
         "action": "crash",
-        "description": "the coordinator's decision log crashes at the "
-        "decision point, losing its unflushed suffix — decisions that "
-        "were not yet durable vanish and their branches resolve by "
-        "presumed abort",
+        "description": "the coordinator process dies mid-protocol, "
+        "evaluated at every step (detail 'prepare_send:<pid>' before a "
+        "prepare goes out, the gid at the decision point, "
+        "'decide_send:<pid>' before a phase-2 delivery) — the decision "
+        "log loses its unflushed suffix and the instance refuses further "
+        "decisions; recover_coordinator() rebuilds a fresh one from the "
+        "durable decision log plus partition in-doubt reports, presuming "
+        "abort for undecided gids",
+    },
+    "net.request_lost": {
+        "action": "lost",
+        "description": "a coordinator-to-partition message (detail "
+        "'<kind>:<pid>') is dropped before delivery — the sender times "
+        "out, backs off, and retransmits with the same msg_id; "
+        "exhausting the retry budget surfaces net_gave_up and a "
+        "retryable PartitionUnavailableError",
+    },
+    "net.reply_lost": {
+        "action": "lost",
+        "description": "the request is delivered and its effects stand, "
+        "but the reply never reaches the sender — the retransmission is "
+        "absorbed by the endpoint's dedup tables (cached reply, binding "
+        "vote, applied decision), keeping effects exactly-once",
+    },
+    "net.duplicate": {
+        "action": "duplicate",
+        "description": "a delivered message is delivered a second time — "
+        "the endpoint's per-msg_id reply cache and per-gid vote/decision "
+        "tables must make the duplicate a no-op",
+    },
+    "net.reorder": {
+        "action": "reorder",
+        "description": "a message is parked and overtaken, delivered "
+        "late after the next successful delivery on its channel — the "
+        "sender sees a timeout and retransmits; the stale delivery must "
+        "be idempotent",
+    },
+    "net.delay": {
+        "action": "delay",
+        "description": "transport latency: the logical clock advances by "
+        "the spec's delay before delivery — nothing is lost, but "
+        "timeout/backoff schedules shift",
     },
 }
 

@@ -10,6 +10,7 @@ from repro.obs.schema import (
     BUFFER_POOL_STATS_FIELDS,
     CHECKPOINT_RECORD_FIELDS,
     FLOOR_MARKER_FIELDS,
+    NET_STATS_FIELDS,
     PAGE_HEADER_FIELDS,
     PAGE_STATES,
     DIAGNOSTIC_FIELDS,
@@ -35,6 +36,7 @@ __all__ = [
     "FLOOR_MARKER_FIELDS",
     "Event",
     "EngineMetrics",
+    "NET_STATS_FIELDS",
     "NULL_TRACER",
     "PAGE_HEADER_FIELDS",
     "PAGE_STATES",

@@ -157,7 +157,7 @@ EVENT_TYPES = {
             "site": "the fault site that fired (see repro.faults.FAULT_SITES)",
             "hit": "how many times the site had been evaluated when it fired",
             "action": "failure shape: raise | crash | deny | delay | torn | "
-            "lost | corrupt",
+            "lost | corrupt | duplicate | reorder",
         },
     },
     # --------------------------------------------------------- cleanup
@@ -237,6 +237,43 @@ EVENT_TYPES = {
             "coordinator's decision log",
             "resolved_abort": "branches resolved to abort (durable abort "
             "decision or presumed abort)",
+        },
+    },
+    "partition_suspected": {
+        "category": "dist",
+        "fields": {
+            "partition": "the partition the failure detector now "
+            "suspects (treated as down for routing, still pinged)",
+            "missed": "consecutive heartbeats missed when suspicion "
+            "was declared",
+        },
+    },
+    "partition_readmitted": {
+        "category": "dist",
+        "fields": {
+            "partition": "the partition re-admitted to routing",
+            "via": "what produced the evidence: heartbeat (a suspect "
+            "answered again) | recovery (recover_partition completed)",
+        },
+    },
+    # ------------------------------------------------------------- net
+    "net_retry": {
+        "category": "net",
+        "fields": {
+            "kind": "message kind being retransmitted (op | prepare | "
+            "decide | commit | probe | ping)",
+            "partition": "destination partition",
+            "attempt": "transmission attempts made so far",
+            "backoff": "logical-clock ticks slept before the "
+            "retransmission",
+        },
+    },
+    "net_gave_up": {
+        "category": "net",
+        "fields": {
+            "kind": "message kind whose retry budget ran out",
+            "partition": "destination partition",
+            "attempts": "total transmission attempts, all timed out",
         },
     },
     # -------------------------------------------------------- analysis

@@ -107,6 +107,15 @@ BUFFER_POOL_STATS_FIELDS = {
     "evictions", "dirty_evictions", "forced_wal_flushes",
 }
 
+#: pinned key set of ``ShardedDatabase.stats()["net"]`` — the message
+#: transport's delivery/fault counters plus the failure detector's
+#: heartbeat counters (docs/OBSERVABILITY.md).
+NET_STATS_FIELDS = {
+    "messages", "delivered", "request_lost", "reply_lost", "duplicates",
+    "reordered", "delayed", "retries", "gave_up", "dedup_absorbed",
+    "heartbeats", "suspected", "readmitted",
+}
+
 #: lifecycle states a buffer-pool frame moves through.
 PAGE_STATES = ("pinned", "clean", "dirty", "evicted")
 

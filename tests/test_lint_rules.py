@@ -236,6 +236,53 @@ def test_dist_isolation_exempts_the_dist_package(tmp_path):
     assert lint_paths([ok]) == []
 
 
+def test_transport_discipline_fires_on_commit_path_engine_access(tmp_path):
+    bad = _plant(
+        tmp_path,
+        "src/repro/dist/shortcut.py",
+        '''
+        def commit(self, dtxn):
+            for pid in dtxn.branches:
+                self._engines[pid].commit(dtxn.branches[pid])
+        ''',
+    )
+    findings = lint_paths([bad])
+    assert _rules(findings) == {"transport-discipline"}
+    assert "repro.dist.net" in findings[0].message
+
+
+def test_transport_discipline_fires_in_nested_helpers(tmp_path):
+    bad = _plant(
+        tmp_path,
+        "src/repro/dist/nested.py",
+        '''
+        def _two_phase_commit(self, dtxn):
+            def send(pid):
+                return self._engines[pid]
+            return send(0)
+        ''',
+    )
+    assert _rules(lint_paths([bad])) == {"transport-discipline"}
+
+
+def test_transport_discipline_exempts_non_protocol_methods(tmp_path):
+    # Construction, operator accessors, and folded reads legitimately
+    # hold the engine list; only the protocol methods must use the
+    # transport. Outside repro/dist/ the dist-isolation rule governs.
+    ok = _plant(
+        tmp_path,
+        "src/repro/dist/accessors.py",
+        '''
+        def partition(self, pid):
+            return self._engines[pid]
+
+        def read_committed(self, table, key):
+            return self._engines[0].read_committed(table, key)
+        ''',
+    )
+    assert lint_paths([ok]) == []
+
+
 def test_view_entry_point_fires_in_engine_and_client_code(tmp_path):
     source = '''
     def build(db):
@@ -285,6 +332,7 @@ def test_rules_tuple_is_the_documented_set():
         "import-surface",
         "page-discipline",
         "dist-isolation",
+        "transport-discipline",
         "view-entry-point",
     )
 
